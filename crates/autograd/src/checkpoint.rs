@@ -1,0 +1,167 @@
+//! Model checkpointing: save/restore a [`Params`] store to disk.
+//!
+//! Little-endian binary format with a header, per-tensor name + shape, and
+//! raw f32 data; loading validates names and shapes against the live store
+//! so a checkpoint can only be restored into the architecture that wrote
+//! it.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use wg_tensor::Matrix;
+
+use crate::params::Params;
+
+const MAGIC: &[u8; 4] = b"WGCK";
+const VERSION: u32 = 1;
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Write every parameter tensor (values only, not optimizer state) to
+/// `path`.
+pub fn save_params(params: &Params, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for id in params.ids() {
+        let name = params.name(id).as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        let m = params.value(id);
+        w.write_all(&(m.rows() as u64).to_le_bytes())?;
+        w.write_all(&(m.cols() as u64).to_le_bytes())?;
+        for &v in m.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Restore parameter values from `path` into `params`. Every tensor must
+/// match the store by position, name and shape.
+pub fn load_params(params: &mut Params, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a WGCK checkpoint".into()));
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let version = u32::from_le_bytes(b4);
+    if version != VERSION {
+        return Err(bad(format!("unsupported checkpoint version {version}")));
+    }
+    r.read_exact(&mut b4)?;
+    let count = u32::from_le_bytes(b4) as usize;
+    if count != params.len() {
+        return Err(bad(format!(
+            "checkpoint has {count} tensors, model has {}",
+            params.len()
+        )));
+    }
+    let ids: Vec<_> = params.ids().collect();
+    let mut b8 = [0u8; 8];
+    for id in ids {
+        r.read_exact(&mut b4)?;
+        let name_len = u32::from_le_bytes(b4) as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|e| bad(e.to_string()))?;
+        if name != params.name(id) {
+            return Err(bad(format!(
+                "tensor name mismatch: checkpoint '{name}' vs model '{}'",
+                params.name(id)
+            )));
+        }
+        r.read_exact(&mut b8)?;
+        let rows = u64::from_le_bytes(b8) as usize;
+        r.read_exact(&mut b8)?;
+        let cols = u64::from_le_bytes(b8) as usize;
+        let live = params.value(id);
+        if (rows, cols) != (live.rows(), live.cols()) {
+            return Err(bad(format!(
+                "shape mismatch for '{name}': checkpoint {rows}x{cols} vs model {}x{}",
+                live.rows(),
+                live.cols()
+            )));
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut fb = [0u8; 4];
+        for _ in 0..rows * cols {
+            r.read_exact(&mut fb)?;
+            data.push(f32::from_le_bytes(fb));
+        }
+        *params.value_mut(id) = Matrix::from_vec(rows, cols, data);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wgck-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn model_params(seed: u64) -> Params {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = Params::new();
+        p.add_xavier("layer0.w", 8, 4, &mut rng);
+        p.add_bias("layer0.b", 4);
+        p.add_xavier("layer1.w", 4, 2, &mut rng);
+        p
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let src = model_params(1);
+        let path = tmp("roundtrip");
+        save_params(&src, &path).unwrap();
+        let mut dst = model_params(2); // different init
+        load_params(&mut dst, &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        for (a, b) in src.ids().zip(dst.ids()) {
+            assert_eq!(src.value(a), dst.value(b));
+        }
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let src = model_params(1);
+        let path = tmp("mismatch");
+        save_params(&src, &path).unwrap();
+        // A store with a different tensor count.
+        let mut other = Params::new();
+        other.add_bias("only.b", 4);
+        let err = load_params(&mut other, &path).unwrap_err();
+        assert!(err.to_string().contains("tensors"));
+        // Same count, different shape.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut wrong = Params::new();
+        wrong.add_xavier("layer0.w", 8, 5, &mut rng); // 5 != 4
+        wrong.add_bias("layer0.b", 4);
+        wrong.add_xavier("layer1.w", 4, 2, &mut rng);
+        let err = load_params(&mut wrong, &path).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_file() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"nope").unwrap();
+        let mut p = model_params(1);
+        assert!(load_params(&mut p, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,26 @@
+//! # wg-autograd — tape-based reverse-mode automatic differentiation
+//!
+//! WholeGraph "makes use of the automatic differentiation module in
+//! PyTorch"; this crate is the equivalent substrate for our reproduction: a
+//! small define-by-run tape over [`wg_tensor`] with exactly the ops the
+//! three GNN models (GCN, GraphSage, GAT) need — dense linear algebra,
+//! activations, dropout, and the sparse g-SpMM / g-SDDMM / edge-softmax
+//! message-passing ops of §III-C4.
+//!
+//! * [`params`] — named parameter store with gradient slots (plus the
+//!   data-parallel gradient averaging that stands in for Apex DDP's
+//!   AllReduce, §III-D);
+//! * [`tape`] — the autograd tape: forward ops record their inputs, and
+//!   [`tape::Tape::backward`] walks the tape in reverse accumulating
+//!   gradients into the parameter store;
+//! * [`optim`] — SGD and Adam.
+
+pub mod checkpoint;
+pub mod optim;
+pub mod params;
+pub mod tape;
+
+pub use checkpoint::{load_params, save_params};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use params::{average_gradients, ParamId, Params};
+pub use tape::{NodeId, Tape};

@@ -1,0 +1,658 @@
+//! The autograd tape.
+//!
+//! A define-by-run tape: every forward op appends a node recording its
+//! inputs (and whatever saved state its backward needs); `backward` seeds a
+//! gradient at the output node and walks the tape in reverse, accumulating
+//! into intermediate grads and, for parameter leaves, into the [`Params`]
+//! store. This mirrors how WholeGraph leans on PyTorch autograd while
+//! supplying custom forward/backward kernels for the sparse ops.
+
+#![allow(clippy::needless_range_loop)] // kernel-style indexed loops
+
+use std::sync::Arc;
+
+use wg_tensor::matrix::Matrix;
+use wg_tensor::ops;
+use wg_tensor::sparse::{self, Agg, BlockCsr};
+
+use crate::params::{ParamId, Params};
+
+/// Handle to a tape node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The first node recorded on a tape. GNN forward passes record their
+    /// gathered-input matrix first, so this is how embedding-table callers
+    /// retrieve the gradient w.r.t. the inputs after `backward`.
+    pub fn first() -> NodeId {
+        NodeId(0)
+    }
+}
+
+enum Op {
+    /// Constant input (no gradient).
+    Input,
+    /// Parameter leaf: gradient flows into `Params`.
+    Param(ParamId),
+    /// `a · b`.
+    Matmul(NodeId, NodeId),
+    /// `a + b` (same shape).
+    Add(NodeId, NodeId),
+    /// `x + bias` (bias is a `[1, n]` node broadcast over rows).
+    Bias(NodeId, NodeId),
+    /// ReLU; saved input is the argument node's value.
+    Relu(NodeId),
+    /// ELU; backward uses this node's own (output) value.
+    Elu(NodeId, f32),
+    /// LeakyReLU with slope; saved input is the argument's value.
+    LeakyRelu(NodeId, f32),
+    /// Inverted dropout with saved mask.
+    Dropout(NodeId, Vec<f32>),
+    /// `[a | b]` column concat.
+    ConcatCols(NodeId, NodeId),
+    /// First `n` rows of `x` (targets-first feature reuse).
+    TopRows(NodeId, usize),
+    /// `x * s`.
+    Scale(NodeId, f32),
+    /// g-SpMM over a block (optionally edge-weighted, multi-head).
+    Spmm {
+        src: NodeId,
+        weights: Option<NodeId>,
+        block: Arc<BlockCsr>,
+        heads: usize,
+        agg: Agg,
+    },
+    /// g-SpMM with max aggregation; saved argmax routes the backward.
+    SpmmMax {
+        src: NodeId,
+        block: Arc<BlockCsr>,
+        argmax: Vec<u32>,
+    },
+    /// Per-dst edge softmax; backward uses this node's output value.
+    EdgeSoftmax { logits: NodeId, block: Arc<BlockCsr> },
+    /// Per-edge sum of a dst-side and a src-side per-node score:
+    /// `out[e, h] = dst[d(e), h] + src[s(e), h]` (GAT attention logits).
+    EdgeScores {
+        dst: NodeId,
+        src: NodeId,
+        block: Arc<BlockCsr>,
+    },
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+}
+
+/// A single-use autograd tape (one per forward pass).
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Fresh empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// Gradient of a node after `backward` (None if no gradient reached it).
+    pub fn grad(&self, id: NodeId) -> Option<&Matrix> {
+        self.nodes[id.0].grad.as_ref()
+    }
+
+    /// Constant input (e.g. gathered features).
+    pub fn input(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Input)
+    }
+
+    /// Parameter leaf: snapshots the current value from `params`.
+    pub fn param(&mut self, params: &Params, id: ParamId) -> NodeId {
+        self.push(params.value(id).clone(), Op::Param(id))
+    }
+
+    /// `a · b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = ops::matmul(self.value(a), self.value(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = ops::add(self.value(a), self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Broadcast-add a `[1, n]` bias node to every row of `x`.
+    pub fn bias(&mut self, x: NodeId, b: NodeId) -> NodeId {
+        assert_eq!(self.value(b).rows(), 1, "bias must be a row vector");
+        let mut v = self.value(x).clone();
+        ops::add_bias(&mut v, self.nodes[b.0].value.row(0));
+        self.push(v, Op::Bias(x, b))
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let mut v = self.value(x).clone();
+        ops::relu(&mut v);
+        self.push(v, Op::Relu(x))
+    }
+
+    /// ELU (GAT's activation).
+    pub fn elu(&mut self, x: NodeId, alpha: f32) -> NodeId {
+        let mut v = self.value(x).clone();
+        ops::elu(&mut v, alpha);
+        self.push(v, Op::Elu(x, alpha))
+    }
+
+    /// LeakyReLU (GAT attention logits).
+    pub fn leaky_relu(&mut self, x: NodeId, slope: f32) -> NodeId {
+        let mut v = self.value(x).clone();
+        ops::leaky_relu(v.data_mut(), slope);
+        self.push(v, Op::LeakyRelu(x, slope))
+    }
+
+    /// Inverted dropout (training mode; pass `p = 0` to disable).
+    pub fn dropout(&mut self, x: NodeId, p: f32, seed: u64) -> NodeId {
+        let mut v = self.value(x).clone();
+        let mask = ops::dropout(&mut v, p, seed);
+        self.push(v, Op::Dropout(x, mask))
+    }
+
+    /// `[a | b]`.
+    pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = ops::concat_cols(self.value(a), self.value(b));
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// First `n` rows of `x`.
+    pub fn top_rows(&mut self, x: NodeId, n: usize) -> NodeId {
+        let v = self.value(x).top_rows(n);
+        self.push(v, Op::TopRows(x, n))
+    }
+
+    /// `x · s`.
+    pub fn scale(&mut self, x: NodeId, s: f32) -> NodeId {
+        let mut v = self.value(x).clone();
+        ops::scale(&mut v, s);
+        self.push(v, Op::Scale(x, s))
+    }
+
+    /// g-SpMM message passing over `block` (optionally edge-weighted,
+    /// multi-head).
+    pub fn spmm(
+        &mut self,
+        block: Arc<BlockCsr>,
+        src: NodeId,
+        weights: Option<NodeId>,
+        heads: usize,
+        agg: Agg,
+    ) -> NodeId {
+        let w = weights.map(|w| self.nodes[w.0].value.clone());
+        let v = sparse::spmm(&block, self.value(src), w.as_ref(), heads, agg);
+        self.push(
+            v,
+            Op::Spmm {
+                src,
+                weights,
+                block,
+                heads,
+                agg,
+            },
+        )
+    }
+
+    /// g-SpMM with max aggregation (GraphSage-pool style).
+    pub fn spmm_max(&mut self, block: Arc<BlockCsr>, src: NodeId) -> NodeId {
+        let (v, argmax) = sparse::spmm_max(&block, self.value(src));
+        self.push(v, Op::SpmmMax { src, block, argmax })
+    }
+
+    /// Per-dst, per-head edge softmax over `block`.
+    pub fn edge_softmax(&mut self, block: Arc<BlockCsr>, logits: NodeId) -> NodeId {
+        let v = sparse::edge_softmax(&block, self.value(logits));
+        self.push(v, Op::EdgeSoftmax { logits, block })
+    }
+
+    /// GAT attention logits: `out[e, h] = dst_scores[d(e), h] +
+    /// src_scores[s(e), h]` over the block's edges.
+    pub fn edge_scores(&mut self, block: Arc<BlockCsr>, dst: NodeId, src: NodeId) -> NodeId {
+        let d = self.value(dst);
+        let s = self.value(src);
+        assert_eq!(d.rows(), block.num_dst);
+        assert_eq!(s.rows(), block.num_src);
+        assert_eq!(d.cols(), s.cols());
+        let heads = d.cols();
+        let mut v = Matrix::zeros(block.num_edges(), heads);
+        for dd in 0..block.num_dst {
+            for e in block.offsets[dd] as usize..block.offsets[dd + 1] as usize {
+                let ss = block.indices[e] as usize;
+                for h in 0..heads {
+                    v.set(e, h, d.get(dd, h) + s.get(ss, h));
+                }
+            }
+        }
+        self.push(v, Op::EdgeScores { dst, src, block })
+    }
+
+    /// Backward pass: seed `seed_grad` at `output` and accumulate
+    /// parameter gradients into `params`.
+    pub fn backward(&mut self, output: NodeId, seed_grad: Matrix, params: &mut Params) {
+        {
+            let out = &mut self.nodes[output.0];
+            assert_eq!(
+                (out.value.rows(), out.value.cols()),
+                (seed_grad.rows(), seed_grad.cols()),
+                "seed gradient shape mismatch"
+            );
+            out.grad = Some(seed_grad);
+        }
+        for i in (0..=output.0).rev() {
+            let Some(grad) = self.nodes[i].grad.take() else {
+                continue;
+            };
+            // Re-insert so callers can inspect grads afterwards.
+            self.propagate(i, &grad, params);
+            self.nodes[i].grad = Some(grad);
+        }
+    }
+
+    fn accumulate(&mut self, id: NodeId, g: Matrix) {
+        let slot = &mut self.nodes[id.0].grad;
+        match slot {
+            None => *slot = Some(g),
+            Some(acc) => {
+                for (a, b) in acc.data_mut().iter_mut().zip(g.data()) {
+                    *a += b;
+                }
+            }
+        }
+    }
+
+    fn propagate(&mut self, i: usize, grad: &Matrix, params: &mut Params) {
+        // Take op by reference via a raw split to satisfy the borrow
+        // checker: ops never alias the node's own grad slot.
+        let op = std::ptr::addr_of!(self.nodes[i].op);
+        // SAFETY: `accumulate` only touches *other* nodes' grad slots and
+        // never resizes `self.nodes`; the op enum itself is not mutated.
+        let op: &Op = unsafe { &*op };
+        match op {
+            Op::Input => {}
+            Op::Param(pid) => params.accumulate_grad(*pid, grad),
+            Op::Matmul(a, b) => {
+                let (a, b) = (*a, *b);
+                let ga = ops::matmul_nt(grad, &self.nodes[b.0].value);
+                let gb = ops::matmul_tn(&self.nodes[a.0].value, grad);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::Add(a, b) => {
+                let (a, b) = (*a, *b);
+                self.accumulate(a, grad.clone());
+                self.accumulate(b, grad.clone());
+            }
+            Op::Bias(x, b) => {
+                let (x, b) = (*x, *b);
+                self.accumulate(x, grad.clone());
+                let gb = Matrix::from_vec(1, grad.cols(), ops::sum_rows(grad));
+                self.accumulate(b, gb);
+            }
+            Op::Relu(x) => {
+                let x = *x;
+                let mut g = grad.clone();
+                ops::relu_backward(&mut g, &self.nodes[x.0].value);
+                self.accumulate(x, g);
+            }
+            Op::Elu(x, alpha) => {
+                let (x, alpha) = (*x, *alpha);
+                let mut g = grad.clone();
+                ops::elu_backward(&mut g, &self.nodes[i].value, alpha);
+                self.accumulate(x, g);
+            }
+            Op::LeakyRelu(x, slope) => {
+                let (x, slope) = (*x, *slope);
+                let mut g = grad.clone();
+                ops::leaky_relu_backward(g.data_mut(), self.nodes[x.0].value.data(), slope);
+                self.accumulate(x, g);
+            }
+            Op::Dropout(x, mask) => {
+                let x = *x;
+                let mut g = grad.clone();
+                if !mask.is_empty() {
+                    for (v, m) in g.data_mut().iter_mut().zip(mask.iter()) {
+                        *v *= m;
+                    }
+                }
+                self.accumulate(x, g);
+            }
+            Op::ConcatCols(a, b) => {
+                let (a, b) = (*a, *b);
+                let na = self.nodes[a.0].value.cols();
+                let (ga, gb) = ops::split_cols(grad, na);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::TopRows(x, n) => {
+                let (x, n) = (*x, *n);
+                let src = &self.nodes[x.0].value;
+                let mut g = Matrix::zeros(src.rows(), src.cols());
+                g.data_mut()[..n * src.cols()].copy_from_slice(grad.data());
+                self.accumulate(x, g);
+            }
+            Op::Scale(x, s) => {
+                let (x, s) = (*x, *s);
+                let mut g = grad.clone();
+                ops::scale(&mut g, s);
+                self.accumulate(x, g);
+            }
+            Op::Spmm {
+                src,
+                weights,
+                block,
+                heads,
+                agg,
+            } => {
+                let (src, weights, heads, agg) = (*src, *weights, *heads, *agg);
+                let block = Arc::clone(block);
+                let w_mat = weights.map(|w| self.nodes[w.0].value.clone());
+                let gsrc = sparse::spmm_backward_src(&block, grad, w_mat.as_ref(), heads, agg);
+                self.accumulate(src, gsrc);
+                if let Some(w) = weights {
+                    // dL/dw = g-SDDMM(grad_dst, src) with the forward scale.
+                    let gw = sparse::sddmm(&block, grad, &self.nodes[src.0].value, heads, agg);
+                    self.accumulate(w, gw);
+                }
+            }
+            Op::SpmmMax { src, block, argmax } => {
+                let src = *src;
+                let block = Arc::clone(block);
+                // Clone of argmax is cheap relative to the matrices and
+                // sidesteps the self-borrow.
+                let argmax = argmax.clone();
+                let g = sparse::spmm_max_backward(&block, grad, &argmax);
+                self.accumulate(src, g);
+            }
+            Op::EdgeSoftmax { logits, block } => {
+                let logits = *logits;
+                let block = Arc::clone(block);
+                let g = sparse::edge_softmax_backward(&block, &self.nodes[i].value, grad);
+                self.accumulate(logits, g);
+            }
+            Op::EdgeScores { dst, src, block } => {
+                let (dst, src) = (*dst, *src);
+                let block = Arc::clone(block);
+                let heads = grad.cols();
+                let mut gd = Matrix::zeros(block.num_dst, heads);
+                let mut gs = Matrix::zeros(block.num_src, heads);
+                for d in 0..block.num_dst {
+                    for e in block.offsets[d] as usize..block.offsets[d + 1] as usize {
+                        let s = block.indices[e] as usize;
+                        for h in 0..heads {
+                            let g = grad.get(e, h);
+                            gd.set(d, h, gd.get(d, h) + g);
+                            gs.set(s, h, gs.get(s, h) + g);
+                        }
+                    }
+                }
+                self.accumulate(dst, gd);
+                self.accumulate(src, gs);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+    use wg_tensor::ops::softmax_cross_entropy;
+
+    fn randm(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Matrix::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn tiny_block() -> Arc<BlockCsr> {
+        Arc::new(BlockCsr {
+            num_dst: 2,
+            num_src: 4,
+            offsets: vec![0, 2, 3],
+            indices: vec![2, 3, 2],
+            dup_count: vec![0, 0, 2, 1],
+        })
+    }
+
+    /// Scalar loss = <output, probe> used for finite-difference checks.
+    fn probe_loss(out: &Matrix, probe: &Matrix) -> f32 {
+        out.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum()
+    }
+
+    /// Check d(probe_loss ∘ f)/d(param) by central differences against the
+    /// tape's accumulated parameter gradient.
+    fn check_param_grad(
+        build: &dyn Fn(&Params, &mut Tape) -> NodeId,
+        params: &mut Params,
+        pid: ParamId,
+        probe: &Matrix,
+    ) {
+        let mut tape = Tape::new();
+        let out = build(params, &mut tape);
+        params.zero_grads();
+        tape.backward(out, probe.clone(), params);
+        let analytic = params.grad(pid).clone();
+
+        let eps = 1e-3f32;
+        for idx in 0..params.value(pid).len().min(6) {
+            let orig = params.value(pid).data()[idx];
+            params.value_mut(pid).data_mut()[idx] = orig + eps;
+            let mut tp = Tape::new();
+            let op = build(params, &mut tp);
+            let lp = probe_loss(tp.value(op), probe);
+            params.value_mut(pid).data_mut()[idx] = orig - eps;
+            let mut tm = Tape::new();
+            let om = build(params, &mut tm);
+            let lm = probe_loss(tm.value(om), probe);
+            params.value_mut(pid).data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = analytic.data()[idx];
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs()),
+                "param elem {idx}: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_layer_gradients() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut params = Params::new();
+        let w = params.add_xavier("w", 4, 3, &mut rng);
+        let b = params.add_bias("b", 3);
+        params.value_mut(b).data_mut().copy_from_slice(&[0.1, -0.2, 0.3]);
+        let x = randm(5, 4, 2);
+        let probe = randm(5, 3, 3);
+        let xc = x.clone();
+        let build = move |p: &Params, t: &mut Tape| {
+            let xi = t.input(xc.clone());
+            let wi = t.param(p, w);
+            let bi = t.param(p, b);
+            let h = t.matmul(xi, wi);
+            t.bias(h, bi)
+        };
+        check_param_grad(&build, &mut params, w, &probe);
+        check_param_grad(&build, &mut params, b, &probe);
+    }
+
+    #[test]
+    fn relu_mlp_gradients() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut params = Params::new();
+        let w1 = params.add_xavier("w1", 3, 4, &mut rng);
+        let w2 = params.add_xavier("w2", 4, 2, &mut rng);
+        let x = randm(6, 3, 5);
+        let probe = randm(6, 2, 6);
+        let build = move |p: &Params, t: &mut Tape| {
+            let xi = t.input(x.clone());
+            let w1i = t.param(p, w1);
+            let w2i = t.param(p, w2);
+            let h = t.matmul(xi, w1i);
+            let h = t.relu(h);
+            t.matmul(h, w2i)
+        };
+        check_param_grad(&build, &mut params, w1, &probe);
+        check_param_grad(&build, &mut params, w2, &probe);
+    }
+
+    #[test]
+    fn spmm_layer_gradients() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let block = tiny_block();
+        let mut params = Params::new();
+        let w = params.add_xavier("w", 4, 3, &mut rng);
+        let x = randm(4, 4, 8);
+        let probe = randm(2, 3, 9);
+        let b2 = Arc::clone(&block);
+        let build = move |p: &Params, t: &mut Tape| {
+            let xi = t.input(x.clone());
+            let wi = t.param(p, w);
+            let h = t.matmul(xi, wi); // [4,3] per-src transform
+            t.spmm(Arc::clone(&b2), h, None, 1, Agg::Mean)
+        };
+        check_param_grad(&build, &mut params, w, &probe);
+    }
+
+    #[test]
+    fn gat_attention_path_gradients() {
+        // Full single-head GAT attention: scores -> leakyrelu -> softmax ->
+        // weighted spmm, differentiated end to end.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let block = tiny_block();
+        let mut params = Params::new();
+        let w = params.add_xavier("w", 3, 4, &mut rng);
+        let a_dst = params.add_xavier("a_dst", 4, 1, &mut rng);
+        let a_src = params.add_xavier("a_src", 4, 1, &mut rng);
+        let x = randm(4, 3, 12);
+        let probe = randm(2, 4, 13);
+        let blk = Arc::clone(&block);
+        let build = move |p: &Params, t: &mut Tape| {
+            let xi = t.input(x.clone());
+            let wi = t.param(p, w);
+            let h = t.matmul(xi, wi); // [num_src, 4]
+            let adi = t.param(p, a_dst);
+            let asi = t.param(p, a_src);
+            let sd_all = t.matmul(h, adi); // [num_src, 1]
+            let sd = t.top_rows(sd_all, blk.num_dst);
+            let ss = t.matmul(h, asi); // [num_src, 1]
+            let logits = t.edge_scores(Arc::clone(&blk), sd, ss);
+            let logits = t.leaky_relu(logits, 0.2);
+            let att = t.edge_softmax(Arc::clone(&blk), logits);
+            t.spmm(Arc::clone(&blk), h, Some(att), 1, Agg::Sum)
+        };
+        check_param_grad(&build, &mut params, w, &probe);
+        check_param_grad(&build, &mut params, a_dst, &probe);
+        check_param_grad(&build, &mut params, a_src, &probe);
+    }
+
+    #[test]
+    fn spmm_max_path_gradients() {
+        // GraphSage-pool shape: per-src transform, max-aggregate,
+        // differentiated through the winning edges.
+        let mut rng = SmallRng::seed_from_u64(61);
+        let block = tiny_block();
+        let mut params = Params::new();
+        let w = params.add_xavier("w", 4, 3, &mut rng);
+        let x = randm(4, 4, 62);
+        let probe = randm(2, 3, 63);
+        let blk = Arc::clone(&block);
+        let build = move |p: &Params, t: &mut Tape| {
+            let xi = t.input(x.clone());
+            let wi = t.param(p, w);
+            let h = t.matmul(xi, wi);
+            t.spmm_max(Arc::clone(&blk), h)
+        };
+        check_param_grad(&build, &mut params, w, &probe);
+    }
+
+    #[test]
+    fn concat_and_toprows_gradients() {
+        let mut rng = SmallRng::seed_from_u64(20);
+        let mut params = Params::new();
+        let w = params.add_xavier("w", 6, 2, &mut rng);
+        let x = randm(5, 3, 21);
+        let probe = randm(3, 2, 22);
+        let build = move |p: &Params, t: &mut Tape| {
+            let xi = t.input(x.clone());
+            let top = t.top_rows(xi, 3); // [3,3]
+            let xi3 = t.input(randm(3, 3, 23)); // deterministic same value each call
+            let cat = t.concat_cols(top, xi3); // [3,6]
+            let wi = t.param(p, w);
+            t.matmul(cat, wi)
+        };
+        check_param_grad(&build, &mut params, w, &probe);
+    }
+
+    #[test]
+    fn end_to_end_training_step_reduces_loss() {
+        // One gradient-descent step on a tiny classification problem must
+        // reduce the loss.
+        let mut rng = SmallRng::seed_from_u64(30);
+        let mut params = Params::new();
+        let w = params.add_xavier("w", 4, 3, &mut rng);
+        let x = randm(8, 4, 31);
+        let labels: Vec<u32> = (0..8).map(|i| (i % 3) as u32).collect();
+
+        let run = |params: &Params| -> (f32, Matrix) {
+            let mut t = Tape::new();
+            let xi = t.input(x.clone());
+            let wi = t.param(params, w);
+            let out = t.matmul(xi, wi);
+            let (loss, grad) = softmax_cross_entropy(t.value(out), &labels);
+            (loss, grad)
+        };
+        let (loss0, _) = run(&params);
+        // Proper step: forward, backward, SGD update.
+        let mut t = Tape::new();
+        let xi = t.input(x.clone());
+        let wi = t.param(&params, w);
+        let out = t.matmul(xi, wi);
+        let (_, grad) = softmax_cross_entropy(t.value(out), &labels);
+        params.zero_grads();
+        t.backward(out, grad, &mut params);
+        let g = params.grad(w).clone();
+        for (v, gv) in params.value_mut(w).data_mut().iter_mut().zip(g.data()) {
+            *v -= 0.5 * gv;
+        }
+        let (loss1, _) = run(&params);
+        assert!(loss1 < loss0, "loss did not decrease: {loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn grad_accumulates_across_fanout() {
+        // A node used twice receives the sum of both downstream grads.
+        let mut params = Params::new();
+        let w = params.add("w", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let mut t = Tape::new();
+        let wi = t.param(&params, w);
+        let sum = t.add(wi, wi);
+        params.zero_grads();
+        t.backward(sum, Matrix::from_vec(1, 2, vec![1.0, 1.0]), &mut params);
+        assert_eq!(params.grad(w).data(), &[2.0, 2.0]);
+    }
+}

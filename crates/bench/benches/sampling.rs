@@ -1,0 +1,40 @@
+//! Ablation: Algorithm 1 (path-doubling sampling without replacement) vs
+//! the rejection-sampling and reservoir-style baselines (§III-C1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wg_sample::wrs::{rejection_sample, sample_without_replacement, PathDoublingSampler};
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_without_replacement");
+    group.sample_size(20);
+    // The paper's shape: fanout 30 out of various neighbor counts, plus a
+    // stress shape where m approaches n (rejection's worst case).
+    for (m, n) in [(30usize, 100usize), (30, 10_000), (256, 512), (900, 1000)] {
+        group.bench_with_input(BenchmarkId::new("path_doubling", format!("{m}of{n}")), &(m, n), |b, &(m, n)| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut sampler = PathDoublingSampler::new();
+            let mut out = Vec::with_capacity(m);
+            b.iter(|| {
+                out.clear();
+                sampler.sample(black_box(m), black_box(n), &mut rng, &mut out);
+                black_box(out.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rejection", format!("{m}of{n}")), &(m, n), |b, &(m, n)| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| black_box(rejection_sample(black_box(m), black_box(n), &mut rng)).len());
+        });
+    }
+    group.finish();
+
+    // One-shot helper overhead.
+    c.bench_function("sample_30_of_1000_oneshot", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| black_box(sample_without_replacement(30, 1000, &mut rng)).len());
+    });
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

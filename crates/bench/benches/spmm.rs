@@ -1,0 +1,65 @@
+//! g-SpMM kernels, including the §III-C4 ablation: backward scatter with
+//! atomic adds for every node vs the duplicate-count==1 plain-store
+//! optimization.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use wg_tensor::sparse::{spmm, spmm_backward_src, Agg, BlockCsr};
+use wg_tensor::Matrix;
+
+/// A batch-shaped block: `dst` targets, fanout sampled columns each.
+fn block(dst: usize, src: usize, fanout: usize, dup_one: bool, seed: u64) -> BlockCsr {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut offsets = vec![0u32];
+    let mut indices = Vec::with_capacity(dst * fanout);
+    for _ in 0..dst {
+        for _ in 0..fanout {
+            indices.push(rng.gen_range(0..src as u32));
+        }
+        offsets.push(indices.len() as u32);
+    }
+    let mut dup = vec![0u32; src];
+    for &c in &indices {
+        dup[c as usize] += 1;
+    }
+    if dup_one {
+        // Pretend every node was sampled once: forces the plain-store
+        // fast path everywhere (the measured upper bound of the
+        // optimization; correctness then relies on actual uniqueness, so
+        // this variant is benchmark-only).
+        dup.iter_mut().for_each(|d| *d = 1);
+    }
+    BlockCsr {
+        num_dst: dst,
+        num_src: src,
+        offsets,
+        indices,
+        dup_count: dup,
+    }
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let (dst, src, fanout, feat) = (2048usize, 30_000usize, 30usize, 128usize);
+    let b_atomic = block(dst, src, fanout, false, 1);
+    let b_assign = block(dst, src, fanout, true, 1);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let x = Matrix::from_fn(src, feat, |_, _| rng.gen_range(-1.0..1.0));
+    let g = Matrix::from_fn(dst, feat, |_, _| rng.gen_range(-1.0..1.0));
+
+    let mut group = c.benchmark_group("g_spmm");
+    group.sample_size(15);
+    group.bench_with_input(BenchmarkId::new("forward_mean", ""), &(), |bch, _| {
+        bch.iter(|| black_box(spmm(&b_atomic, black_box(&x), None, 1, Agg::Mean)).rows());
+    });
+    group.bench_with_input(BenchmarkId::new("backward_atomic_all", ""), &(), |bch, _| {
+        bch.iter(|| black_box(spmm_backward_src(&b_atomic, black_box(&g), None, 1, Agg::Mean)).rows());
+    });
+    group.bench_with_input(BenchmarkId::new("backward_dupcount_assign", ""), &(), |bch, _| {
+        bch.iter(|| black_box(spmm_backward_src(&b_assign, black_box(&g), None, 1, Agg::Mean)).rows());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

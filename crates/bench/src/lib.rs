@@ -1,0 +1,188 @@
+//! # wg-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation section
+//! (`src/bin/table*.rs`, `src/bin/fig*.rs`) plus criterion
+//! microbenchmarks for the core ops (`benches/`). Each binary prints the
+//! same rows/series the paper reports, alongside the paper's numbers
+//! where applicable, so EXPERIMENTS.md can record paper-vs-measured.
+//!
+//! Absolute times come from the simulated-machine cost models, so they
+//! are *comparable in structure* (who wins, by what factor, where
+//! crossovers fall) but not in absolute scale to a physical DGX-A100 —
+//! see DESIGN.md.
+
+use std::sync::Arc;
+
+use wholegraph::prelude::*;
+use wg_graph::DatasetKind;
+
+/// Default scale divisors for the performance stand-ins: large enough to
+/// run in seconds on a laptop, small enough that sampling does not
+/// saturate the whole graph in two hops.
+pub fn bench_scale(kind: DatasetKind) -> u64 {
+    match kind {
+        DatasetKind::OgbnProducts => 100,    // ~24k nodes
+        DatasetKind::OgbnPapers100M => 2000, // ~55k nodes
+        DatasetKind::Friendster => 1000,     // ~68k nodes (R-MAT rounds up)
+        DatasetKind::UkDomain => 1500,       // ~70k nodes
+    }
+}
+
+/// Generate the standard benchmark stand-in for a dataset.
+pub fn bench_dataset(kind: DatasetKind, seed: u64) -> Arc<SyntheticDataset> {
+    Arc::new(SyntheticDataset::generate(kind, bench_scale(kind), seed))
+}
+
+/// A paper-shaped pipeline configuration sized for the benchmark
+/// stand-ins: the paper's batch size, 3 layers and fanout 30, with a
+/// hidden width that keeps real CPU execution tractable (the *simulated*
+/// compute time is computed from the configured width, so the reported
+/// shape is faithful).
+pub fn bench_pipeline_config(fw: Framework, model: ModelKind) -> PipelineConfig {
+    PipelineConfig {
+        hidden: 256,
+        num_layers: 3,
+        heads: 4,
+        fanouts: vec![30, 30, 30],
+        batch_size: 512,
+        dropout: 0.5,
+        lr: 3e-3,
+        ..PipelineConfig::tiny(fw, model)
+    }
+}
+
+/// A *harder* learnable stand-in for the accuracy experiments: noisier
+/// features and weaker homophily than the default generator, so accuracy
+/// climbs over many epochs and plateaus below 100% (the default SBM is
+/// separable enough that curves saturate after two epochs, which makes
+/// Figure 7 uninformative).
+pub fn hard_accuracy_dataset(kind: DatasetKind, scale: u64, seed: u64) -> Arc<SyntheticDataset> {
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+    let (paper_nodes, paper_edges, feature_dim) = kind.paper_stats();
+    let n = (paper_nodes / scale).max(1000) as usize;
+    let avg_degree = 2.0 * paper_edges as f64 / paper_nodes as f64;
+    let num_classes = kind.num_classes();
+    let (graph, labels) = wg_graph::gen::sbm(n, num_classes, avg_degree, 0.55, seed);
+    let features = wg_graph::gen::class_features(&labels, num_classes, feature_dim, 3.0, seed ^ 0xfeed);
+    let mut order: Vec<wg_graph::NodeId> = (0..n as u64).collect();
+    order.shuffle(&mut SmallRng::seed_from_u64(seed ^ 0x51137));
+    let n_train = (n / 10).max(1);
+    let n_eval = (n / 50).max(1);
+    Arc::new(SyntheticDataset {
+        kind,
+        scale,
+        graph,
+        features,
+        feature_dim,
+        labels,
+        num_classes,
+        train: order[..n_train].to_vec(),
+        val: order[n_train..n_train + n_eval].to_vec(),
+        test: order[n_train + n_eval..n_train + 2 * n_eval].to_vec(),
+    })
+}
+
+/// Simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            widths: headers.iter().map(|h| h.len()).collect(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        for (w, c) in self.widths.iter_mut().zip(cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let line = |cells: &[String], widths: &[usize]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", parts.join("  "));
+        };
+        line(&self.headers, &self.widths);
+        let total: usize = self.widths.iter().sum::<usize>() + 2 * self.widths.len();
+        println!("  {}", "-".repeat(total));
+        for r in &self.rows {
+            line(r, &self.widths);
+        }
+    }
+}
+
+/// Format a simulated span in seconds with 4 significant digits (the
+/// paper's epoch-time unit).
+pub fn secs(t: SimTime) -> String {
+    format!("{:.4}", t.as_secs())
+}
+
+/// Format a speedup.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Standard experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("(simulated DGX-A100; shapes comparable to the paper, absolute");
+    println!(" numbers are simulator outputs — see DESIGN.md/EXPERIMENTS.md)");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_and_aligns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["wide-cell".into(), "3".into()]);
+        t.print();
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.widths[0] >= "wide-cell".len());
+    }
+
+    #[test]
+    fn bench_datasets_are_reasonably_sized() {
+        for kind in DatasetKind::ALL {
+            let scale = bench_scale(kind);
+            let (nodes, _, _) = kind.paper_stats();
+            let expect = nodes / scale;
+            assert!(expect > 10_000, "{kind:?} stand-in too small");
+            assert!(expect < 200_000, "{kind:?} stand-in too large for CI");
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(SimTime::from_secs(1.23456)), "1.2346");
+        assert_eq!(speedup(57.321), "57.32x");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,204 @@
+//! `wg` — command-line front end for the WholeGraph reproduction.
+//!
+//! ```text
+//! wg gen   --dataset products --scale 800 --out data.wgds     generate + save a stand-in
+//! wg train --data data.wgds --model sage --framework wholegraph --epochs 5
+//! wg train --dataset products --scale 800 --model gat ...      (generate on the fly)
+//! wg info  --data data.wgds                                    dataset summary
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (flag pairs only).
+
+use std::collections::HashMap;
+use std::process::exit;
+use std::sync::Arc;
+
+use wholegraph::prelude::*;
+use wg_graph::io::{load_dataset, save_dataset};
+use wg_graph::{DatasetKind, SyntheticDataset};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  wg gen   --dataset <products|papers100m|friendster|uk> --scale <N> --out <file> [--seed <N>]\n  wg train [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--framework <wholegraph|dgl|pyg>] [--epochs <N>] [--batch <N>] [--hidden <N>]\n           [--layers <N>] [--fanout <N>] [--gpus <N>] [--seed <N>]\n  wg info  --data <file>"
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let k = &args[i];
+        if !k.starts_with("--") || i + 1 >= args.len() {
+            eprintln!("bad argument: {k}");
+            usage();
+        }
+        out.insert(k[2..].to_string(), args[i + 1].clone());
+        i += 2;
+    }
+    out
+}
+
+fn dataset_kind(name: &str) -> DatasetKind {
+    match name.to_ascii_lowercase().as_str() {
+        "products" | "ogbn-products" => DatasetKind::OgbnProducts,
+        "papers100m" | "papers" | "ogbn-papers100m" => DatasetKind::OgbnPapers100M,
+        "friendster" => DatasetKind::Friendster,
+        "uk" | "uk_domain" | "ukdomain" => DatasetKind::UkDomain,
+        other => {
+            eprintln!("unknown dataset {other}");
+            usage();
+        }
+    }
+}
+
+fn model_kind(name: &str) -> ModelKind {
+    match name.to_ascii_lowercase().as_str() {
+        "gcn" => ModelKind::Gcn,
+        "sage" | "graphsage" => ModelKind::GraphSage,
+        "gat" => ModelKind::Gat,
+        other => {
+            eprintln!("unknown model {other}");
+            usage();
+        }
+    }
+}
+
+fn framework(name: &str) -> Framework {
+    match name.to_ascii_lowercase().as_str() {
+        "wholegraph" | "wg" => Framework::WholeGraph,
+        "dgl" => Framework::Dgl,
+        "pyg" => Framework::Pyg,
+        other => {
+            eprintln!("unknown framework {other}");
+            usage();
+        }
+    }
+}
+
+fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key} expects a number, got {v}");
+            usage();
+        }),
+    }
+}
+
+fn load_or_generate(flags: &HashMap<String, String>) -> Arc<SyntheticDataset> {
+    if let Some(path) = flags.get("data") {
+        match load_dataset(path) {
+            Ok(d) => Arc::new(d),
+            Err(e) => {
+                eprintln!("failed to load {path}: {e}");
+                exit(1);
+            }
+        }
+    } else if let Some(name) = flags.get("dataset") {
+        let kind = dataset_kind(name);
+        let scale = num(flags, "scale", 800u64);
+        let seed = num(flags, "seed", 0u64);
+        Arc::new(SyntheticDataset::generate(kind, scale, seed))
+    } else {
+        eprintln!("need --data <file> or --dataset <kind>");
+        usage();
+    }
+}
+
+fn cmd_gen(flags: HashMap<String, String>) {
+    let kind = dataset_kind(flags.get("dataset").map(String::as_str).unwrap_or_else(|| usage()));
+    let scale = num(&flags, "scale", 800u64);
+    let seed = num(&flags, "seed", 0u64);
+    let out = flags.get("out").cloned().unwrap_or_else(|| usage());
+    let d = SyntheticDataset::generate(kind, scale, seed);
+    if let Err(e) = save_dataset(&d, &out) {
+        eprintln!("failed to save {out}: {e}");
+        exit(1);
+    }
+    println!(
+        "wrote {out}: {} stand-in at 1/{scale} — {} nodes, {} edges, {} features, {} classes",
+        kind.name(),
+        d.num_nodes(),
+        d.num_edges(),
+        d.feature_dim,
+        d.num_classes
+    );
+}
+
+fn cmd_info(flags: HashMap<String, String>) {
+    let d = load_or_generate(&flags);
+    println!("dataset: {} (scale 1/{})", d.kind.name(), d.scale);
+    println!("  nodes: {}", d.num_nodes());
+    println!("  edges: {} (stored, symmetrized)", d.num_edges());
+    println!("  avg degree: {:.1}", d.graph.avg_degree());
+    println!("  max degree: {}", d.graph.max_degree());
+    println!("  features: {} (f32)", d.feature_dim);
+    println!("  classes: {}", d.num_classes);
+    println!("  splits: {} train / {} val / {} test", d.train.len(), d.val.len(), d.test.len());
+    println!("  structure bytes: {}", d.graph.structure_bytes());
+}
+
+fn cmd_train(flags: HashMap<String, String>) {
+    let dataset = load_or_generate(&flags);
+    let fw = framework(flags.get("framework").map(String::as_str).unwrap_or("wholegraph"));
+    let model = model_kind(flags.get("model").map(String::as_str).unwrap_or("sage"));
+    let epochs: u64 = num(&flags, "epochs", 5);
+    let gpus: u32 = num(&flags, "gpus", 8);
+    let layers: usize = num(&flags, "layers", 2);
+    let fanout: usize = num(&flags, "fanout", 10);
+    let cfg = PipelineConfig {
+        batch_size: num(&flags, "batch", 128),
+        hidden: num(&flags, "hidden", 64),
+        num_layers: layers,
+        fanouts: vec![fanout; layers],
+        ..PipelineConfig::tiny(fw, model)
+    }
+    .with_seed(num(&flags, "seed", 0));
+
+    let machine = Machine::new(MachineConfig::dgx_like(gpus));
+    println!(
+        "training {} with {} on {} ({} GPUs simulated)",
+        model.name(),
+        fw.name(),
+        dataset.kind.name(),
+        gpus
+    );
+    let mut pipe = match Pipeline::new(machine, dataset, cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pipeline setup failed: {e}");
+            exit(1);
+        }
+    };
+    for epoch in 0..epochs {
+        let r = pipe.train_epoch(epoch);
+        let val = pipe.evaluate(&pipe.dataset().val.clone());
+        println!(
+            "epoch {epoch}: loss {:.4}  val-acc {:5.1}%  epoch {}  (sample {} | gather {} | train {} | comm {})",
+            r.loss,
+            val * 100.0,
+            r.epoch_time,
+            r.sample_time,
+            r.gather_time,
+            r.train_time,
+            r.comm_time
+        );
+    }
+    let test = pipe.evaluate(&pipe.dataset().test.clone());
+    println!("test accuracy: {:.1}%", test * 100.0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "gen" => cmd_gen(flags),
+        "info" => cmd_info(flags),
+        "train" => cmd_train(flags),
+        _ => usage(),
+    }
+}

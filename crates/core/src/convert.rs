@@ -1,0 +1,82 @@
+//! Conversions between the sampler's output and the sparse kernels' input.
+
+use std::sync::Arc;
+
+use wg_gnn::cost::BlockShape;
+use wg_sample::{MiniBatch, SampleBlock};
+use wg_tensor::BlockCsr;
+
+/// Convert one sampled block into the sparse-kernel CSR format.
+pub fn to_block_csr(b: &SampleBlock) -> BlockCsr {
+    let csr = BlockCsr {
+        num_dst: b.num_dst,
+        num_src: b.num_src,
+        offsets: b.offsets.clone(),
+        indices: b.indices.clone(),
+        dup_count: b.dup_count.clone(),
+    };
+    debug_assert!({
+        csr.validate();
+        true
+    });
+    csr
+}
+
+/// Convert a whole mini-batch (outermost-first order preserved).
+pub fn minibatch_blocks(mb: &MiniBatch) -> Vec<Arc<BlockCsr>> {
+    mb.blocks.iter().map(|b| Arc::new(to_block_csr(b))).collect()
+}
+
+/// Shape summaries for the compute cost model.
+pub fn minibatch_shapes(mb: &MiniBatch) -> Vec<BlockShape> {
+    mb.blocks
+        .iter()
+        .map(|b| BlockShape {
+            num_dst: b.num_dst,
+            num_src: b.num_src,
+            num_edges: b.num_edges(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> SampleBlock {
+        SampleBlock {
+            num_dst: 2,
+            num_src: 4,
+            offsets: vec![0, 1, 3],
+            indices: vec![2, 3, 1],
+            edge_ids: vec![10, 20, 30],
+            dup_count: vec![0, 1, 1, 1],
+        }
+    }
+
+    #[test]
+    fn block_roundtrip_preserves_structure() {
+        let sb = sample_block();
+        let csr = to_block_csr(&sb);
+        csr.validate();
+        assert_eq!(csr.num_dst, 2);
+        assert_eq!(csr.num_src, 4);
+        assert_eq!(csr.indices, vec![2, 3, 1]);
+        assert_eq!(csr.num_edges(), 3);
+    }
+
+    #[test]
+    fn shapes_summarize_blocks() {
+        let mb = MiniBatch {
+            blocks: vec![sample_block()],
+            frontiers: vec![vec![10, 11], vec![10, 11, 12, 13]],
+            batch_size: 2,
+        };
+        let shapes = minibatch_shapes(&mb);
+        assert_eq!(shapes.len(), 1);
+        assert_eq!(shapes[0].num_dst, 2);
+        assert_eq!(shapes[0].num_edges, 3);
+        let blocks = minibatch_blocks(&mb);
+        assert_eq!(blocks[0].num_src, 4);
+    }
+}

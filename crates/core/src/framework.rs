@@ -1,0 +1,79 @@
+//! The systems under comparison.
+
+use wg_gnn::LayerProvider;
+use wg_sample::SamplerBackend;
+
+/// A GNN training system, as compared in the paper's evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Framework {
+    /// WholeGraph: graph + features in multi-GPU distributed shared
+    /// memory; GPU sampling; one-kernel P2P gather; native layers.
+    WholeGraph,
+    /// DGL v0.7-style: graph + features in host DRAM; parallel C++ CPU
+    /// sampler; CPU gather + PCIe transfer; DGL layers.
+    Dgl,
+    /// PyG v2.0-style: graph + features in host DRAM; slower CPU sampler;
+    /// CPU gather + PCIe transfer; PyG layers.
+    Pyg,
+}
+
+impl Framework {
+    /// All three, in the paper's table order (PyG, DGL, WholeGraph).
+    pub const ALL: [Framework; 3] = [Framework::Pyg, Framework::Dgl, Framework::WholeGraph];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Framework::WholeGraph => "WholeGraph",
+            Framework::Dgl => "DGL",
+            Framework::Pyg => "PyG",
+        }
+    }
+
+    /// Whether the graph and features live in multi-GPU shared memory
+    /// (versus host DRAM).
+    pub fn uses_dsm(self) -> bool {
+        matches!(self, Framework::WholeGraph)
+    }
+
+    /// Which sampler executes (and at what cost).
+    pub fn sampler_backend(self) -> SamplerBackend {
+        match self {
+            Framework::WholeGraph => SamplerBackend::WholeGraphGpu,
+            Framework::Dgl => SamplerBackend::DglCpu,
+            Framework::Pyg => SamplerBackend::PygCpu,
+        }
+    }
+
+    /// Which layer implementation the framework trains with by default.
+    pub fn default_provider(self) -> LayerProvider {
+        match self {
+            Framework::WholeGraph => LayerProvider::WholeGraphNative,
+            Framework::Dgl => LayerProvider::DglLayers,
+            Framework::Pyg => LayerProvider::PygLayers,
+        }
+    }
+
+    /// Whether the GPU is busy during the sampling/gather phases (it is
+    /// for WholeGraph, which runs both on-device; the host pipelines leave
+    /// the GPU starving — the Figure 12 dips).
+    pub fn gpu_busy_in_input_phases(self) -> bool {
+        self.uses_dsm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framework_properties() {
+        assert!(Framework::WholeGraph.uses_dsm());
+        assert!(!Framework::Dgl.uses_dsm());
+        assert!(!Framework::Pyg.uses_dsm());
+        assert_eq!(Framework::WholeGraph.sampler_backend(), SamplerBackend::WholeGraphGpu);
+        assert_eq!(Framework::Dgl.default_provider(), LayerProvider::DglLayers);
+        assert_eq!(Framework::ALL.len(), 3);
+        assert_eq!(Framework::Pyg.name(), "PyG");
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-GPU memory accounting by phase — Table IV.
+//!
+//! Graph structure and node features are registered by the store builders
+//! (`wg_graph::MultiGpuGraph::build`); this module estimates and registers
+//! the *training* footprint: parameters (+ gradients + Adam moments),
+//! per-layer activations and their gradients, and the gathered input
+//! feature batch.
+
+use wg_gnn::cost::BlockShape;
+use wg_gnn::GnnModel;
+use wg_sim::memory::{AllocKind, OutOfMemory};
+use wg_sim::Machine;
+
+/// Estimate the per-GPU training-phase bytes for a model and a
+/// representative mini-batch shape.
+pub fn training_bytes_per_gpu(model: &GnnModel, shapes: &[BlockShape], feat_dim: usize) -> u64 {
+    // Parameters: value + gradient + Adam m + Adam v.
+    let params = model.params.param_bytes() * 4;
+    // Activations: each layer holds its input and output feature matrices
+    // plus gradients and workspace (~4 copies of the wider side).
+    let mut activations = 0u64;
+    for (l, s) in shapes.iter().rev().enumerate() {
+        let in_dim = if l == 0 { feat_dim } else { model.cfg.hidden };
+        let width = in_dim.max(model.cfg.hidden);
+        activations += (s.num_src * width * 4) as u64 * 4;
+    }
+    // Gathered input features for the deepest frontier.
+    let gathered = shapes.last().map_or(0, |s| (s.num_src * feat_dim * 4) as u64);
+    params + activations + gathered
+}
+
+/// Register the training footprint on every GPU of the machine.
+pub fn register_training_memory(machine: &Machine, bytes_per_gpu: u64) -> Result<(), OutOfMemory> {
+    let acct = machine.memory();
+    for gpu in machine.gpus() {
+        acct.alloc(gpu, AllocKind::Training, bytes_per_gpu)?;
+    }
+    Ok(())
+}
+
+/// One row of the Table IV report.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryRow {
+    /// Phase label.
+    pub kind: AllocKind,
+    /// Measured bytes on GPU 0 (all GPUs are within padding of each
+    /// other under hash partitioning).
+    pub per_gpu_bytes: u64,
+    /// Sum across all GPUs.
+    pub total_bytes: u64,
+}
+
+/// Collect the per-phase memory rows from the machine's accounting.
+pub fn memory_report(machine: &Machine) -> Vec<MemoryRow> {
+    let acct = machine.memory();
+    [AllocKind::GraphStructure, AllocKind::Features, AllocKind::Training]
+        .into_iter()
+        .map(|kind| {
+            let rows = acct.gpu_usage_by(kind);
+            let total: u64 = rows.iter().map(|(_, b)| b).sum();
+            let per_gpu = rows.first().map_or(0, |(_, b)| *b);
+            MemoryRow {
+                kind,
+                per_gpu_bytes: per_gpu,
+                total_bytes: total,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::Framework;
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    use std::sync::Arc;
+    use wg_gnn::ModelKind;
+    use wg_graph::{DatasetKind, NodeId, SyntheticDataset};
+    use wg_sim::{Machine, MachineConfig};
+
+    #[test]
+    fn table4_style_report_has_all_phases() {
+        let dataset = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 2000, 1));
+        let machine = Machine::new(MachineConfig::dgx_like(4));
+        let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage);
+        let mut pipe = Pipeline::new(machine, dataset, cfg).unwrap();
+        let batch: Vec<NodeId> = pipe.dataset().train[..32.min(pipe.dataset().train.len())].to_vec();
+        let it = pipe.run_iteration(0, 0, &batch, true);
+        let bytes = training_bytes_per_gpu(&pipe.model, &it.shapes, pipe.dataset().feature_dim);
+        assert!(bytes > 0);
+        register_training_memory(pipe.machine(), bytes).unwrap();
+        let report = memory_report(pipe.machine());
+        assert_eq!(report.len(), 3);
+        for row in &report {
+            assert!(row.total_bytes > 0, "{:?} has zero bytes", row.kind);
+            assert!(row.per_gpu_bytes <= row.total_bytes);
+        }
+        // Structure + features are spread across GPUs: per-GPU share is
+        // well below the total.
+        let structure = &report[0];
+        assert!(structure.per_gpu_bytes * 2 <= structure.total_bytes);
+    }
+
+    #[test]
+    fn training_estimate_scales_with_batch() {
+        let dataset = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 2000, 2));
+        let machine = Machine::new(MachineConfig::dgx_like(2));
+        let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::Gcn);
+        let mut pipe = Pipeline::new(machine, dataset, cfg).unwrap();
+        let small: Vec<NodeId> = pipe.dataset().train[..8].to_vec();
+        let large: Vec<NodeId> = pipe.dataset().train[..64].to_vec();
+        let a = pipe.run_iteration(0, 0, &small, false);
+        let b = pipe.run_iteration(0, 1, &large, false);
+        let fa = training_bytes_per_gpu(&pipe.model, &a.shapes, pipe.dataset().feature_dim);
+        let fb = training_bytes_per_gpu(&pipe.model, &b.shapes, pipe.dataset().feature_dim);
+        assert!(fb > fa, "larger batch must need more memory ({fa} vs {fb})");
+    }
+}

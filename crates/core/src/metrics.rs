@@ -1,0 +1,160 @@
+//! Classification metrics beyond plain accuracy.
+//!
+//! OGB leaderboards report accuracy, but a library user evaluating on
+//! imbalanced label sets (like the 1%-labeled KONECT graphs) needs the
+//! confusion matrix and macro-averaged scores too.
+
+/// A `C × C` confusion matrix: `counts[true][pred]`.
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    counts: Vec<u64>,
+    classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix for `classes` classes.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0);
+        ConfusionMatrix {
+            counts: vec![0; classes * classes],
+            classes,
+        }
+    }
+
+    /// Build from paired label slices.
+    pub fn from_pairs(classes: usize, truth: &[u32], pred: &[u32]) -> Self {
+        assert_eq!(truth.len(), pred.len());
+        let mut m = Self::new(classes);
+        for (&t, &p) in truth.iter().zip(pred) {
+            m.record(t, p);
+        }
+        m
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, truth: u32, pred: u32) {
+        assert!((truth as usize) < self.classes && (pred as usize) < self.classes);
+        self.counts[truth as usize * self.classes + pred as usize] += 1;
+    }
+
+    /// Count for `(truth, pred)`.
+    pub fn get(&self, truth: u32, pred: u32) -> u64 {
+        self.counts[truth as usize * self.classes + pred as usize]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Micro accuracy (trace / total).
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.classes)
+            .map(|c| self.counts[c * self.classes + c])
+            .sum();
+        correct as f64 / self.total().max(1) as f64
+    }
+
+    /// Per-class precision (None when the class was never predicted).
+    pub fn precision(&self, class: u32) -> Option<f64> {
+        let c = class as usize;
+        let predicted: u64 = (0..self.classes).map(|t| self.counts[t * self.classes + c]).sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(self.get(class, class) as f64 / predicted as f64)
+        }
+    }
+
+    /// Per-class recall (None when the class never occurs).
+    pub fn recall(&self, class: u32) -> Option<f64> {
+        let c = class as usize;
+        let actual: u64 = self.counts[c * self.classes..(c + 1) * self.classes].iter().sum();
+        if actual == 0 {
+            None
+        } else {
+            Some(self.get(class, class) as f64 / actual as f64)
+        }
+    }
+
+    /// Per-class F1 (None when undefined).
+    pub fn f1(&self, class: u32) -> Option<f64> {
+        let p = self.precision(class)?;
+        let r = self.recall(class)?;
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Macro-F1 over the classes that occur (absent classes are skipped,
+    /// as scikit-learn does with zero-support labels).
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in 0..self.classes as u32 {
+            if self.recall(c).is_some() {
+                sum += self.f1(c).unwrap_or(0.0);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = ConfusionMatrix::from_pairs(3, &[0, 1, 2, 1], &[0, 1, 2, 1]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn known_confusion() {
+        // truth:  0 0 1 1
+        // pred:   0 1 1 1
+        let m = ConfusionMatrix::from_pairs(2, &[0, 0, 1, 1], &[0, 1, 1, 1]);
+        assert_eq!(m.accuracy(), 0.75);
+        assert_eq!(m.precision(0), Some(1.0)); // predicted 0 once, correct
+        assert_eq!(m.recall(0), Some(0.5));
+        assert!((m.precision(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.recall(1), Some(1.0));
+        let f1_0 = 2.0 * 1.0 * 0.5 / 1.5;
+        let f1_1 = 2.0 * (2.0 / 3.0) * 1.0 / (2.0 / 3.0 + 1.0);
+        assert!((m.macro_f1() - (f1_0 + f1_1) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_is_skipped_in_macro_f1() {
+        // Class 2 never occurs and is never predicted.
+        let m = ConfusionMatrix::from_pairs(3, &[0, 1], &[0, 1]);
+        assert_eq!(m.recall(2), None);
+        assert_eq!(m.precision(2), None);
+        assert_eq!(m.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn never_predicted_class_has_no_precision() {
+        let m = ConfusionMatrix::from_pairs(2, &[1, 1], &[0, 0]);
+        assert_eq!(m.precision(1), None);
+        assert_eq!(m.recall(1), Some(0.0));
+        assert_eq!(m.accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_label_panics() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(2, 0);
+    }
+}

@@ -1,0 +1,945 @@
+//! The per-iteration training engine.
+//!
+//! Every framework executes the same four-step iteration the paper
+//! describes (Figure 1): **sample** the multi-layer sub-graph, **gather**
+//! the input features, move them to the training GPU, and **train**. What
+//! differs — and what produces every performance figure in the paper — is
+//! *where* each step runs and *which link* the data crosses:
+//!
+//! | step | WholeGraph | DGL / PyG |
+//! |---|---|---|
+//! | sampling | fused GPU kernels over DSM | CPU sampler over host CSR |
+//! | gather | one-kernel P2P gather over NVLink | CPU gather + PCIe copy |
+//! | training | native fused layers | DGL/PyG layer implementations |
+//!
+//! The *numerics* are identical across frameworks (same seeds → same
+//! sub-graphs → same math), which is how the paper's Table III accuracy
+//! parity falls out; only the simulated time accounting differs.
+//!
+//! Timing model: with `G` GPUs training data-parallel, iterations are
+//! processed in **waves** of `G` (one batch per GPU). The epoch's wall
+//! time is the sum over waves of one iteration's time plus the gradient
+//! AllReduce. We execute iterations one after another (mathematically a
+//! single training stream — what synchronized DDP computes), and charge
+//! simulated wave time to all GPU clocks, recording the busy/idle trace
+//! intervals that Figure 12 plots.
+
+use std::sync::Arc;
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+use wg_autograd::{Adam, Optimizer, Tape};
+use wg_gnn::cost::{train_step_time, BlockShape};
+use wg_gnn::{GnnConfig, GnnModel, LayerProvider, ModelKind};
+use wg_graph::{GlobalId, HostGraph, MultiGpuGraph, NodeId, SyntheticDataset};
+use wg_mem::gather::global_gather;
+use wg_sample::{
+    sample_minibatch, GraphAccess, HostGraphAccess, MiniBatch, MultiGpuAccess, SamplerConfig,
+    SampleStats,
+};
+use wg_sim::collective::allreduce_intra_node;
+use wg_sim::memory::OutOfMemory;
+use wg_sim::trace::Phase;
+use wg_sim::{Machine, SimTime};
+use wg_tensor::ops::{argmax_rows, softmax_cross_entropy};
+use wg_tensor::Matrix;
+
+use crate::convert::{minibatch_blocks, minibatch_shapes};
+use crate::framework::Framework;
+
+/// Where the node features physically live and how the training GPU
+/// reaches them — the design space the paper's introduction lays out
+/// ("Either collecting sparse features on CPU before sending them to GPU
+/// or directly accessing these sparse features of CPU from GPU leads to
+/// high pressure on PCIe"), plus the §II-B UM alternative.
+///
+/// Applies to the WholeGraph framework only; the DGL/PyG baselines always
+/// gather on the CPU.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+pub enum FeaturePlacement {
+    /// Distributed across GPU memories, mapped with GPUDirect P2P — the
+    /// WholeGraph design.
+    #[default]
+    DeviceP2p,
+    /// Distributed across GPU memories, mapped with CUDA Unified Memory —
+    /// every remote row is a page fault (Table I's slow column).
+    DeviceUnifiedMemory,
+    /// Features stay in host-pinned memory; the gather kernel reads them
+    /// over PCIe zero-copy (the Seung et al. style referenced in §V).
+    HostMapped,
+}
+
+impl FeaturePlacement {
+    /// Display name for ablation tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeaturePlacement::DeviceP2p => "GPU+P2P",
+            FeaturePlacement::DeviceUnifiedMemory => "GPU+UM",
+            FeaturePlacement::HostMapped => "host zero-copy",
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// System under test.
+    pub framework: Framework,
+    /// GNN architecture.
+    pub model: ModelKind,
+    /// Hidden width (paper: 256).
+    pub hidden: usize,
+    /// Layer count (paper: 3).
+    pub num_layers: usize,
+    /// GAT heads (paper: 4).
+    pub heads: usize,
+    /// Per-layer fanout (paper: 30,30,30).
+    pub fanouts: Vec<usize>,
+    /// Mini-batch size per iteration (paper: 512).
+    pub batch_size: usize,
+    /// Dropout on layer inputs.
+    pub dropout: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Master seed (model init, shuffling, sampling).
+    pub seed: u64,
+    /// Override the layer provider (Figure 11's WholeGraph+DGL /
+    /// WholeGraph+PyG variants). `None` uses the framework's default.
+    pub provider_override: Option<LayerProvider>,
+    /// Feature placement for the WholeGraph framework (storage-mode
+    /// ablation; ignored by the host baselines).
+    pub feature_placement: FeaturePlacement,
+}
+
+impl PipelineConfig {
+    /// The paper's evaluation configuration.
+    pub fn paper(framework: Framework, model: ModelKind) -> Self {
+        PipelineConfig {
+            framework,
+            model,
+            hidden: 256,
+            num_layers: 3,
+            heads: 4,
+            fanouts: vec![30, 30, 30],
+            batch_size: 512,
+            dropout: 0.5,
+            lr: 3e-3,
+            seed: 0,
+        provider_override: None,
+        feature_placement: FeaturePlacement::DeviceP2p,
+        }
+    }
+
+    /// A small configuration for tests and examples.
+    pub fn tiny(framework: Framework, model: ModelKind) -> Self {
+        PipelineConfig {
+            framework,
+            model,
+            hidden: 32,
+            num_layers: 2,
+            heads: 2,
+            fanouts: vec![5, 5],
+            batch_size: 64,
+            dropout: 0.0,
+            lr: 1e-2,
+            seed: 0,
+            provider_override: None,
+            feature_placement: FeaturePlacement::DeviceP2p,
+        }
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set an explicit layer provider.
+    pub fn with_provider(mut self, p: LayerProvider) -> Self {
+        self.provider_override = Some(p);
+        self
+    }
+
+    /// Set the feature placement (storage-mode ablation).
+    pub fn with_feature_placement(mut self, p: FeaturePlacement) -> Self {
+        self.feature_placement = p;
+        self
+    }
+
+    fn gnn_config(&self, in_dim: usize, num_classes: usize) -> GnnConfig {
+        GnnConfig {
+            kind: self.model,
+            in_dim,
+            hidden: self.hidden,
+            num_classes,
+            num_layers: self.num_layers,
+            heads: self.heads,
+            dropout: self.dropout,
+        }
+    }
+}
+
+/// Per-iteration simulated phase times.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IterTimes {
+    /// Sub-graph sampling (+ sub-graph transfer for host pipelines).
+    pub sample: SimTime,
+    /// Feature gathering (+ PCIe copy for host pipelines).
+    pub gather: SimTime,
+    /// Forward + backward + optimizer.
+    pub train: SimTime,
+    /// Gradient AllReduce.
+    pub comm: SimTime,
+}
+
+impl IterTimes {
+    /// Sum of all phases.
+    pub fn total(&self) -> SimTime {
+        self.sample + self.gather + self.train + self.comm
+    }
+}
+
+/// Result of one executed iteration.
+#[derive(Clone, Debug)]
+pub struct IterationResult {
+    /// Phase times of this iteration.
+    pub times: IterTimes,
+    /// Mini-batch training loss.
+    pub loss: f32,
+    /// Correct predictions on the batch.
+    pub correct: usize,
+    /// Batch size actually processed.
+    pub batch: usize,
+    /// Shapes of the sampled blocks (for memory estimates).
+    pub shapes: Vec<BlockShape>,
+    /// Sampling work counters.
+    pub sample_stats: SampleStats,
+}
+
+/// Aggregated report of one (possibly extrapolated) epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochReport {
+    /// Wall-clock epoch time (per-GPU, data-parallel waves).
+    pub epoch_time: SimTime,
+    /// Total sampling time across the epoch.
+    pub sample_time: SimTime,
+    /// Total gather time.
+    pub gather_time: SimTime,
+    /// Total training time.
+    pub train_time: SimTime,
+    /// Total AllReduce time.
+    pub comm_time: SimTime,
+    /// Mean training loss over executed iterations.
+    pub loss: f32,
+    /// Training accuracy over executed iterations.
+    pub train_accuracy: f64,
+    /// Iterations the epoch comprises (across all GPUs).
+    pub iterations: usize,
+    /// Iterations actually executed (≤ `iterations` when extrapolating).
+    pub executed_iterations: usize,
+}
+
+/// Timing summary of an inference run (no backward, no AllReduce).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InferenceReport {
+    /// Nodes predicted.
+    pub nodes: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Total sampling time.
+    pub sample_time: SimTime,
+    /// Total gather time.
+    pub gather_time: SimTime,
+    /// Total forward compute time.
+    pub compute_time: SimTime,
+}
+
+impl InferenceReport {
+    /// End-to-end inference time.
+    pub fn total_time(&self) -> SimTime {
+        self.sample_time + self.gather_time + self.compute_time
+    }
+
+    /// Predicted nodes per simulated second.
+    pub fn throughput(&self) -> f64 {
+        self.nodes as f64 / self.total_time().as_secs().max(f64::MIN_POSITIVE)
+    }
+}
+
+#[allow(clippy::large_enum_variant)] // one store per pipeline; boxing buys nothing
+enum StoreImpl {
+    Dsm(MultiGpuGraph),
+    Host(HostGraph),
+}
+
+/// An end-to-end training pipeline for one framework on one dataset.
+pub struct Pipeline {
+    cfg: PipelineConfig,
+    machine: Machine,
+    dataset: Arc<SyntheticDataset>,
+    store: StoreImpl,
+    /// The model under training (exposed for inspection).
+    pub model: GnnModel,
+    opt: Adam,
+    provider: LayerProvider,
+    setup_time: SimTime,
+}
+
+impl Pipeline {
+    /// Build the pipeline: loads the dataset into the framework's store
+    /// (DSM for WholeGraph, host DRAM for DGL/PyG) and initializes the
+    /// model.
+    pub fn new(
+        machine: Machine,
+        dataset: Arc<SyntheticDataset>,
+        cfg: PipelineConfig,
+    ) -> Result<Self, OutOfMemory> {
+        let acct = machine.memory();
+        let (store, setup_time) = if cfg.framework.uses_dsm() {
+            use wg_sim::cost::AccessMode;
+            // Under HostMapped the features never leave host memory; the
+            // DSM store only carries the structure (empty feature matrix).
+            let (feats, dim, mode) = match cfg.feature_placement {
+                FeaturePlacement::DeviceP2p => {
+                    (&dataset.features[..], dataset.feature_dim, AccessMode::PeerAccess)
+                }
+                FeaturePlacement::DeviceUnifiedMemory => {
+                    (&dataset.features[..], dataset.feature_dim, AccessMode::UnifiedMemory)
+                }
+                FeaturePlacement::HostMapped => (&[][..], 0, AccessMode::PeerAccess),
+            };
+            let store = MultiGpuGraph::build_with_mode(
+                machine.cost(),
+                machine.num_gpus(),
+                &dataset.graph,
+                feats,
+                dim,
+                &acct,
+                mode,
+            )?;
+            if cfg.feature_placement == FeaturePlacement::HostMapped {
+                acct.alloc(
+                    wg_sim::DeviceId::Cpu,
+                    wg_sim::memory::AllocKind::Features,
+                    (dataset.features.len() * 4) as u64,
+                )?;
+            }
+            let t = store.setup_time();
+            (StoreImpl::Dsm(store), t)
+        } else {
+            let host = HostGraph::build(
+                dataset.graph.clone(),
+                dataset.features.clone(),
+                dataset.feature_dim,
+                &acct,
+            )?;
+            (StoreImpl::Host(host), SimTime::ZERO)
+        };
+        let gnn_cfg = cfg.gnn_config(dataset.feature_dim, dataset.num_classes);
+        let model = GnnModel::new(gnn_cfg, cfg.seed);
+        let opt = Adam::new(cfg.lr);
+        let provider = cfg.provider_override.unwrap_or(cfg.framework.default_provider());
+        Ok(Pipeline {
+            cfg,
+            machine,
+            dataset,
+            store,
+            model,
+            opt,
+            provider,
+            setup_time,
+        })
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// The simulated machine (clocks, traces, memory accounting).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access (trace reset between experiments).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// One-time distributed-shared-memory setup time (zero for host
+    /// pipelines).
+    pub fn setup_time(&self) -> SimTime {
+        self.setup_time
+    }
+
+    /// The layer provider training runs with.
+    pub fn provider(&self) -> LayerProvider {
+        self.provider
+    }
+
+    /// Iterations per epoch (ceil of train split / batch size).
+    pub fn iters_per_epoch(&self) -> usize {
+        self.dataset.train.len().div_ceil(self.cfg.batch_size)
+    }
+
+    /// The dataset under training.
+    pub fn dataset(&self) -> &SyntheticDataset {
+        &self.dataset
+    }
+
+    fn handles_for(&self, nodes: &[NodeId]) -> Vec<u64> {
+        match &self.store {
+            StoreImpl::Dsm(s) => {
+                let a = MultiGpuAccess(s);
+                nodes.iter().map(|&v| a.handle_of(v)).collect()
+            }
+            StoreImpl::Host(h) => {
+                let a = HostGraphAccess(h);
+                nodes.iter().map(|&v| a.handle_of(v)).collect()
+            }
+        }
+    }
+
+    fn sample(&self, handles: &[u64], epoch: u64, iter: u64) -> (MiniBatch, SampleStats) {
+        let sampler = SamplerConfig {
+            fanouts: self.cfg.fanouts.clone(),
+            seed: self.cfg.seed,
+        };
+        match &self.store {
+            StoreImpl::Dsm(s) => sample_minibatch(&MultiGpuAccess(s), handles, &sampler, epoch, iter),
+            StoreImpl::Host(h) => sample_minibatch(&HostGraphAccess(h), handles, &sampler, epoch, iter),
+        }
+    }
+
+    /// Gather the input features of a mini-batch. Returns the dense
+    /// feature matrix (rows follow `mb.input_nodes()` order) and the
+    /// simulated phase time.
+    fn gather(&self, mb: &MiniBatch, iter: u64) -> (Matrix, SimTime) {
+        let feat_dim = self.dataset.feature_dim;
+        let input = mb.input_nodes();
+        match &self.store {
+            StoreImpl::Dsm(s) if self.cfg.feature_placement == FeaturePlacement::HostMapped => {
+                // Zero-copy: the gather kernel reads host-pinned rows over
+                // PCIe directly (no CPU gather step, no staging buffer).
+                let mut out = Vec::with_capacity(input.len() * feat_dim);
+                for &h in input {
+                    let v = s.partition().node_of(GlobalId::from_raw(h)) as usize;
+                    out.extend_from_slice(&self.dataset.features[v * feat_dim..(v + 1) * feat_dim]);
+                }
+                let t = self.machine.cost().pcie_zero_copy_gather_time(
+                    input.len() as u64,
+                    feat_dim * 4,
+                    self.machine.num_gpus(),
+                    self.machine.spec(wg_sim::DeviceId::Gpu(0)),
+                );
+                (Matrix::from_vec(input.len(), feat_dim, out), t)
+            }
+            StoreImpl::Dsm(s) => {
+                let rows: Vec<usize> = input
+                    .iter()
+                    .map(|&h| s.feature_row_of_global(GlobalId::from_raw(h)))
+                    .collect();
+                let mut out = vec![0.0f32; rows.len() * feat_dim];
+                let rank = (iter % self.machine.num_gpus() as u64) as u32;
+                let stats = global_gather(
+                    s.features(),
+                    &rows,
+                    &mut out,
+                    rank,
+                    self.machine.cost(),
+                    self.machine.spec(wg_sim::DeviceId::Gpu(rank)),
+                );
+                (Matrix::from_vec(rows.len(), feat_dim, out), stats.sim_time)
+            }
+            StoreImpl::Host(h) => {
+                // CPU-side gather, then the mini-batch (features +
+                // sub-graph structure) crosses PCIe; with all GPUs loading
+                // concurrently each gets a shared uplink (§III-B).
+                let mut out = Vec::new();
+                h.gather_features(input, &mut out);
+                let feat_bytes = (out.len() * 4) as u64;
+                let struct_bytes: u64 = mb
+                    .blocks
+                    .iter()
+                    .map(|b| (b.indices.len() * 4 + b.offsets.len() * 4 + b.dup_count.len() * 4) as u64)
+                    .sum();
+                let model = self.machine.cost();
+                // The CPU gather bandwidth is an aggregate host resource:
+                // G concurrent trainer processes each see 1/G of it (same
+                // contention argument as sampling).
+                let cpu = model.host_gather_time(input.len() as u64, feat_dim * 4)
+                    * self.machine.num_gpus() as f64;
+                let path = model.topology.path(
+                    wg_sim::DeviceId::Cpu,
+                    wg_sim::DeviceId::Gpu(0),
+                    self.machine.num_gpus(),
+                );
+                let pcie = model.transfer_time(feat_bytes + struct_bytes, path);
+                (Matrix::from_vec(input.len(), feat_dim, out), cpu + pcie)
+            }
+        }
+    }
+
+    /// Map mini-batch handles back to dataset node ids (for labels).
+    fn stable_ids(&self, handles: &[u64]) -> Vec<NodeId> {
+        match &self.store {
+            StoreImpl::Dsm(s) => {
+                let a = MultiGpuAccess(s);
+                handles.iter().map(|&h| a.stable_id(h)).collect()
+            }
+            StoreImpl::Host(_) => handles.to_vec(),
+        }
+    }
+
+    /// Execute one full iteration (sample → gather → train). `update`
+    /// applies the optimizer; pass `false` for timing-only runs.
+    pub fn run_iteration(
+        &mut self,
+        epoch: u64,
+        iter: u64,
+        batch_nodes: &[NodeId],
+        update: bool,
+    ) -> IterationResult {
+        let handles = self.handles_for(batch_nodes);
+
+        // --- Phase 1: sampling.
+        let (mb, sample_stats) = self.sample(&handles, epoch, iter);
+        let gpu_spec = self.machine.spec(wg_sim::DeviceId::Gpu(0));
+        let mut t_sample = self
+            .cfg
+            .framework
+            .sampler_backend()
+            .sample_time(self.machine.cost(), gpu_spec, sample_stats);
+        if !self.cfg.framework.uses_dsm() {
+            // Host pipelines also run the CPU-side sub-graph construction
+            // (unique etc.) inside the sampling phase:
+            t_sample += SimTime::from_secs(
+                sample_stats.keys_inserted as f64 / self.machine.cost().cpu_sample_edges_per_s,
+            );
+            // ... and, crucially, all G trainer processes contend for the
+            // same host cores: the sampler rates are *aggregate* CPU
+            // rates, so when G GPUs each demand a mini-batch per wave,
+            // each wave pays G iterations' worth of CPU sampling. This is
+            // why DGL/PyG epochs do not shrink 8x on an 8-GPU node while
+            // WholeGraph's GPU sampling does.
+            t_sample = t_sample * self.machine.num_gpus() as f64;
+        }
+
+        // --- Phase 2: gather features.
+        let (features, t_gather) = self.gather(&mb, iter);
+
+        // --- Phase 3: train on GPU.
+        let blocks = minibatch_blocks(&mb);
+        let shapes = minibatch_shapes(&mb);
+        let mut tape = Tape::new();
+        let out = self.model.forward(
+            &mut tape,
+            &blocks,
+            features,
+            update,
+            self.cfg.seed ^ epoch.rotate_left(13) ^ iter,
+        );
+        let batch_ids = self.stable_ids(&handles);
+        let labels: Vec<u32> = batch_ids.iter().map(|&v| self.dataset.labels[v as usize]).collect();
+        let (loss, grad) = softmax_cross_entropy(tape.value(out), &labels);
+        let preds = argmax_rows(tape.value(out));
+        let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        if update {
+            self.model.params.zero_grads();
+            tape.backward(out, grad, &mut self.model.params);
+            self.opt.step(&mut self.model.params);
+        }
+        let t_train = train_step_time(
+            &self.cfg.gnn_config(self.dataset.feature_dim, self.dataset.num_classes),
+            &shapes,
+            self.provider,
+            self.machine.cost(),
+            gpu_spec,
+            self.model.params.num_scalars(),
+        );
+
+        // --- Phase 4: gradient AllReduce across the node's GPUs.
+        let t_comm = if update {
+            allreduce_intra_node(
+                self.machine.cost(),
+                self.model.params.param_bytes(),
+                self.machine.num_gpus(),
+            )
+        } else {
+            SimTime::ZERO
+        };
+
+        IterationResult {
+            times: IterTimes {
+                sample: t_sample,
+                gather: t_gather,
+                train: t_train,
+                comm: t_comm,
+            },
+            loss,
+            correct,
+            batch: batch_nodes.len(),
+            shapes,
+            sample_stats,
+        }
+    }
+
+    /// The epoch's shuffled batches.
+    pub fn epoch_batches(&self, epoch: u64) -> Vec<Vec<NodeId>> {
+        let mut order = self.dataset.train.clone();
+        order.shuffle(&mut SmallRng::seed_from_u64(self.cfg.seed ^ epoch.wrapping_mul(0x9e37)));
+        order
+            .chunks(self.cfg.batch_size)
+            .map(<[NodeId]>::to_vec)
+            .collect()
+    }
+
+    /// Train a full epoch, executing every iteration.
+    pub fn train_epoch(&mut self, epoch: u64) -> EpochReport {
+        let batches = self.epoch_batches(epoch);
+        let mut results = Vec::with_capacity(batches.len());
+        for (i, batch) in batches.iter().enumerate() {
+            results.push(self.run_iteration(epoch, i as u64, batch, true));
+        }
+        self.finish_epoch(&results, batches.len())
+    }
+
+    /// Measure an epoch by executing only `real_iters` iterations and
+    /// extrapolating the rest (performance experiments on large stand-ins;
+    /// iterations are statistically identical, so a few representatives
+    /// pin the per-wave time).
+    pub fn measure_epoch(&mut self, epoch: u64, real_iters: usize) -> EpochReport {
+        let batches = self.epoch_batches(epoch);
+        let n = real_iters.clamp(1, batches.len());
+        let mut results = Vec::with_capacity(n);
+        for (i, batch) in batches.iter().take(n).enumerate() {
+            results.push(self.run_iteration(epoch, i as u64, batch, true));
+        }
+        self.finish_epoch(&results, batches.len())
+    }
+
+    /// Aggregate executed iterations into an epoch report and charge the
+    /// machine's clocks/traces wave by wave.
+    fn finish_epoch(&mut self, results: &[IterationResult], total_iters: usize) -> EpochReport {
+        assert!(!results.is_empty());
+        let g = self.machine.num_gpus() as usize;
+        let waves = total_iters.div_ceil(g);
+        let busy_input = self.cfg.framework.gpu_busy_in_input_phases();
+        let mut totals = IterTimes::default();
+        for w in 0..waves {
+            let t = results[w % results.len()].times;
+            self.machine.run_all_gpus(Phase::Sampling, busy_input, t.sample);
+            self.machine.run_all_gpus(Phase::Gather, busy_input, t.gather);
+            self.machine.run_all_gpus(Phase::Training, true, t.train);
+            self.machine.run_all_gpus(Phase::Communication, true, t.comm);
+            totals.sample += t.sample;
+            totals.gather += t.gather;
+            totals.train += t.train;
+            totals.comm += t.comm;
+        }
+        let loss = results.iter().map(|r| r.loss).sum::<f32>() / results.len() as f32;
+        let correct: usize = results.iter().map(|r| r.correct).sum();
+        let seen: usize = results.iter().map(|r| r.batch).sum();
+        EpochReport {
+            epoch_time: totals.total(),
+            sample_time: totals.sample,
+            gather_time: totals.gather,
+            train_time: totals.train,
+            comm_time: totals.comm,
+            loss,
+            train_accuracy: correct as f64 / seen.max(1) as f64,
+            iterations: total_iters,
+            executed_iterations: results.len(),
+        }
+    }
+
+    /// Batched inference: predict classes for `nodes` without any
+    /// backward pass or gradient AllReduce (§I: WholeGraph's ops "also
+    /// can be used in inference scenarios, since it does not require
+    /// collective communication"). Returns per-node predictions in input
+    /// order plus a timing report.
+    pub fn infer(&mut self, nodes: &[NodeId]) -> (Vec<u32>, InferenceReport) {
+        let gpu_spec = self.machine.spec(wg_sim::DeviceId::Gpu(0)).clone();
+        let mut preds = Vec::with_capacity(nodes.len());
+        let mut report = InferenceReport::default();
+        for (i, batch) in nodes.chunks(self.cfg.batch_size).enumerate() {
+            let handles = self.handles_for(batch);
+            let (mb, stats) = self.sample(&handles, u64::MAX - 1, i as u64);
+            report.sample_time += self
+                .cfg
+                .framework
+                .sampler_backend()
+                .sample_time(self.machine.cost(), &gpu_spec, stats);
+            let (features, t_gather) = self.gather(&mb, i as u64);
+            report.gather_time += t_gather;
+            let blocks = minibatch_blocks(&mb);
+            let shapes = minibatch_shapes(&mb);
+            let mut tape = Tape::new();
+            let out = self.model.forward(&mut tape, &blocks, features, false, 0);
+            preds.extend(argmax_rows(tape.value(out)));
+            report.compute_time += wg_gnn::cost::eval_step_time(
+                &self.cfg.gnn_config(self.dataset.feature_dim, self.dataset.num_classes),
+                &shapes,
+                self.provider,
+                self.machine.cost(),
+                &gpu_spec,
+            );
+            report.batches += 1;
+        }
+        report.nodes = nodes.len();
+        (preds, report)
+    }
+
+    /// Evaluate accuracy on a node set (validation or test split) with
+    /// sampled inference.
+    pub fn evaluate(&mut self, nodes: &[NodeId]) -> f64 {
+        self.evaluate_detailed(nodes).accuracy()
+    }
+
+    /// Evaluate with a full confusion matrix (accuracy, per-class
+    /// precision/recall/F1, macro-F1).
+    pub fn evaluate_detailed(&mut self, nodes: &[NodeId]) -> crate::metrics::ConfusionMatrix {
+        let mut cm = crate::metrics::ConfusionMatrix::new(self.dataset.num_classes);
+        for (i, batch) in nodes.chunks(self.cfg.batch_size).enumerate() {
+            let handles = self.handles_for(batch);
+            let (mb, _) = self.sample(&handles, u64::MAX, i as u64);
+            let (features, _) = self.gather(&mb, i as u64);
+            let blocks = minibatch_blocks(&mb);
+            let mut tape = Tape::new();
+            let out = self.model.forward(&mut tape, &blocks, features, false, 0);
+            let preds = argmax_rows(tape.value(out));
+            let ids = self.stable_ids(&handles);
+            for (p, v) in preds.iter().zip(ids.iter()) {
+                cm.record(self.dataset.labels[*v as usize], *p);
+            }
+        }
+        cm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_graph::DatasetKind;
+    use wg_sim::MachineConfig;
+
+    fn dataset() -> Arc<SyntheticDataset> {
+        Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 1500, 5))
+    }
+
+    fn pipeline(fw: Framework, model: ModelKind) -> Pipeline {
+        let machine = Machine::new(MachineConfig::dgx_like(4));
+        let cfg = PipelineConfig::tiny(fw, model).with_seed(11);
+        Pipeline::new(machine, dataset(), cfg).unwrap()
+    }
+
+    #[test]
+    fn wholegraph_epoch_runs_and_reports() {
+        let mut p = pipeline(Framework::WholeGraph, ModelKind::GraphSage);
+        let r = p.train_epoch(0);
+        assert!(r.loss.is_finite() && r.loss > 0.0);
+        assert_eq!(r.iterations, p.iters_per_epoch());
+        assert_eq!(r.executed_iterations, r.iterations);
+        assert!(r.epoch_time > SimTime::ZERO);
+        assert!(r.sample_time > SimTime::ZERO);
+        assert!(r.gather_time > SimTime::ZERO);
+        assert!(r.train_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn all_frameworks_train_all_models_one_iteration() {
+        for fw in Framework::ALL {
+            for model in ModelKind::ALL {
+                let mut p = pipeline(fw, model);
+                let batch: Vec<NodeId> = p.dataset().train[..32].to_vec();
+                let r = p.run_iteration(0, 0, &batch, true);
+                assert!(r.loss.is_finite(), "{fw:?}/{model:?}");
+                assert!(r.times.total() > SimTime::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn wholegraph_is_faster_than_dgl_than_pyg() {
+        // The headline result at test scale: epoch time ordering.
+        let mut times = Vec::new();
+        for fw in [Framework::WholeGraph, Framework::Dgl, Framework::Pyg] {
+            let mut p = pipeline(fw, ModelKind::GraphSage);
+            let r = p.measure_epoch(0, 2);
+            times.push((fw, r.epoch_time));
+        }
+        assert!(times[0].1 < times[1].1, "WG {} !< DGL {}", times[0].1, times[1].1);
+        assert!(times[1].1 < times[2].1, "DGL {} !< PyG {}", times[1].1, times[2].1);
+    }
+
+    /// A paper-shaped (but test-sized) pipeline: 8 GPUs, realistic batch
+    /// and fanout so the bottleneck asymmetries of Figures 9/12 are
+    /// visible (at toy scale, kernel-launch overheads dominate instead).
+    fn paper_ish_pipeline(fw: Framework, model: ModelKind) -> Pipeline {
+        let dataset = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 300, 7));
+        let machine = Machine::new(MachineConfig::dgx_like(8));
+        let cfg = PipelineConfig {
+            framework: fw,
+            model,
+            hidden: 64,
+            num_layers: 2,
+            heads: 2,
+            fanouts: vec![15, 15],
+            batch_size: 256,
+            dropout: 0.0,
+            lr: 1e-2,
+            seed: 5,
+            provider_override: None,
+            feature_placement: FeaturePlacement::DeviceP2p,
+        };
+        Pipeline::new(machine, dataset, cfg).unwrap()
+    }
+
+    #[test]
+    fn dgl_bottleneck_is_sampling_and_gather() {
+        // Figure 9: "for PyG and DGL, the sampling and gathering features
+        // take most part of the time".
+        let mut p = paper_ish_pipeline(Framework::Dgl, ModelKind::GraphSage);
+        let r = p.measure_epoch(0, 2);
+        assert!(
+            r.sample_time + r.gather_time > r.train_time,
+            "sample {} + gather {} vs train {}",
+            r.sample_time,
+            r.gather_time,
+            r.train_time
+        );
+        // For WholeGraph the input phases are *much smaller* than training.
+        let mut p = paper_ish_pipeline(Framework::WholeGraph, ModelKind::GraphSage);
+        let r = p.measure_epoch(0, 2);
+        assert!(
+            r.sample_time + r.gather_time < r.train_time,
+            "WG: sample {} + gather {} vs train {}",
+            r.sample_time,
+            r.gather_time,
+            r.train_time
+        );
+    }
+
+    #[test]
+    fn gpu_utilization_high_for_wholegraph_low_for_host_pipelines() {
+        // Figure 12's shape.
+        let mut wg = paper_ish_pipeline(Framework::WholeGraph, ModelKind::GraphSage);
+        wg.measure_epoch(0, 2);
+        let end = wg.machine().now(wg_sim::DeviceId::Gpu(0));
+        let u_wg = wg.machine().trace(wg_sim::DeviceId::Gpu(0)).utilization(SimTime::ZERO, end);
+        let mut dgl = paper_ish_pipeline(Framework::Dgl, ModelKind::GraphSage);
+        dgl.measure_epoch(0, 2);
+        let end = dgl.machine().now(wg_sim::DeviceId::Gpu(0));
+        let u_dgl = dgl.machine().trace(wg_sim::DeviceId::Gpu(0)).utilization(SimTime::ZERO, end);
+        assert!(u_wg > 0.95, "WholeGraph utilization {u_wg}");
+        assert!(u_dgl < 0.5, "DGL utilization {u_dgl}");
+    }
+
+    #[test]
+    fn losses_match_across_frameworks_with_same_seed() {
+        // Table III / Figure 7: same seeds → same sub-graphs → (numerically
+        // near-)identical training. Dropout is 0 in the tiny config, so
+        // only unique-order float summation differences remain.
+        let mut wg = pipeline(Framework::WholeGraph, ModelKind::Gcn);
+        let mut dgl = pipeline(Framework::Dgl, ModelKind::Gcn);
+        let batch: Vec<NodeId> = wg.dataset().train[..64].to_vec();
+        let a = wg.run_iteration(0, 0, &batch, true);
+        let b = dgl.run_iteration(0, 0, &batch, true);
+        assert!(
+            (a.loss - b.loss).abs() < 1e-3 * (1.0 + a.loss.abs()),
+            "losses diverge: {} vs {}",
+            a.loss,
+            b.loss
+        );
+        assert_eq!(a.sample_stats.edges_sampled, b.sample_stats.edges_sampled);
+    }
+
+    #[test]
+    fn measure_epoch_extrapolates() {
+        let mut p = pipeline(Framework::WholeGraph, ModelKind::Gcn);
+        let r = p.measure_epoch(0, 1);
+        assert_eq!(r.executed_iterations, 1);
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn evaluate_returns_sane_accuracy() {
+        let mut p = pipeline(Framework::WholeGraph, ModelKind::GraphSage);
+        let val = p.dataset().val.clone();
+        let acc = p.evaluate(&val);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn inference_predicts_every_node_without_comm() {
+        let mut p = pipeline(Framework::WholeGraph, ModelKind::GraphSage);
+        let nodes: Vec<NodeId> = (0..150u64).collect();
+        let (preds, report) = p.infer(&nodes);
+        assert_eq!(preds.len(), 150);
+        assert!(preds.iter().all(|&c| (c as usize) < p.dataset().num_classes));
+        assert_eq!(report.nodes, 150);
+        assert_eq!(report.batches, 150usize.div_ceil(p.config().batch_size));
+        assert!(report.total_time() > SimTime::ZERO);
+        assert!(report.throughput() > 0.0);
+        // Inference is cheaper per node than training (no backward, no
+        // AllReduce).
+        let batch: Vec<NodeId> = nodes[..64].to_vec();
+        let it = p.run_iteration(0, 0, &batch, true);
+        let train_total = it.times.total();
+        let per_batch_infer = report.total_time() / report.batches as f64;
+        assert!(per_batch_infer < train_total, "infer {per_batch_infer} !< train {train_total}");
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let mut p = pipeline(Framework::WholeGraph, ModelKind::Gcn);
+        let nodes: Vec<NodeId> = (0..80u64).collect();
+        let (a, _) = p.infer(&nodes);
+        let (b, _) = p.infer(&nodes);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn feature_placements_compute_identically_but_cost_differently() {
+        // The storage-mode ablation: P2P, UM and host zero-copy move the
+        // same bytes and train the same model; only the simulated gather
+        // time changes, ordered P2P < HostMapped < UM.
+        let mut results = Vec::new();
+        for placement in [
+            FeaturePlacement::DeviceP2p,
+            FeaturePlacement::HostMapped,
+            FeaturePlacement::DeviceUnifiedMemory,
+        ] {
+            let machine = Machine::new(MachineConfig::dgx_like(4));
+            let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::Gcn)
+                .with_seed(44)
+                .with_feature_placement(placement);
+            let mut p = Pipeline::new(machine, dataset(), cfg).unwrap();
+            let batch: Vec<NodeId> = p.dataset().train[..48].to_vec();
+            let r = p.run_iteration(0, 0, &batch, false);
+            results.push((placement, r));
+        }
+        let base_loss = results[0].1.loss;
+        for (pl, r) in &results {
+            assert!(
+                (r.loss - base_loss).abs() < 1e-3 * (1.0 + base_loss.abs()),
+                "{pl:?} loss {} vs {base_loss}",
+                r.loss
+            );
+        }
+        let p2p = results[0].1.times.gather;
+        let mapped = results[1].1.times.gather;
+        let um = results[2].1.times.gather;
+        assert!(p2p < mapped, "P2P {p2p} !< host-mapped {mapped}");
+        assert!(mapped < um, "host-mapped {mapped} !< UM {um}");
+    }
+
+    #[test]
+    fn dsm_setup_time_only_for_wholegraph() {
+        let wg = pipeline(Framework::WholeGraph, ModelKind::Gcn);
+        let dgl = pipeline(Framework::Dgl, ModelKind::Gcn);
+        assert!(wg.setup_time() > SimTime::ZERO);
+        assert!(dgl.setup_time().is_zero());
+    }
+}

@@ -1,0 +1,207 @@
+//! Host-side CSR graphs.
+//!
+//! Datasets are generated (or loaded) into this compact host representation
+//! first; the multi-GPU store then scatters it into WholeMemory. The
+//! baselines (DGL/PyG-style pipelines) sample directly from this host CSR,
+//! exactly as those frameworks keep the graph in CPU DRAM.
+
+use rayon::prelude::*;
+
+use crate::NodeId;
+
+/// A graph in compressed-sparse-row form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` with `v`'s neighbors.
+    offsets: Vec<u64>,
+    /// Concatenated adjacency lists.
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Build a CSR from an edge list over `num_nodes` nodes.
+    ///
+    /// If `symmetrize` is set every edge is inserted in both directions
+    /// (the paper treats ogbn-papers100M "as an undirected graph", doubling
+    /// its stored edges). Self-loops are kept; parallel edges are kept
+    /// (neighbor sampling treats them as distinct neighbor slots, as DGL
+    /// does).
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)], symmetrize: bool) -> Self {
+        let mut degree = vec![0u64; num_nodes];
+        for &(s, t) in edges {
+            assert!((s as usize) < num_nodes && (t as usize) < num_nodes, "edge ({s},{t}) out of range");
+            degree[s as usize] += 1;
+            if symmetrize {
+                degree[t as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0u64; num_nodes + 1];
+        for v in 0..num_nodes {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; offsets[num_nodes] as usize];
+        for &(s, t) in edges {
+            targets[cursor[s as usize] as usize] = t;
+            cursor[s as usize] += 1;
+            if symmetrize {
+                targets[cursor[t as usize] as usize] = s;
+                cursor[t as usize] += 1;
+            }
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Rebuild from raw arrays (deserialization). The caller must have
+    /// validated monotone offsets and in-range targets.
+    pub fn from_parts(offsets: Vec<u64>, targets: Vec<NodeId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must hold at least one entry");
+        assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored (directed) edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// The raw offset array (length `num_nodes + 1`).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw target array.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .into_par_iter()
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Bytes needed to store the structure with 8-byte edges (the paper's
+    /// Table IV accounting: "We use 8 bytes to store each edge").
+    pub fn structure_bytes(&self) -> u64 {
+        (self.targets.len() * 8 + self.offsets.len() * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn triangle() -> Csr {
+        Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0)], false)
+    }
+
+    #[test]
+    fn directed_triangle() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn symmetrized_doubles_edges() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0)], true);
+        assert_eq!(g.num_edges(), 6);
+        let mut n0 = g.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+        assert_eq!(g.avg_degree(), 2.0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_adjacency() {
+        let g = Csr::from_edges(5, &[(0, 1)], false);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.neighbors(3).is_empty());
+        assert_eq!(g.max_degree(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_are_kept() {
+        let g = Csr::from_edges(2, &[(0, 1), (0, 1), (0, 1)], false);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.neighbors(0), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn structure_bytes_counts_eight_per_edge() {
+        let g = triangle();
+        assert_eq!(g.structure_bytes(), 3 * 8 + 4 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Csr::from_edges(2, &[(0, 5)], false);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn builder_preserves_every_edge(
+            n in 1usize..50,
+            edges in prop::collection::vec((0u64..50, 0u64..50), 0..200),
+        ) {
+            let edges: Vec<_> = edges
+                .into_iter()
+                .map(|(s, t)| (s % n as u64, t % n as u64))
+                .collect();
+            let g = Csr::from_edges(n, &edges, false);
+            prop_assert_eq!(g.num_edges(), edges.len());
+            // Every input edge appears in the adjacency of its source.
+            let mut expect: Vec<Vec<u64>> = vec![Vec::new(); n];
+            for &(s, t) in &edges {
+                expect[s as usize].push(t);
+            }
+            for v in 0..n as u64 {
+                let mut got = g.neighbors(v).to_vec();
+                got.sort_unstable();
+                expect[v as usize].sort_unstable();
+                prop_assert_eq!(&got, &expect[v as usize]);
+            }
+            // Offsets are monotone.
+            for w in g.offsets().windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+}

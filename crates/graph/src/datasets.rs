@@ -1,0 +1,230 @@
+//! Scaled stand-ins for the paper's evaluation datasets (Table II).
+//!
+//! | Graph            | Nodes  | Edges | Features | our generator |
+//! |------------------|--------|-------|----------|---------------|
+//! | ogbn-products    | 2.4 M  | 61.9 M| 100      | SBM + class features (learnable) |
+//! | ogbn-papers100M  | 111.1 M| 1.6 B | 128      | SBM + class features (learnable) |
+//! | Friendster       | 68.3 M | 2.6 B | 128      | R-MAT + random features |
+//! | UK_domain        | 105.2 M| 3.3 B | 128      | R-MAT + random features |
+//!
+//! A dataset is generated at `1/scale` of the paper's node count with the
+//! paper's average degree and feature width preserved, so per-batch data
+//! volumes (the quantity every performance figure depends on) match the
+//! paper's shape. Label splits follow the paper: OGB-style splits for the
+//! learnable graphs; for Friendster/UK_domain "the ratio of labels ... is
+//! 1%, making 80% of the label data to be trained data, 10% to be test
+//! data, and 10% to be validation data".
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+use crate::csr::Csr;
+use crate::gen;
+use crate::NodeId;
+
+/// The four evaluation graphs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum DatasetKind {
+    /// Amazon co-purchasing network (OGB).
+    OgbnProducts,
+    /// 111M-paper citation graph (OGB).
+    OgbnPapers100M,
+    /// Friendster social network (KONECT).
+    Friendster,
+    /// UK web domain graph (KONECT).
+    UkDomain,
+}
+
+impl DatasetKind {
+    /// All four, in Table II order.
+    pub const ALL: [DatasetKind; 4] = [
+        DatasetKind::OgbnProducts,
+        DatasetKind::OgbnPapers100M,
+        DatasetKind::Friendster,
+        DatasetKind::UkDomain,
+    ];
+
+    /// Display name as in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::OgbnProducts => "ogbn-products",
+            DatasetKind::OgbnPapers100M => "ogbn-papers100M",
+            DatasetKind::Friendster => "Friendster",
+            DatasetKind::UkDomain => "UK_domain",
+        }
+    }
+
+    /// Paper-scale `(nodes, undirected_edges, feature_dim)` from Table II.
+    pub fn paper_stats(self) -> (u64, u64, usize) {
+        match self {
+            DatasetKind::OgbnProducts => (2_400_000, 61_900_000, 100),
+            DatasetKind::OgbnPapers100M => (111_100_000, 1_600_000_000, 128),
+            DatasetKind::Friendster => (68_300_000, 2_600_000_000, 128),
+            DatasetKind::UkDomain => (105_200_000, 3_300_000_000, 128),
+        }
+    }
+
+    /// Whether the graph has real (learnable) labels in the paper — the
+    /// OGB graphs do; Friendster/UK_domain are performance-only.
+    pub fn learnable(self) -> bool {
+        matches!(self, DatasetKind::OgbnProducts | DatasetKind::OgbnPapers100M)
+    }
+
+    /// Classes our stand-in uses (the real counts are 47 / 172; we keep
+    /// them smaller at reduced scale so every class keeps enough support).
+    pub fn num_classes(self) -> usize {
+        match self {
+            DatasetKind::OgbnProducts => 16,
+            DatasetKind::OgbnPapers100M => 32,
+            // Labels exist only to drive the training loop.
+            DatasetKind::Friendster | DatasetKind::UkDomain => 8,
+        }
+    }
+}
+
+/// A generated dataset: graph, features, labels and splits.
+#[derive(Clone, Debug)]
+pub struct SyntheticDataset {
+    /// Which paper graph this stands in for.
+    pub kind: DatasetKind,
+    /// Scale divisor applied to the paper's node count.
+    pub scale: u64,
+    /// The graph (symmetrized).
+    pub graph: Csr,
+    /// Row-major `num_nodes × feature_dim`.
+    pub features: Vec<f32>,
+    /// Feature width (paper's: 100 or 128).
+    pub feature_dim: usize,
+    /// Per-node class labels.
+    pub labels: Vec<u32>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Training node ids.
+    pub train: Vec<NodeId>,
+    /// Validation node ids.
+    pub val: Vec<NodeId>,
+    /// Test node ids.
+    pub test: Vec<NodeId>,
+}
+
+impl SyntheticDataset {
+    /// Generate the stand-in for `kind` at `1/scale` of paper size.
+    pub fn generate(kind: DatasetKind, scale: u64, seed: u64) -> Self {
+        assert!(scale >= 1);
+        let (paper_nodes, paper_edges, feature_dim) = kind.paper_stats();
+        let n = (paper_nodes / scale).max(1000) as usize;
+        // Stored (directed) degree after symmetrization = 2·E/N, preserved
+        // across scaling.
+        let avg_degree = 2.0 * paper_edges as f64 / paper_nodes as f64;
+        let num_classes = kind.num_classes();
+
+        let (graph, labels, features) = if kind.learnable() {
+            let (g, labels) = gen::sbm(n, num_classes, avg_degree, 0.85, seed);
+            let features = gen::class_features(&labels, num_classes, feature_dim, 0.8, seed ^ 0xfeed);
+            (g, labels, features)
+        } else {
+            let scale_log2 = (n as f64).log2().ceil() as u32;
+            let edges = (n as f64 * avg_degree / 2.0) as usize;
+            let g = gen::rmat(scale_log2, edges, seed);
+            let n2 = g.num_nodes();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+            let labels: Vec<u32> = (0..n2).map(|_| rng.gen_range(0..num_classes as u32)).collect();
+            let features = gen::random_features(n2, feature_dim, seed ^ 0xbeef);
+            (g, labels, features)
+        };
+
+        let n = graph.num_nodes();
+        let mut order: Vec<NodeId> = (0..n as u64).collect();
+        order.shuffle(&mut SmallRng::seed_from_u64(seed ^ 0x51137));
+        // Split fractions: OGB-like for learnable graphs; the paper's
+        // 1%-labels / 80-10-10 for the KONECT graphs.
+        let (f_train, f_val, f_test) = if kind.learnable() {
+            (0.08, 0.01, 0.01)
+        } else {
+            (0.008, 0.001, 0.001)
+        };
+        let n_train = ((n as f64 * f_train) as usize).max(1);
+        let n_val = ((n as f64 * f_val) as usize).max(1);
+        let n_test = ((n as f64 * f_test) as usize).max(1);
+        let train = order[..n_train].to_vec();
+        let val = order[n_train..n_train + n_val].to_vec();
+        let test = order[n_train + n_val..n_train + n_val + n_test].to_vec();
+
+        SyntheticDataset {
+            kind,
+            scale,
+            graph,
+            features,
+            feature_dim,
+            labels,
+            num_classes,
+            train,
+            val,
+            test,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Stored (directed) edge count.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_stats_match_table2() {
+        let (n, e, f) = DatasetKind::OgbnPapers100M.paper_stats();
+        assert_eq!((n, e, f), (111_100_000, 1_600_000_000, 128));
+        assert_eq!(DatasetKind::OgbnProducts.paper_stats().2, 100);
+        assert_eq!(DatasetKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn products_standin_preserves_degree_and_width() {
+        let d = SyntheticDataset::generate(DatasetKind::OgbnProducts, 200, 1);
+        let (pn, pe, pf) = DatasetKind::OgbnProducts.paper_stats();
+        let paper_degree = 2.0 * pe as f64 / pn as f64;
+        assert!((d.graph.avg_degree() - paper_degree).abs() / paper_degree < 0.15,
+            "degree {} vs paper {paper_degree}", d.graph.avg_degree());
+        assert_eq!(d.feature_dim, pf);
+        assert_eq!(d.features.len(), d.num_nodes() * pf);
+        assert_eq!(d.labels.len(), d.num_nodes());
+    }
+
+    #[test]
+    fn splits_are_disjoint() {
+        let d = SyntheticDataset::generate(DatasetKind::OgbnProducts, 400, 2);
+        let mut all: Vec<NodeId> = d.train.iter().chain(&d.val).chain(&d.test).copied().collect();
+        let len = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), len, "splits overlap");
+        assert!(!d.train.is_empty() && !d.val.is_empty() && !d.test.is_empty());
+    }
+
+    #[test]
+    fn konect_standins_use_sparse_labels() {
+        let d = SyntheticDataset::generate(DatasetKind::Friendster, 2000, 3);
+        // ~0.8% of nodes in train (1% labels × 80%).
+        let frac = d.train.len() as f64 / d.num_nodes() as f64;
+        assert!(frac < 0.02, "train fraction {frac}");
+        assert!(!DatasetKind::Friendster.learnable());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticDataset::generate(DatasetKind::UkDomain, 4000, 9);
+        let b = SyntheticDataset::generate(DatasetKind::UkDomain, 4000, 9);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.features, b.features);
+    }
+}

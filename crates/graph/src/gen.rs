@@ -1,0 +1,218 @@
+//! Synthetic graph and feature generators.
+//!
+//! The paper evaluates on ogbn-products, ogbn-papers100M (real features and
+//! labels) and Friendster / UK_domain (features "randomly generated" by the
+//! authors since KONECT ships none). Without the OGB/KONECT downloads we
+//! generate structurally comparable graphs:
+//!
+//! * [`sbm`] — a stochastic block model with class-correlated features
+//!   ([`class_features`]): *learnable*, standing in for the OGB graphs in
+//!   accuracy experiments (Table III, Figure 7);
+//! * [`rmat`] — R-MAT power-law graphs standing in for the web/social
+//!   graphs in performance experiments (their epoch times depend on size,
+//!   degree distribution and feature width only);
+//! * [`erdos_renyi`] — uniform random graphs for tests and microbenches.
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+use crate::csr::Csr;
+use crate::NodeId;
+
+/// Uniform random (Erdős–Rényi-style) graph: `n·avg_degree/2` undirected
+/// edges placed uniformly, then symmetrized, giving expected degree
+/// ≈ `avg_degree`.
+pub fn erdos_renyi(n: usize, avg_degree: f64, seed: u64) -> Csr {
+    assert!(n >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = ((n as f64 * avg_degree) / 2.0) as usize;
+    let edges: Vec<(NodeId, NodeId)> = (0..m)
+        .map(|_| {
+            let s = rng.gen_range(0..n as u64);
+            let mut t = rng.gen_range(0..n as u64 - 1);
+            if t >= s {
+                t += 1; // avoid self loops without rejection
+            }
+            (s, t)
+        })
+        .collect();
+    Csr::from_edges(n, &edges, true)
+}
+
+/// R-MAT recursive-matrix generator (Chakrabarti et al.) with the classic
+/// skewed quadrant probabilities — produces the heavy-tailed degree
+/// distributions of web/social graphs like Friendster and UK_domain.
+///
+/// `scale` is log2 of the node count; `edges` are placed before
+/// symmetrization.
+pub fn rmat(scale: u32, edges: usize, seed: u64) -> Csr {
+    const A: f64 = 0.57;
+    const B: f64 = 0.19;
+    const C: f64 = 0.19;
+    let n = 1usize << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let list: Vec<(NodeId, NodeId)> = (0..edges)
+        .map(|_| {
+            let (mut s, mut t) = (0u64, 0u64);
+            for _ in 0..scale {
+                s <<= 1;
+                t <<= 1;
+                let p: f64 = rng.gen();
+                if p < A {
+                    // top-left: neither bit set
+                } else if p < A + B {
+                    t |= 1;
+                } else if p < A + B + C {
+                    s |= 1;
+                } else {
+                    s |= 1;
+                    t |= 1;
+                }
+            }
+            (s, t)
+        })
+        .collect();
+    Csr::from_edges(n, &list, true)
+}
+
+/// Stochastic block model: `n` nodes in `num_classes` equal blocks,
+/// `n·avg_degree/2` edges, each intra-block with probability `p_in`
+/// (otherwise endpoints are unrelated). Returns the graph and per-node
+/// block labels. With `p_in` well above `1/num_classes`, a GNN can recover
+/// the blocks — our stand-in for OGB node classification.
+pub fn sbm(n: usize, num_classes: usize, avg_degree: f64, p_in: f64, seed: u64) -> (Csr, Vec<u32>) {
+    assert!(num_classes >= 2 && n >= num_classes);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..num_classes as u32)).collect();
+    // Index nodes by class for fast intra-class endpoint sampling.
+    let mut by_class: Vec<Vec<NodeId>> = vec![Vec::new(); num_classes];
+    for (v, &c) in labels.iter().enumerate() {
+        by_class[c as usize].push(v as NodeId);
+    }
+    let m = ((n as f64 * avg_degree) / 2.0) as usize;
+    let edges: Vec<(NodeId, NodeId)> = (0..m)
+        .map(|_| {
+            let s = rng.gen_range(0..n as u64);
+            let t = if rng.gen::<f64>() < p_in {
+                let peers = &by_class[labels[s as usize] as usize];
+                peers[rng.gen_range(0..peers.len())]
+            } else {
+                rng.gen_range(0..n as u64)
+            };
+            (s, t)
+        })
+        .collect();
+    (Csr::from_edges(n, &edges, true), labels)
+}
+
+/// Standard-normal sample via Box–Muller.
+fn normal(rng: &mut SmallRng) -> f32 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Class-correlated node features: each class gets a random mean vector of
+/// norm ~1, each node's feature is its class mean plus `noise`·N(0,1) —
+/// the information a classifier must aggregate over neighborhoods to
+/// denoise (mirroring how OGB features correlate with labels).
+pub fn class_features(labels: &[u32], num_classes: usize, dim: usize, noise: f32, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let scale = 1.0 / (dim as f32).sqrt();
+    let means: Vec<f32> = (0..num_classes * dim).map(|_| normal(&mut rng) * scale).collect();
+    let mut out = Vec::with_capacity(labels.len() * dim);
+    for &c in labels {
+        let mean = &means[c as usize * dim..(c as usize + 1) * dim];
+        for &m in mean {
+            out.push(m + noise * normal(&mut rng) * scale);
+        }
+    }
+    out
+}
+
+/// Uncorrelated random features (the paper's treatment of Friendster and
+/// UK_domain: "As node features are not provided by the collection, we
+/// randomly generate them").
+pub fn random_features(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n * dim).map(|_| normal(&mut rng) * 0.1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_hits_target_degree() {
+        let g = erdos_renyi(2000, 10.0, 3);
+        assert_eq!(g.num_nodes(), 2000);
+        assert!((g.avg_degree() - 10.0).abs() < 0.5, "avg degree {}", g.avg_degree());
+    }
+
+    #[test]
+    fn erdos_renyi_has_no_self_loops() {
+        let g = erdos_renyi(300, 6.0, 4);
+        for v in 0..300u64 {
+            assert!(!g.neighbors(v).contains(&v), "self loop at {v}");
+        }
+    }
+
+    #[test]
+    fn rmat_is_heavy_tailed() {
+        let g = rmat(12, 40_000, 5); // 4096 nodes
+        // A power-law graph's max degree vastly exceeds its average.
+        assert!(g.max_degree() as f64 > 8.0 * g.avg_degree(), "max {} avg {}", g.max_degree(), g.avg_degree());
+    }
+
+    #[test]
+    fn sbm_labels_are_dense_and_edges_homophilous() {
+        let (g, labels) = sbm(4000, 8, 16.0, 0.9, 6);
+        assert_eq!(labels.len(), 4000);
+        assert!(labels.iter().all(|&c| c < 8));
+        // Count same-class edge endpoints: with p_in=0.9 the rate must be
+        // far above the 1/8 random baseline.
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for v in 0..4000u64 {
+            for &t in g.neighbors(v) {
+                total += 1;
+                same += usize::from(labels[v as usize] == labels[t as usize]);
+            }
+        }
+        let rate = same as f64 / total as f64;
+        assert!(rate > 0.6, "homophily rate {rate}");
+    }
+
+    #[test]
+    fn class_features_are_separable() {
+        let labels: Vec<u32> = (0..200).map(|i| (i % 4) as u32).collect();
+        let f = class_features(&labels, 4, 16, 0.3, 7);
+        assert_eq!(f.len(), 200 * 16);
+        // Same-class feature vectors are closer than cross-class ones.
+        let dist = |a: usize, b: usize| -> f32 {
+            (0..16).map(|j| (f[a * 16 + j] - f[b * 16 + j]).powi(2)).sum::<f32>()
+        };
+        let same = dist(0, 4); // both class 0
+        let cross = dist(0, 1); // class 0 vs 1
+        assert!(same < cross, "same {same} cross {cross}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = rmat(10, 5000, 42);
+        let b = rmat(10, 5000, 42);
+        assert_eq!(a, b);
+        let (g1, l1) = sbm(500, 4, 8.0, 0.8, 9);
+        let (g2, l2) = sbm(500, 4, 8.0, 0.8, 9);
+        assert_eq!(g1, g2);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn random_features_have_expected_shape() {
+        let f = random_features(10, 128, 1);
+        assert_eq!(f.len(), 1280);
+        let mean: f32 = f.iter().sum::<f32>() / f.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,101 @@
+//! GlobalID packing.
+//!
+//! §III-B: "Each graph node is assigned to a GlobalID, which is composed of
+//! rank ID and local ID." We pack both into one `u64`: the owning GPU rank
+//! in the top 16 bits, the node's local index on that GPU in the low 48 —
+//! room for 65 536 ranks and 2⁴⁸ nodes per rank, far beyond a DGX.
+
+/// A packed (rank, local) node identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GlobalId(u64);
+
+const LOCAL_BITS: u32 = 48;
+const LOCAL_MASK: u64 = (1 << LOCAL_BITS) - 1;
+
+impl GlobalId {
+    /// Pack a rank and local index.
+    #[inline]
+    pub fn new(rank: u32, local: u64) -> Self {
+        assert!(local <= LOCAL_MASK, "local id {local} exceeds 48 bits");
+        assert!(rank < (1 << 16), "rank {rank} exceeds 16 bits");
+        GlobalId(((rank as u64) << LOCAL_BITS) | local)
+    }
+
+    /// The owning GPU rank.
+    #[inline]
+    pub fn rank(self) -> u32 {
+        (self.0 >> LOCAL_BITS) as u32
+    }
+
+    /// The local index on the owning GPU.
+    #[inline]
+    pub fn local(self) -> u64 {
+        self.0 & LOCAL_MASK
+    }
+
+    /// Raw packed representation (what gets stored in edge lists).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw packed value.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        GlobalId(raw)
+    }
+}
+
+impl std::fmt::Display for GlobalId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}:{}", self.rank(), self.local())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_unpack() {
+        let g = GlobalId::new(5, 123_456);
+        assert_eq!(g.rank(), 5);
+        assert_eq!(g.local(), 123_456);
+        assert_eq!(GlobalId::from_raw(g.raw()), g);
+        assert_eq!(g.to_string(), "g5:123456");
+    }
+
+    #[test]
+    fn extremes() {
+        let g = GlobalId::new(65_535, LOCAL_MASK);
+        assert_eq!(g.rank(), 65_535);
+        assert_eq!(g.local(), LOCAL_MASK);
+        let z = GlobalId::new(0, 0);
+        assert_eq!(z.raw(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 48 bits")]
+    fn oversized_local_rejected() {
+        GlobalId::new(0, LOCAL_MASK + 1);
+    }
+
+    #[test]
+    fn ordering_is_rank_major() {
+        // GlobalIds of the same rank sort by local id; across ranks, by
+        // rank — useful for bucketing in the NCCL baseline.
+        assert!(GlobalId::new(0, 999) < GlobalId::new(1, 0));
+        assert!(GlobalId::new(2, 1) < GlobalId::new(2, 2));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(rank in 0u32..65_536, local in 0u64..=LOCAL_MASK) {
+            let g = GlobalId::new(rank, local);
+            prop_assert_eq!(g.rank(), rank);
+            prop_assert_eq!(g.local(), local);
+            prop_assert_eq!(GlobalId::from_raw(g.raw()), g);
+        }
+    }
+}

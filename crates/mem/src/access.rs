@@ -1,0 +1,135 @@
+//! Element types and global address translation.
+
+/// Marker trait for element types storable in a [`crate::WholeMemory`].
+///
+/// Stands in for "plain old device data": fixed-size, copyable, and safely
+/// zero-initializable. Implemented for the scalar types GNN training needs.
+pub trait Element: Copy + Default + Send + Sync + 'static {}
+
+impl Element for f32 {}
+impl Element for f64 {}
+impl Element for u8 {}
+impl Element for i32 {}
+impl Element for u32 {}
+impl Element for i64 {}
+impl Element for u64 {}
+
+/// Location of a global row: which device region owns it and at which local
+/// row offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowLocation {
+    /// Owning device rank (index into the memory pointer table).
+    pub device_rank: u32,
+    /// Row index within the owning region.
+    pub local_row: usize,
+}
+
+/// Chunked row partitioning: rows `[d·rows_per_rank, (d+1)·rows_per_rank)`
+/// live on rank `d`. This is exactly the layout a `cudaMalloc` per rank +
+/// IPC mapping produces, and is how WholeGraph lays out both the CSR arrays
+/// and the feature matrix (higher layers map *node IDs* onto this address
+/// space with a hash, giving the §III-B "partition by node ID hash value").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkedPartition {
+    /// Total rows in the allocation.
+    pub rows: usize,
+    /// Rows assigned to each rank (last rank may own fewer).
+    pub rows_per_rank: usize,
+    /// Number of ranks.
+    pub ranks: u32,
+}
+
+impl ChunkedPartition {
+    /// Partition `rows` rows over `ranks` devices in equal contiguous
+    /// chunks (ceil division; the last rank absorbs the remainder).
+    pub fn new(rows: usize, ranks: u32) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        let rows_per_rank = rows.div_ceil(ranks as usize).max(1);
+        ChunkedPartition {
+            rows,
+            rows_per_rank,
+            ranks,
+        }
+    }
+
+    /// Locate a global row.
+    #[inline]
+    pub fn locate(&self, row: usize) -> RowLocation {
+        debug_assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        let device_rank = (row / self.rows_per_rank) as u32;
+        RowLocation {
+            device_rank,
+            local_row: row - device_rank as usize * self.rows_per_rank,
+        }
+    }
+
+    /// Number of rows rank `r` owns.
+    pub fn rows_on_rank(&self, r: u32) -> usize {
+        let start = r as usize * self.rows_per_rank;
+        if start >= self.rows {
+            0
+        } else {
+            (self.rows - start).min(self.rows_per_rank)
+        }
+    }
+
+    /// Inverse of [`locate`](Self::locate).
+    pub fn global_row(&self, device_rank: u32, local_row: usize) -> usize {
+        device_rank as usize * self.rows_per_rank + local_row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn even_partition() {
+        let p = ChunkedPartition::new(8, 4);
+        assert_eq!(p.rows_per_rank, 2);
+        assert_eq!(p.locate(0), RowLocation { device_rank: 0, local_row: 0 });
+        assert_eq!(p.locate(3), RowLocation { device_rank: 1, local_row: 1 });
+        assert_eq!(p.locate(7), RowLocation { device_rank: 3, local_row: 1 });
+        for r in 0..4 {
+            assert_eq!(p.rows_on_rank(r), 2);
+        }
+    }
+
+    #[test]
+    fn uneven_partition_last_rank_short() {
+        let p = ChunkedPartition::new(10, 4); // ceil(10/4)=3 per rank
+        assert_eq!(p.rows_per_rank, 3);
+        assert_eq!(p.rows_on_rank(0), 3);
+        assert_eq!(p.rows_on_rank(3), 1);
+        assert_eq!(p.locate(9).device_rank, 3);
+    }
+
+    #[test]
+    fn more_ranks_than_rows() {
+        let p = ChunkedPartition::new(2, 8);
+        assert_eq!(p.rows_on_rank(0), 1);
+        assert_eq!(p.rows_on_rank(1), 1);
+        assert_eq!(p.rows_on_rank(2), 0);
+        assert_eq!(p.rows_on_rank(7), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn locate_roundtrips(rows in 1usize..10_000, ranks in 1u32..16, sel in 0.0f64..1.0) {
+            let p = ChunkedPartition::new(rows, ranks);
+            let row = ((rows as f64 - 1.0) * sel) as usize;
+            let loc = p.locate(row);
+            prop_assert!(loc.device_rank < ranks);
+            prop_assert!(loc.local_row < p.rows_on_rank(loc.device_rank));
+            prop_assert_eq!(p.global_row(loc.device_rank, loc.local_row), row);
+        }
+
+        #[test]
+        fn rank_row_counts_sum_to_total(rows in 1usize..10_000, ranks in 1u32..16) {
+            let p = ChunkedPartition::new(rows, ranks);
+            let total: usize = (0..ranks).map(|r| p.rows_on_rank(r)).sum();
+            prop_assert_eq!(total, rows);
+        }
+    }
+}

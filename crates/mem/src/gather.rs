@@ -1,0 +1,294 @@
+//! The one-kernel global gather (§III-C3, right half of Figure 4).
+//!
+//! Because every GPU can load directly from peer memory through its pointer
+//! table, gathering an arbitrary list of global rows needs **one kernel and
+//! no explicit communication**: each output row is copied straight from
+//! whichever region owns it, and "the underlying NVLink and NVSwitch handle
+//! all the necessary communication without the involvement of software."
+//!
+//! The copy below is real (a rayon-parallel loop standing in for the CUDA
+//! kernel). The simulated duration comes from the Figure 8 bandwidth curve:
+//! random reads of `width × sizeof(T)`-byte segments achieve a
+//! segment-size-dependent fraction of NVLink bandwidth.
+
+use rayon::prelude::*;
+
+use wg_sim::cost::AccessMode;
+use wg_sim::device::DeviceSpec;
+use wg_sim::{CostModel, SimTime};
+
+use crate::access::Element;
+use crate::handle::WholeMemory;
+
+/// Statistics of one global gather.
+#[derive(Clone, Copy, Debug)]
+pub struct GatherStats {
+    /// Rows gathered.
+    pub rows: usize,
+    /// Rows that were local to the executing device.
+    pub local_rows: usize,
+    /// Rows pulled from peer devices (these cross the bus).
+    pub remote_rows: usize,
+    /// Total bytes the algorithm gathered.
+    pub algo_bytes: u64,
+    /// Bytes that actually crossed NVLink (remote rows only) — the
+    /// numerator of BusBW.
+    pub bus_bytes: u64,
+    /// Simulated duration of the gather kernel.
+    pub sim_time: SimTime,
+}
+
+impl GatherStats {
+    /// Bandwidth seen by the algorithm, bytes/s.
+    pub fn algo_bandwidth(&self) -> f64 {
+        self.algo_bytes as f64 / self.sim_time.as_secs()
+    }
+
+    /// Bandwidth seen by the bus, bytes/s.
+    pub fn bus_bandwidth(&self) -> f64 {
+        self.bus_bytes as f64 / self.sim_time.as_secs()
+    }
+}
+
+/// Gather `indices` (global row ids) from `wm` into `out`, executing on
+/// device `executing_rank`.
+///
+/// `out` must hold `indices.len() * wm.width()` elements. Returns the
+/// per-op statistics including the simulated kernel duration.
+pub fn global_gather<T: Element>(
+    wm: &WholeMemory<T>,
+    indices: &[usize],
+    out: &mut [T],
+    executing_rank: u32,
+    model: &CostModel,
+    spec: &DeviceSpec,
+) -> GatherStats {
+    let width = wm.width();
+    assert_eq!(
+        out.len(),
+        indices.len() * width,
+        "gather output buffer has wrong size"
+    );
+    let regions = wm.read_all();
+    let partition = wm.partition();
+
+    // The "kernel": every thread block copies one output row from the
+    // owning region, located through the pointer table.
+    let local_rows: usize = out
+        .par_chunks_mut(width.max(1))
+        .zip(indices.par_iter())
+        .map(|(dst, &row)| {
+            let loc = partition.locate(row);
+            let src = &regions[loc.device_rank as usize];
+            let start = loc.local_row * width;
+            dst.copy_from_slice(&src[start..start + width]);
+            usize::from(loc.device_rank == executing_rank)
+        })
+        .sum();
+
+    let rows = indices.len();
+    let remote_rows = rows - local_rows;
+    let row_bytes = width * std::mem::size_of::<T>();
+    let algo_bytes = (rows * row_bytes) as u64;
+    let bus_bytes = (remote_rows * row_bytes) as u64;
+
+    let sim_time = match wm.mode() {
+        AccessMode::PeerAccess => model.dsm_gather_time(rows as u64, row_bytes, spec),
+        AccessMode::UnifiedMemory => {
+            // Every remote row triggers a page fault serviced by the host;
+            // faults for distinct rows overlap poorly because the fault
+            // handler serializes on the driver. We charge a per-fault
+            // latency amortized over a small service parallelism, plus the
+            // migration of the touched pages.
+            const FAULT_PARALLELISM: f64 = 16.0;
+            let fault = model.um_access_latency(wm.logical_bytes());
+            let fault_time = fault * (remote_rows as f64 / FAULT_PARALLELISM);
+            let page = 64 * 1024;
+            let pages = remote_rows as u64 * row_bytes.div_ceil(page) as u64;
+            let migrate = SimTime::from_secs(
+                (pages * page as u64) as f64 / model.topology.nvlink_bandwidth,
+            );
+            SimTime::from_secs(spec.kernel_launch_overhead_s) + fault_time + migrate
+        }
+    };
+
+    GatherStats {
+        rows,
+        local_rows,
+        remote_rows,
+        algo_bytes,
+        bus_bytes,
+        sim_time,
+    }
+}
+
+/// Scatter rows back into the distributed allocation (the write-side
+/// counterpart, used for embedding updates and for building storage).
+/// Returns the simulated kernel duration.
+pub fn global_scatter<T: Element>(
+    wm: &WholeMemory<T>,
+    indices: &[usize],
+    data: &[T],
+    model: &CostModel,
+    spec: &DeviceSpec,
+) -> SimTime {
+    let width = wm.width();
+    assert_eq!(
+        data.len(),
+        indices.len() * width,
+        "scatter input buffer has wrong size"
+    );
+    // Writes take region write locks; group updates per owning rank so the
+    // locks are taken once per rank rather than once per row.
+    let partition = wm.partition();
+    let mut by_rank: Vec<Vec<(usize, &[T])>> = (0..wm.ranks()).map(|_| Vec::new()).collect();
+    for (i, &row) in indices.iter().enumerate() {
+        let loc = partition.locate(row);
+        by_rank[loc.device_rank as usize].push((loc.local_row, &data[i * width..(i + 1) * width]));
+    }
+    for (rank, updates) in by_rank.into_iter().enumerate() {
+        if updates.is_empty() {
+            continue;
+        }
+        wm_write_rank(wm, rank as u32, width, &updates);
+    }
+    let row_bytes = width * std::mem::size_of::<T>();
+    model.dsm_gather_time(indices.len() as u64, row_bytes, spec)
+}
+
+fn wm_write_rank<T: Element>(wm: &WholeMemory<T>, rank: u32, width: usize, updates: &[(usize, &[T])]) {
+    // Private helper: apply a batch of (local_row, data) writes to a rank.
+    wm.with_region_mut(rank, |region| {
+        for (local_row, row) in updates {
+            let start = local_row * width;
+            region[start..start + width].copy_from_slice(row);
+        }
+    });
+}
+
+impl<T: Element> WholeMemory<T> {
+    /// Run `f` with write access to the region of `rank`.
+    pub fn with_region_mut<R>(&self, rank: u32, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+        // Exposed here (rather than handle.rs) because scatter is the only
+        // batched writer.
+        f(&mut self.region_write(rank))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+
+    fn setup(rows: usize, width: usize, ranks: u32, mode: AccessMode) -> (WholeMemory<f32>, CostModel, DeviceSpec) {
+        let model = CostModel::dgx_a100();
+        let wm = WholeMemory::<f32>::allocate(&model, ranks, rows, width, mode);
+        wm.init_rows(|row, out| {
+            for (j, v) in out.iter_mut().enumerate() {
+                *v = (row * 1000 + j) as f32;
+            }
+        });
+        (wm, model, DeviceSpec::a100_40gb())
+    }
+
+    #[test]
+    fn gather_matches_scalar_reference() {
+        let (wm, model, spec) = setup(1000, 16, 8, AccessMode::PeerAccess);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let indices: Vec<usize> = (0..333).map(|_| rng.gen_range(0..1000)).collect();
+        let mut out = vec![0.0f32; indices.len() * 16];
+        let stats = global_gather(&wm, &indices, &mut out, 0, &model, &spec);
+        assert_eq!(stats.rows, indices.len());
+        let mut expect = vec![0.0f32; 16];
+        for (i, &row) in indices.iter().enumerate() {
+            wm.read_row(row, &mut expect);
+            assert_eq!(&out[i * 16..(i + 1) * 16], &expect[..], "row {row}");
+        }
+    }
+
+    #[test]
+    fn local_remote_split_adds_up() {
+        let (wm, model, spec) = setup(800, 4, 8, AccessMode::PeerAccess);
+        let indices: Vec<usize> = (0..800).collect();
+        let mut out = vec![0.0f32; indices.len() * 4];
+        let stats = global_gather(&wm, &indices, &mut out, 3, &model, &spec);
+        assert_eq!(stats.local_rows + stats.remote_rows, 800);
+        // Chunked partition: exactly 1/8 of all rows live on rank 3.
+        assert_eq!(stats.local_rows, 100);
+        assert_eq!(stats.bus_bytes, (700 * 4 * 4) as u64);
+    }
+
+    #[test]
+    fn um_mode_is_far_slower_than_p2p() {
+        let (wm_p2p, model, spec) = setup(4096, 32, 8, AccessMode::PeerAccess);
+        let (wm_um, _, _) = setup(4096, 32, 8, AccessMode::UnifiedMemory);
+        let indices: Vec<usize> = (0..2048).collect();
+        let mut out = vec![0.0f32; indices.len() * 32];
+        let p2p = global_gather(&wm_p2p, &indices, &mut out, 0, &model, &spec);
+        let um = global_gather(&wm_um, &indices, &mut out, 0, &model, &spec);
+        assert!(um.sim_time / p2p.sim_time > 10.0, "UM should be >10x slower");
+    }
+
+    #[test]
+    fn wide_rows_achieve_near_saturated_bandwidth() {
+        // papers100M rows are 512 B; Figure 8 says those saturate NVLink.
+        let (wm, model, spec) = setup(100_000, 128, 8, AccessMode::PeerAccess);
+        let indices: Vec<usize> = (0..100_000).collect();
+        let mut out = vec![0.0f32; indices.len() * 128];
+        let stats = global_gather(&wm, &indices, &mut out, 0, &model, &spec);
+        let algobw = stats.algo_bandwidth();
+        assert!(algobw > 0.8 * model.gather_algobw(512), "algo bandwidth {algobw:.3e}");
+    }
+
+    #[test]
+    fn scatter_then_gather_roundtrips() {
+        let (wm, model, spec) = setup(100, 8, 4, AccessMode::PeerAccess);
+        let indices = vec![3usize, 77, 42, 99];
+        let data: Vec<f32> = (0..indices.len() * 8).map(|x| x as f32 * 0.5).collect();
+        global_scatter(&wm, &indices, &data, &model, &spec);
+        let mut out = vec![0.0f32; indices.len() * 8];
+        global_gather(&wm, &indices, &mut out, 0, &model, &spec);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn wrong_output_size_panics() {
+        let (wm, model, spec) = setup(10, 4, 2, AccessMode::PeerAccess);
+        let mut out = vec![0.0f32; 3];
+        global_gather(&wm, &[0, 1], &mut out, 0, &model, &spec);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn gather_is_correct_for_any_shape(
+            rows in 1usize..500,
+            width in 1usize..32,
+            ranks in 1u32..8,
+            seed in 0u64..1000,
+        ) {
+            let model = CostModel::dgx_a100();
+            let wm = WholeMemory::<f32>::allocate(&model, ranks, rows, width, AccessMode::PeerAccess);
+            wm.init_rows(|row, out| {
+                for (j, v) in out.iter_mut().enumerate() {
+                    *v = (row * 37 + j) as f32;
+                }
+            });
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(1..=rows * 2);
+            let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..rows)).collect();
+            let mut out = vec![0.0f32; n * width];
+            let spec = DeviceSpec::a100_40gb();
+            let stats = global_gather(&wm, &indices, &mut out, 0, &model, &spec);
+            prop_assert_eq!(stats.local_rows + stats.remote_rows, n);
+            for (i, &row) in indices.iter().enumerate() {
+                for j in 0..width {
+                    prop_assert_eq!(out[i * width + j], (row * 37 + j) as f32);
+                }
+            }
+        }
+    }
+}

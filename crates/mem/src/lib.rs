@@ -1,0 +1,45 @@
+//! # wg-mem — the WholeMemory multi-GPU distributed shared memory library
+//!
+//! This crate reproduces §III-B of the WholeGraph paper: a library that
+//! treats the device memory of all GPUs on a node as **one logically shared
+//! address space**. Each (simulated) GPU process allocates its partition,
+//! exposes it through a CUDA-IPC-style handle, the handles are AllGathered,
+//! and every device ends up with a *memory pointer table* through which it
+//! can directly load/store any peer's memory — the GPUDirect P2P path.
+//!
+//! On top of the address space the crate implements the paper's
+//! communication primitives:
+//!
+//! * [`handle`] — [`WholeMemory`], the distributed allocation itself, with
+//!   chunked row partitioning and global addressing;
+//! * [`ipc`] — the handle-exchange setup protocol (AllGather of handles,
+//!   pointer-table construction, setup-time cost);
+//! * [`access`] — element-level global reads/writes and address
+//!   translation;
+//! * [`gather`] — the **one-kernel global gather** of §III-C3 (each GPU
+//!   directly reads peer memory; NVLink handles the communication);
+//! * [`nccl`] — the 5-step distributed-memory gather baseline of Figure 4
+//!   (bucket → exchange counts → alltoallv IDs → local gather → alltoallv
+//!   features → reorder), used by Figure 10;
+//! * [`probe`] — the microbenchmarks behind Table I (UM vs P2P pointer
+//!   chase) and Figure 8 (random-read bandwidth vs segment size).
+//!
+//! All data movement is real (bytes are copied between per-device regions
+//! by rayon-parallel loops standing in for CUDA kernels); the simulated
+//! elapsed time of every operation comes from the calibrated cost models in
+//! [`wg_sim`].
+
+pub mod access;
+pub mod embedding;
+pub mod gather;
+pub mod handle;
+pub mod ipc;
+pub mod nccl;
+pub mod probe;
+
+pub use access::Element;
+pub use embedding::EmbeddingTable;
+pub use gather::GatherStats;
+pub use handle::WholeMemory;
+pub use ipc::{IpcHandle, MemoryPointerTable, SetupReport};
+pub use nccl::NcclGatherStats;

@@ -1,0 +1,239 @@
+//! Microbenchmark probes behind Table I and Figure 8.
+//!
+//! * [`pointer_chase`] reproduces the paper's latency experiment (§II-B):
+//!   a single thread walks a dependency chain of 100 K random addresses
+//!   spread across the distributed allocation, so no latency can be hidden;
+//!   the average per-access time is reported for UM and P2P modes.
+//! * [`random_gather_bandwidth`] reproduces the Figure 8 experiment: each
+//!   GPU gathers a large volume of randomly placed contiguous segments from
+//!   a 128 GB distributed allocation, sweeping the segment size from 4 B to
+//!   4 KB, and reports AlgoBW and BusBW.
+//!
+//! Both probes run the *real* access pattern over a proportionally scaled
+//! array (we cannot allocate 128 GB here) while the latency/bandwidth models
+//! are evaluated at the paper's logical sizes via
+//! [`WholeMemory::set_logical_bytes`].
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+use wg_sim::cost::AccessMode;
+use wg_sim::device::DeviceSpec;
+use wg_sim::{CostModel, SimTime};
+
+use crate::gather::global_gather;
+use crate::handle::WholeMemory;
+
+/// Result of a pointer-chase latency probe.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaseReport {
+    /// Number of dependent accesses performed.
+    pub steps: usize,
+    /// Average simulated latency per access.
+    pub avg_latency: SimTime,
+    /// Total simulated time of the chase.
+    pub total_time: SimTime,
+    /// Sum of visited indices — forces the real walk to happen and lets
+    /// tests detect a broken chain.
+    pub checksum: u64,
+}
+
+/// Walk a `steps`-long dependency chain through a distributed allocation.
+///
+/// * `logical_bytes` — the allocation size the latency model sees (Table I
+///   sweeps 8–128 GB);
+/// * `real_rows` — the scaled size of the actual in-memory array the chain
+///   is embedded in;
+/// * `mode` — [`AccessMode::PeerAccess`] or [`AccessMode::UnifiedMemory`].
+///
+/// As in the paper, "according to the value just visited ... the thread
+/// determines the next memory access address", so accesses serialize and
+/// the latency cannot be hidden.
+pub fn pointer_chase(
+    model: &CostModel,
+    mode: AccessMode,
+    logical_bytes: u64,
+    real_rows: usize,
+    steps: usize,
+    seed: u64,
+) -> ChaseReport {
+    assert!(real_rows >= 2, "need at least two rows to chase");
+    let ranks = model.topology.num_gpus;
+    let mut wm = WholeMemory::<u64>::allocate(model, ranks, real_rows, 1, mode);
+    wm.set_logical_bytes(logical_bytes);
+
+    // Embed a single random cycle over all rows so the walk never
+    // short-circuits: next[i] = cycle successor of i.
+    let mut perm: Vec<usize> = (0..real_rows).collect();
+    perm.shuffle(&mut SmallRng::seed_from_u64(seed));
+    wm.init_rows(|_, _| {});
+    for w in 0..real_rows {
+        let from = perm[w];
+        let to = perm[(w + 1) % real_rows];
+        wm.write_row(from, &[to as u64]);
+    }
+
+    // The chase: every access really reads the array; every access is
+    // charged the mode's dependent-load latency into a `logical_bytes`
+    // sized distributed allocation (the Table I measurement is exactly
+    // this blended average).
+    let per_access = model.remote_access_latency(mode, logical_bytes);
+    let mut at = perm[0];
+    let mut checksum = 0u64;
+    let mut next = [0u64; 1];
+    for _ in 0..steps {
+        wm.read_row(at, &mut next);
+        checksum = checksum.wrapping_add(next[0]);
+        at = next[0] as usize;
+    }
+    let total = per_access * steps as f64;
+    ChaseReport {
+        steps,
+        avg_latency: if steps > 0 { total / steps as f64 } else { SimTime::ZERO },
+        total_time: total,
+        checksum,
+    }
+}
+
+/// One point of the Figure 8 bandwidth sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct BandwidthPoint {
+    /// Contiguous segment size of each random read, bytes.
+    pub segment_bytes: usize,
+    /// Bandwidth seen by the algorithm, GB/s.
+    pub algo_gbps: f64,
+    /// Bandwidth seen by the NVLink bus, GB/s.
+    pub bus_gbps: f64,
+}
+
+/// Measure random-read bandwidth at one segment size.
+///
+/// Logically each of the `ranks` GPUs gathers `logical_bytes_per_gpu`
+/// (4 GB in the paper) of `segment_bytes`-sized segments from a
+/// `logical_total_bytes` (128 GB) distributed allocation; the real run
+/// executes a proportionally scaled copy so the code path (random segment
+/// gather through the pointer table) is truly exercised.
+#[allow(clippy::too_many_arguments)] // probe parameters mirror the paper experiment
+pub fn random_gather_bandwidth(
+    model: &CostModel,
+    spec: &DeviceSpec,
+    segment_bytes: usize,
+    logical_total_bytes: u64,
+    logical_bytes_per_gpu: u64,
+    real_rows: usize,
+    real_segments: usize,
+    seed: u64,
+) -> BandwidthPoint {
+    assert!(segment_bytes >= 4, "segments below one element are not addressable");
+    let ranks = model.topology.num_gpus;
+    let width = segment_bytes / 4; // f32 elements per segment
+    let mut wm = WholeMemory::<f32>::allocate(model, ranks, real_rows, width, AccessMode::PeerAccess);
+    wm.set_logical_bytes(logical_total_bytes);
+    wm.init_rows(|row, out| {
+        for (j, v) in out.iter_mut().enumerate() {
+            *v = (row + j) as f32;
+        }
+    });
+
+    // Real scaled gather — exercises the actual kernel.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let indices: Vec<usize> = (0..real_segments).map(|_| rng.gen_range(0..real_rows)).collect();
+    let mut out = vec![0.0f32; real_segments * width];
+    let _ = global_gather(&wm, &indices, &mut out, 0, model, spec);
+
+    // Bandwidth at the paper's logical volume.
+    let logical_segments = logical_bytes_per_gpu / segment_bytes as u64;
+    let t = model.dsm_gather_time(logical_segments, segment_bytes, spec);
+    let algo = logical_bytes_per_gpu as f64 / t.as_secs() / 1e9;
+    let n = ranks as f64;
+    let bus = algo * (n - 1.0) / n;
+    BandwidthPoint {
+        segment_bytes,
+        algo_gbps: algo,
+        bus_gbps: bus,
+    }
+}
+
+/// Run the full Figure 8 sweep (segment sizes 4 B → 4 KB, doubling).
+pub fn bandwidth_sweep(model: &CostModel, spec: &DeviceSpec) -> Vec<BandwidthPoint> {
+    const GB: u64 = 1 << 30;
+    let mut points = Vec::new();
+    let mut seg = 4usize;
+    while seg <= 4096 {
+        points.push(random_gather_bandwidth(
+            model,
+            spec,
+            seg,
+            128 * GB,
+            4 * GB,
+            1 << 16,
+            1 << 14,
+            42 + seg as u64,
+        ));
+        seg *= 2;
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn chase_walks_a_full_cycle() {
+        let model = CostModel::dgx_a100();
+        let r = pointer_chase(&model, AccessMode::PeerAccess, 8 * GB, 64, 64, 9);
+        // Visiting a full cycle of length 64 sums every index exactly once.
+        assert_eq!(r.checksum, (0..64u64).sum::<u64>());
+        assert_eq!(r.steps, 64);
+    }
+
+    #[test]
+    fn chase_reproduces_table1_p2p_column() {
+        let model = CostModel::dgx_a100();
+        for (gb, us) in [(8u64, 1.35), (16, 1.37), (32, 1.43), (64, 1.51), (128, 1.56)] {
+            let r = pointer_chase(&model, AccessMode::PeerAccess, gb * GB, 1024, 2000, 1);
+            assert!(
+                (r.avg_latency.as_micros() - us).abs() < 0.05,
+                "{gb} GB: {} vs paper {us} µs",
+                r.avg_latency
+            );
+        }
+    }
+
+    #[test]
+    fn chase_reproduces_table1_um_column() {
+        let model = CostModel::dgx_a100();
+        for (gb, us) in [(8u64, 20.8), (16, 29.6), (32, 32.5), (64, 35.3), (128, 35.8)] {
+            let r = pointer_chase(&model, AccessMode::UnifiedMemory, gb * GB, 1024, 2000, 1);
+            assert!(
+                (r.avg_latency.as_micros() - us).abs() < 1.5,
+                "{gb} GB: {} vs paper {us} µs",
+                r.avg_latency
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_reproduces_figure8_shape() {
+        let model = CostModel::dgx_a100();
+        let spec = DeviceSpec::a100_40gb();
+        let pts = bandwidth_sweep(&model, &spec);
+        assert_eq!(pts.len(), 11); // 4..4096 doubling
+        // Monotone nondecreasing bus bandwidth.
+        for w in pts.windows(2) {
+            assert!(w[1].bus_gbps >= w[0].bus_gbps - 1e-9);
+        }
+        let at = |seg: usize| pts.iter().find(|p| p.segment_bytes == seg).unwrap();
+        // ≈181 GB/s BusBW at 64 B (within model overheads).
+        assert!((at(64).bus_gbps - 181.0).abs() < 10.0, "{}", at(64).bus_gbps);
+        // ≈230 GB/s from 128 B up; AlgoBW ≈ 260 GB/s.
+        assert!((at(512).bus_gbps - 230.0).abs() < 12.0, "{}", at(512).bus_gbps);
+        assert!((at(512).algo_gbps - 260.0).abs() < 15.0, "{}", at(512).algo_gbps);
+        // Proportional regime below the knee.
+        let ratio = at(32).bus_gbps / at(16).bus_gbps;
+        assert!((ratio - 2.0).abs() < 0.1, "sub-knee proportionality: {ratio}");
+    }
+}

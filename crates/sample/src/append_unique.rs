@@ -1,0 +1,310 @@
+//! The AppendUnique op (§III-C2, Figure 5).
+//!
+//! After neighbor sampling, "the same nodes may be sampled from different
+//! target nodes", and every duplicate gathered feature row is wasted NVLink
+//! bandwidth. AppendUnique fuses three jobs into one pass:
+//!
+//! 1. put all **target nodes first** in the output node list (so the next
+//!    layer can reuse the already-gathered target features — the targets of
+//!    layer *l* are a prefix of the node list of layer *l+1*);
+//! 2. deduplicate the sampled neighbors with a **hash table** (not the
+//!    sort other frameworks use) — targets are inserted with their list
+//!    index as value, neighbors with value −1;
+//! 3. assign the unique new neighbors **contiguous sub-graph IDs** after
+//!    the targets: the table's slots are cut into buckets, the −1 values
+//!    per bucket are counted, an exclusive prefix sum over the bucket table
+//!    yields each bucket's starting ID.
+//!
+//! The op also emits the per-node **duplicate count** that the g-SpMM
+//! backward of §III-C4 uses to replace atomic adds with plain stores for
+//! nodes sampled exactly once.
+
+use rayon::prelude::*;
+
+use crate::hashtable::{GpuHashTable, Insert, UNASSIGNED};
+use crate::prefix::parallel_exclusive_scan;
+
+/// Slots per counting bucket (a warp-sized granule in the CUDA kernel).
+const BUCKET_SLOTS: usize = 128;
+
+/// Output of [`append_unique`].
+#[derive(Clone, Debug)]
+pub struct AppendUniqueResult {
+    /// Unique node keys: the targets (in input order) followed by the
+    /// unique new neighbors.
+    pub unique: Vec<u64>,
+    /// Number of target nodes (prefix length of `unique`).
+    pub num_targets: usize,
+    /// For every input neighbor, its sub-graph ID (index into `unique`).
+    pub neighbor_ids: Vec<u32>,
+    /// Per unique node: how many times it appeared in `neighbors`.
+    pub dup_count: Vec<u32>,
+}
+
+impl AppendUniqueResult {
+    /// Number of unique nodes (targets + new neighbors).
+    pub fn num_unique(&self) -> usize {
+        self.unique.len()
+    }
+}
+
+/// Run AppendUnique over a target list (assumed duplicate-free) and the
+/// concatenated sampled-neighbor list.
+///
+/// ```
+/// let targets = [10u64, 20];
+/// let neighbors = [30u64, 20, 30, 40];
+/// let r = wg_sample::append_unique(&targets, &neighbors);
+/// // Targets stay first, in order; {30, 40} are appended deduplicated.
+/// assert_eq!(&r.unique[..2], &targets);
+/// assert_eq!(r.num_unique(), 4);
+/// // Every sampled neighbor maps back to its own key.
+/// for (&n, &id) in neighbors.iter().zip(&r.neighbor_ids) {
+///     assert_eq!(r.unique[id as usize], n);
+/// }
+/// // Duplicate counts drive the SpMM backward fast path.
+/// assert_eq!(r.dup_count.iter().sum::<u32>(), 4);
+/// ```
+pub fn append_unique(targets: &[u64], neighbors: &[u64]) -> AppendUniqueResult {
+    let num_targets = targets.len();
+    let table = GpuHashTable::with_capacity(num_targets + neighbors.len());
+
+    // Phase 1: insert targets with their list index as value.
+    targets.par_iter().enumerate().for_each(|(idx, &key)| {
+        match table.insert(key) {
+            Insert::New(slot) => table.set_value(slot, idx as i64),
+            Insert::Existing(_) => panic!("duplicate target node {key} passed to AppendUnique"),
+        }
+    });
+
+    // Phase 2: insert neighbors; new ones keep value −1, duplicates only
+    // bump the slot's duplicate counter.
+    neighbors.par_iter().for_each(|&key| {
+        table.insert_counted(key);
+    });
+
+    // Phase 3: bucket-count the −1 slots and prefix-sum the bucket table.
+    let slots = table.num_slots();
+    let num_buckets = slots.div_ceil(BUCKET_SLOTS);
+    let mut bucket_counts: Vec<u32> = (0..num_buckets)
+        .into_par_iter()
+        .map(|b| {
+            let lo = b * BUCKET_SLOTS;
+            let hi = (lo + BUCKET_SLOTS).min(slots);
+            (lo..hi)
+                .filter(|&s| {
+                    table.key_at(s) != crate::hashtable::EMPTY_KEY && table.value_at(s) == UNASSIGNED
+                })
+                .count() as u32
+        })
+        .collect();
+    let new_neighbors = parallel_exclusive_scan(&mut bucket_counts) as usize;
+
+    // Phase 4: assign sub-graph IDs (targets count + bucket start + offset
+    // within bucket) and collect the unique list + duplicate counts.
+    let total_unique = num_targets + new_neighbors;
+    let mut unique = vec![0u64; total_unique];
+    let mut dup_count = vec![0u32; total_unique];
+    unique[..num_targets].copy_from_slice(targets);
+    // Targets' duplicate counts come from their slots.
+    for (idx, &key) in targets.iter().enumerate() {
+        let (slot, _) = table.get(key).expect("target vanished from table");
+        dup_count[idx] = table.count_at(slot) as u32;
+    }
+    // Walk each bucket, handing out its ID range to its −1 slots.
+    // (Safe to parallelize over buckets: ranges are disjoint.)
+    let unique_cell = &mut unique[..];
+    let dup_cell = &mut dup_count[..];
+    // Collect assignments first to avoid aliasing the output slices from
+    // the parallel loop.
+    let assignments: Vec<(usize, u64, u32)> = (0..num_buckets)
+        .into_par_iter()
+        .flat_map_iter(|b| {
+            let lo = b * BUCKET_SLOTS;
+            let hi = (lo + BUCKET_SLOTS).min(slots);
+            let mut next = num_targets + bucket_counts[b] as usize;
+            let mut out = Vec::new();
+            for s in lo..hi {
+                if table.key_at(s) != crate::hashtable::EMPTY_KEY && table.value_at(s) == UNASSIGNED
+                {
+                    table.set_value(s, next as i64);
+                    out.push((next, table.key_at(s), table.count_at(s) as u32));
+                    next += 1;
+                }
+            }
+            out
+        })
+        .collect();
+    for (id, key, count) in assignments {
+        unique_cell[id] = key;
+        dup_cell[id] = count;
+    }
+
+    // Phase 5: remap every input neighbor through the table.
+    let neighbor_ids: Vec<u32> = neighbors
+        .par_iter()
+        .map(|&key| {
+            let (_, v) = table.get(key).expect("sampled neighbor missing from table");
+            debug_assert!(v >= 0, "neighbor {key} was never assigned a sub-graph ID");
+            v as u32
+        })
+        .collect();
+
+    AppendUniqueResult {
+        unique,
+        num_targets,
+        neighbor_ids,
+        dup_count,
+    }
+}
+
+/// Sort-based reference implementation ("the sort method used in other
+/// frameworks"): sort + dedup the neighbor list, subtract the target set,
+/// then binary-search remap. Produces the same unique *set* with the same
+/// targets-first property, but orders new neighbors by key. Used for
+/// cross-checking and the ablation benchmark.
+pub fn append_unique_sorted(targets: &[u64], neighbors: &[u64]) -> AppendUniqueResult {
+    use std::collections::HashMap;
+    let num_targets = targets.len();
+    let target_index: HashMap<u64, u32> =
+        targets.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+    assert_eq!(target_index.len(), num_targets, "duplicate target nodes");
+
+    let mut sorted: Vec<u64> = neighbors
+        .iter()
+        .copied()
+        .filter(|k| !target_index.contains_key(k))
+        .collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    let mut unique = Vec::with_capacity(num_targets + sorted.len());
+    unique.extend_from_slice(targets);
+    unique.extend_from_slice(&sorted);
+
+    let id_of = |key: u64| -> u32 {
+        if let Some(&i) = target_index.get(&key) {
+            i
+        } else {
+            num_targets as u32 + sorted.binary_search(&key).expect("missing neighbor") as u32
+        }
+    };
+    let neighbor_ids: Vec<u32> = neighbors.iter().map(|&k| id_of(k)).collect();
+    let mut dup_count = vec![0u32; unique.len()];
+    for &id in &neighbor_ids {
+        dup_count[id as usize] += 1;
+    }
+    AppendUniqueResult {
+        unique,
+        num_targets,
+        neighbor_ids,
+        dup_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::{HashMap, HashSet};
+
+    /// Shared invariants both implementations must satisfy.
+    fn check_invariants(targets: &[u64], neighbors: &[u64], r: &AppendUniqueResult) {
+        // Targets first, in order.
+        assert_eq!(&r.unique[..targets.len()], targets);
+        assert_eq!(r.num_targets, targets.len());
+        // Unique list has no duplicates and covers targets ∪ neighbors.
+        let set: HashSet<u64> = r.unique.iter().copied().collect();
+        assert_eq!(set.len(), r.unique.len(), "unique list has duplicates");
+        let expect: HashSet<u64> = targets.iter().chain(neighbors).copied().collect();
+        assert_eq!(set, expect, "unique set mismatch");
+        // Every neighbor remaps to its own key.
+        assert_eq!(r.neighbor_ids.len(), neighbors.len());
+        for (&n, &id) in neighbors.iter().zip(&r.neighbor_ids) {
+            assert_eq!(r.unique[id as usize], n, "bad remap for {n}");
+        }
+        // Duplicate counts total the neighbor list length and match a
+        // scalar count.
+        let total: u32 = r.dup_count.iter().sum();
+        assert_eq!(total as usize, neighbors.len());
+        let mut hist: HashMap<u64, u32> = HashMap::new();
+        for &n in neighbors {
+            *hist.entry(n).or_insert(0) += 1;
+        }
+        for (i, &key) in r.unique.iter().enumerate() {
+            assert_eq!(r.dup_count[i], hist.get(&key).copied().unwrap_or(0), "dup count of {key}");
+        }
+    }
+
+    #[test]
+    fn figure5_example() {
+        // Four targets T0..T3, neighbors with duplicates and overlap with
+        // the target set.
+        let targets = [100u64, 200, 300, 400];
+        let neighbors = [500u64, 200, 500, 600, 100, 700, 700, 700];
+        let r = append_unique(&targets, &neighbors);
+        check_invariants(&targets, &neighbors, &r);
+        // 4 targets + {500, 600, 700} new neighbors.
+        assert_eq!(r.num_unique(), 7);
+        // Targets sampled as neighbors keep their target IDs.
+        assert_eq!(r.neighbor_ids[1], 1); // 200 -> T1
+        assert_eq!(r.neighbor_ids[4], 0); // 100 -> T0
+        // 700 was sampled three times.
+        let id700 = r.neighbor_ids[5] as usize;
+        assert_eq!(r.dup_count[id700], 3);
+    }
+
+    #[test]
+    fn no_neighbors() {
+        let targets = [1u64, 2, 3];
+        let r = append_unique(&targets, &[]);
+        check_invariants(&targets, &[], &r);
+        assert_eq!(r.num_unique(), 3);
+        assert_eq!(r.dup_count, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn all_neighbors_are_targets() {
+        let targets = [10u64, 20];
+        let neighbors = [20u64, 10, 20];
+        let r = append_unique(&targets, &neighbors);
+        check_invariants(&targets, &neighbors, &r);
+        assert_eq!(r.num_unique(), 2);
+        assert_eq!(r.dup_count, vec![1, 2]);
+    }
+
+    #[test]
+    fn sorted_baseline_agrees_on_set_and_counts() {
+        let targets = [7u64, 3, 11];
+        let neighbors = [5u64, 5, 3, 9, 11, 9, 9];
+        let a = append_unique(&targets, &neighbors);
+        let b = append_unique_sorted(&targets, &neighbors);
+        check_invariants(&targets, &neighbors, &a);
+        check_invariants(&targets, &neighbors, &b);
+        let sa: HashSet<u64> = a.unique.iter().copied().collect();
+        let sb: HashSet<u64> = b.unique.iter().copied().collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target")]
+    fn duplicate_targets_rejected() {
+        append_unique(&[1, 1], &[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn invariants_hold_for_random_inputs(
+            raw_targets in prop::collection::hash_set(0u64..500, 1..40),
+            neighbors in prop::collection::vec(0u64..500, 0..400),
+        ) {
+            let targets: Vec<u64> = raw_targets.into_iter().collect();
+            let r = append_unique(&targets, &neighbors);
+            check_invariants(&targets, &neighbors, &r);
+            let s = append_unique_sorted(&targets, &neighbors);
+            check_invariants(&targets, &neighbors, &s);
+            prop_assert_eq!(r.num_unique(), s.num_unique());
+        }
+    }
+}

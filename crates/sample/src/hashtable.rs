@@ -1,0 +1,226 @@
+//! GPU-style open-addressing hash table.
+//!
+//! §III-C2 adopts "the hash table method instead of the sort method used in
+//! other frameworks" and borrows the insertion scheme of **Warpcore**
+//! (Jünger et al., HiPC '20): a flat open-addressing table whose slots are
+//! claimed with atomic compare-and-swap, probed linearly — the access
+//! pattern that coalesces well on GPUs. Our slots are `AtomicU64` keys and
+//! `AtomicI64` values, inserted concurrently from rayon worker threads with
+//! exactly the CAS discipline of the CUDA kernel.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Sentinel for an unoccupied slot. Keys equal to this value cannot be
+/// stored (node GlobalIds never collide with it: rank 65535 + max local).
+pub const EMPTY_KEY: u64 = u64::MAX;
+
+/// Value meaning "inserted as a neighbor, sub-graph ID not yet assigned"
+/// (§III-C2: "we assign the value of the hash table of the neighbor node
+/// for -1 in the beginning").
+pub const UNASSIGNED: i64 = -1;
+
+/// A fixed-capacity concurrent hash table with linear probing.
+pub struct GpuHashTable {
+    keys: Vec<AtomicU64>,
+    values: Vec<AtomicI64>,
+    /// Per-slot duplicate counters ("duplicate count for each sub-graph
+    /// node indicating how many times the node is sampled as a neighbor" —
+    /// §III-C4).
+    counts: Vec<AtomicU64>,
+    mask: usize,
+}
+
+/// Outcome of an insert.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Insert {
+    /// The key was absent; this call claimed slot `.0`.
+    New(usize),
+    /// The key already existed in slot `.0`.
+    Existing(usize),
+}
+
+impl GpuHashTable {
+    /// A table able to hold at least `capacity` keys at ≤50% load factor.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (capacity.max(1) * 2).next_power_of_two();
+        GpuHashTable {
+            keys: (0..slots).map(|_| AtomicU64::new(EMPTY_KEY)).collect(),
+            values: (0..slots).map(|_| AtomicI64::new(UNASSIGNED)).collect(),
+            counts: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            mask: slots - 1,
+        }
+    }
+
+    /// Number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    fn hash(&self, key: u64) -> usize {
+        // splitmix64 finalizer — same mixer the partitioner uses.
+        let mut x = key.wrapping_add(0x9e3779b97f4a7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (x ^ (x >> 31)) as usize & self.mask
+    }
+
+    /// Insert `key`, claiming a slot with CAS if absent. Thread-safe.
+    pub fn insert(&self, key: u64) -> Insert {
+        debug_assert_ne!(key, EMPTY_KEY, "sentinel key is not storable");
+        let mut slot = self.hash(key);
+        loop {
+            let cur = self.keys[slot].load(Ordering::Acquire);
+            if cur == key {
+                return Insert::Existing(slot);
+            }
+            if cur == EMPTY_KEY {
+                match self.keys[slot].compare_exchange(
+                    EMPTY_KEY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return Insert::New(slot),
+                    Err(winner) if winner == key => return Insert::Existing(slot),
+                    Err(_) => { /* someone else claimed it with a different key: probe on */ }
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Insert and bump the slot's duplicate counter (neighbor insertion).
+    pub fn insert_counted(&self, key: u64) -> Insert {
+        let r = self.insert(key);
+        let slot = match r {
+            Insert::New(s) | Insert::Existing(s) => s,
+        };
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        r
+    }
+
+    /// Set the value of a slot.
+    pub fn set_value(&self, slot: usize, value: i64) {
+        self.values[slot].store(value, Ordering::Release);
+    }
+
+    /// Look up a key; returns `(slot, value)` if present.
+    pub fn get(&self, key: u64) -> Option<(usize, i64)> {
+        let mut slot = self.hash(key);
+        loop {
+            let cur = self.keys[slot].load(Ordering::Acquire);
+            if cur == key {
+                return Some((slot, self.values[slot].load(Ordering::Acquire)));
+            }
+            if cur == EMPTY_KEY {
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Key stored in a slot (or `EMPTY_KEY`).
+    pub fn key_at(&self, slot: usize) -> u64 {
+        self.keys[slot].load(Ordering::Acquire)
+    }
+
+    /// Value stored in a slot.
+    pub fn value_at(&self, slot: usize) -> i64 {
+        self.values[slot].load(Ordering::Acquire)
+    }
+
+    /// Duplicate counter of a slot.
+    pub fn count_at(&self, slot: usize) -> u64 {
+        self.counts[slot].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn insert_and_get() {
+        let t = GpuHashTable::with_capacity(16);
+        let slot = match t.insert(42) {
+            Insert::New(s) => s,
+            Insert::Existing(_) => panic!("fresh key reported existing"),
+        };
+        assert_eq!(t.insert(42), Insert::Existing(slot));
+        t.set_value(slot, 7);
+        assert_eq!(t.get(42), Some((slot, 7)));
+        assert_eq!(t.get(43), None);
+    }
+
+    #[test]
+    fn colliding_keys_probe_to_distinct_slots() {
+        let t = GpuHashTable::with_capacity(4); // 8 slots
+        let mut slots = std::collections::HashSet::new();
+        for key in 0..6u64 {
+            let s = match t.insert(key) {
+                Insert::New(s) => s,
+                Insert::Existing(_) => panic!("duplicate for fresh key"),
+            };
+            assert!(slots.insert(s), "slot reused");
+        }
+        for key in 0..6u64 {
+            assert!(t.get(key).is_some());
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_claim_each_key_once() {
+        let t = GpuHashTable::with_capacity(10_000);
+        // 16 threads insert an overlapping key range; every key must be
+        // claimed as New exactly once.
+        let news: usize = (0..16)
+            .into_par_iter()
+            .map(|_| {
+                (0..5000u64)
+                    .filter(|&k| matches!(t.insert(k), Insert::New(_)))
+                    .count()
+            })
+            .sum();
+        assert_eq!(news, 5000);
+        for k in 0..5000u64 {
+            assert!(t.get(k).is_some());
+        }
+    }
+
+    #[test]
+    fn duplicate_counts_accumulate() {
+        let t = GpuHashTable::with_capacity(8);
+        t.insert_counted(5);
+        t.insert_counted(5);
+        t.insert_counted(5);
+        t.insert_counted(6);
+        let (slot5, _) = t.get(5).unwrap();
+        let (slot6, _) = t.get(6).unwrap();
+        assert_eq!(t.count_at(slot5), 3);
+        assert_eq!(t.count_at(slot6), 1);
+    }
+
+    #[test]
+    fn concurrent_counts_are_exact() {
+        let t = GpuHashTable::with_capacity(64);
+        (0..8).into_par_iter().for_each(|_| {
+            for _ in 0..1000 {
+                t.insert_counted(1);
+            }
+        });
+        let (slot, _) = t.get(1).unwrap();
+        assert_eq!(t.count_at(slot), 8000);
+    }
+
+    #[test]
+    fn values_default_to_unassigned() {
+        let t = GpuHashTable::with_capacity(4);
+        if let Insert::New(s) = t.insert(9) {
+            assert_eq!(t.value_at(s), UNASSIGNED);
+        } else {
+            panic!();
+        }
+    }
+}

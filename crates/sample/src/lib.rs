@@ -1,0 +1,42 @@
+//! # wg-sample — WholeGraph's sampling ops (§III-C)
+//!
+//! Mini-batch GNN training needs, per iteration: random neighbor sampling
+//! without replacement for every target node, deduplication of the sampled
+//! node set, and construction of the computation sub-graph. WholeGraph
+//! moves all three onto the GPU; this crate reproduces them:
+//!
+//! * [`wrs`] — **Algorithm 1**: fully parallel random sampling without
+//!   replacement using the path-doubling method, plus sequential reference
+//!   samplers it is property-tested against;
+//! * [`radix`] — the packed 64-bit radix sort the paper uses inside
+//!   Algorithm 1 ("we pack 32-bit array r[M] and its index array to one
+//!   64-bit array ... then use radix-sort");
+//! * [`hashtable`] — a GPU-style (Warpcore-like) open-addressing hash
+//!   table with atomic CAS insertion;
+//! * [`prefix`] — exclusive prefix sums (used for sub-graph ID
+//!   assignment);
+//! * [`append_unique`] — the **AppendUnique** op of §III-C2 / Figure 5:
+//!   targets first, hash-based dedup, bucket-count + prefix-sum ID
+//!   assignment, duplicate counts (consumed by the g-SpMM backward
+//!   optimization), plus the sort-based baseline other frameworks use;
+//! * [`neighbor`] — multi-layer neighbor sampling over either the
+//!   multi-GPU store or the host store (the same algorithm parameterized by
+//!   a [`neighbor::GraphAccess`], so WholeGraph and the DGL/PyG-style
+//!   baselines provably sample identical sub-graphs), with per-backend
+//!   simulated cost accounting.
+
+pub mod append_unique;
+pub mod hashtable;
+pub mod neighbor;
+pub mod prefix;
+pub mod radix;
+pub mod weighted;
+pub mod wrs;
+
+pub use append_unique::{append_unique, append_unique_sorted, AppendUniqueResult};
+pub use neighbor::{
+    sample_minibatch, GraphAccess, HostGraphAccess, MiniBatch, MultiGpuAccess, SampleBlock,
+    SamplerBackend, SamplerConfig, SampleStats,
+};
+pub use weighted::weighted_sample_without_replacement;
+pub use wrs::{sample_without_replacement, PathDoublingSampler};

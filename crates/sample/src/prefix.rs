@@ -1,0 +1,79 @@
+//! Exclusive prefix sums.
+//!
+//! The AppendUnique op assigns contiguous sub-graph IDs to unique neighbor
+//! nodes by counting new insertions per hash-table bucket and running "an
+//! exclusive prefix sum operation for the data in the bucket table"
+//! (§III-C2). A chunked two-pass parallel scan stands in for the GPU scan.
+
+use rayon::prelude::*;
+
+/// Sequential exclusive prefix sum; returns the total.
+pub fn exclusive_scan(values: &mut [u32]) -> u32 {
+    let mut acc = 0u32;
+    for v in values.iter_mut() {
+        let x = *v;
+        *v = acc;
+        acc += x;
+    }
+    acc
+}
+
+/// Parallel exclusive prefix sum (two-pass, chunked); returns the total.
+/// Produces exactly the same output as [`exclusive_scan`].
+pub fn parallel_exclusive_scan(values: &mut [u32]) -> u32 {
+    const CHUNK: usize = 4096;
+    if values.len() <= CHUNK {
+        return exclusive_scan(values);
+    }
+    // Pass 1: per-chunk totals.
+    let totals: Vec<u32> = values.par_chunks(CHUNK).map(|c| c.iter().sum()).collect();
+    // Scan of totals (small, sequential).
+    let mut offsets = totals;
+    let grand = exclusive_scan(&mut offsets);
+    // Pass 2: scan each chunk seeded with its offset.
+    values
+        .par_chunks_mut(CHUNK)
+        .zip(offsets.par_iter())
+        .for_each(|(chunk, &seed)| {
+            let mut acc = seed;
+            for v in chunk.iter_mut() {
+                let x = *v;
+                *v = acc;
+                acc += x;
+            }
+        });
+    grand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_scan() {
+        let mut v = vec![3, 1, 4, 1, 5];
+        let total = exclusive_scan(&mut v);
+        assert_eq!(v, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn empty_scan() {
+        let mut v: Vec<u32> = vec![];
+        assert_eq!(exclusive_scan(&mut v), 0);
+        assert_eq!(parallel_exclusive_scan(&mut v), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn parallel_matches_sequential(values in prop::collection::vec(0u32..100, 0..20_000)) {
+            let mut a = values.clone();
+            let mut b = values;
+            let ta = exclusive_scan(&mut a);
+            let tb = parallel_exclusive_scan(&mut b);
+            prop_assert_eq!(ta, tb);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

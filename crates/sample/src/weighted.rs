@@ -1,0 +1,152 @@
+//! Weighted random sampling without replacement.
+//!
+//! The paper's Algorithm 1 is uniform; production GNN pipelines (and the
+//! open-source WholeGraph) also need **weighted** neighbor sampling, e.g.
+//! sampling proportionally to edge weights. The standard GPU-friendly
+//! construction is A-Res (Efraimidis & Spirakis): draw an independent
+//! exponential-race key `k_i = -ln(u_i) / w_i` per item and keep the `m`
+//! smallest keys — every key is computed in parallel and the selection is
+//! one top-k pass, the same shape as Algorithm 1's sort.
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+/// Sample `m` distinct indices from `0..weights.len()` without
+/// replacement, with inclusion probability increasing in `weights[i]`.
+/// Zero-weight items are only chosen once every positive-weight item has
+/// been taken. Requires `m <= weights.len()` and non-negative weights.
+pub fn weighted_sample_without_replacement(
+    weights: &[f32],
+    m: usize,
+    rng: &mut SmallRng,
+) -> Vec<u32> {
+    let n = weights.len();
+    assert!(m <= n, "cannot sample {m} of {n} without replacement");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    if m == 0 {
+        return Vec::new();
+    }
+    if m == n {
+        return (0..n as u32).collect();
+    }
+    // Exponential-race keys; zero weights race at +inf (picked last).
+    let mut keyed: Vec<(f32, u32)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let key = if w > 0.0 {
+                (-(u.ln()) / w as f64) as f32
+            } else {
+                f32::INFINITY
+            };
+            (key, i as u32)
+        })
+        .collect();
+    // Top-k selection: partition the m smallest keys to the front (the
+    // GPU kernel uses a radix-select; the complexity shape matches).
+    keyed.select_nth_unstable_by(m - 1, |a, b| a.0.total_cmp(&b.0));
+    let mut out: Vec<u32> = keyed[..m].iter().map(|&(_, i)| i).collect();
+    out.sort_unstable(); // deterministic output order for callers
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn valid(sample: &[u32], m: usize, n: usize) {
+        assert_eq!(sample.len(), m);
+        let mut s = sample.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), m, "duplicates in {sample:?}");
+        assert!(sample.iter().all(|&v| (v as usize) < n));
+    }
+
+    #[test]
+    fn basic_shapes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let w = vec![1.0f32; 10];
+        valid(&weighted_sample_without_replacement(&w, 0, &mut rng), 0, 10);
+        valid(&weighted_sample_without_replacement(&w, 3, &mut rng), 3, 10);
+        valid(&weighted_sample_without_replacement(&w, 10, &mut rng), 10, 10);
+    }
+
+    #[test]
+    fn inclusion_tracks_weight() {
+        // Weights 1:2:8 — the heavy item must be included in 1-of-3
+        // samples far more often than the light one.
+        let w = vec![1.0f32, 2.0, 8.0];
+        let mut counts = [0u32; 3];
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..30_000 {
+            for v in weighted_sample_without_replacement(&w, 1, &mut rng) {
+                counts[v as usize] += 1;
+            }
+        }
+        // Exact single-draw probabilities: w_i / Σw = 1/11, 2/11, 8/11.
+        let total = 30_000.0;
+        for (i, expect) in [(0usize, 1.0 / 11.0), (1, 2.0 / 11.0), (2, 8.0 / 11.0)] {
+            let got = counts[i] as f64 / total;
+            assert!((got - expect).abs() < 0.02, "item {i}: {got:.3} vs {expect:.3}");
+        }
+    }
+
+    #[test]
+    fn uniform_weights_are_uniform() {
+        let w = vec![1.0f32; 8];
+        let mut counts = [0u32; 8];
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trials = 20_000;
+        for _ in 0..trials {
+            for v in weighted_sample_without_replacement(&w, 2, &mut rng) {
+                counts[v as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * 2.0 / 8.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.07, "item {i} off by {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_are_picked_last() {
+        let w = vec![0.0f32, 1.0, 0.0, 1.0];
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let s = weighted_sample_without_replacement(&w, 2, &mut rng);
+            assert_eq!(s, vec![1, 3], "zero-weight item sampled before positive ones");
+        }
+        // When m forces their inclusion they do appear.
+        let s = weighted_sample_without_replacement(&w, 4, &mut rng);
+        valid(&s, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        weighted_sample_without_replacement(&[1.0, -2.0], 1, &mut rng);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn always_valid(
+            weights in prop::collection::vec(0.0f32..10.0, 1..100),
+            frac in 0.0f64..1.0,
+            seed in any::<u64>(),
+        ) {
+            let m = (weights.len() as f64 * frac) as usize;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let s = weighted_sample_without_replacement(&weights, m, &mut rng);
+            valid(&s, m, weights.len());
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Algorithm 1 — fully parallel random sampling **without replacement**.
+//!
+//! Sampling M of N neighbors without duplicates is hard to parallelize
+//! because "each thread has to know neighbors sampled by other threads".
+//! WholeGraph adopts the path-doubling construction of Rajan, Ghosh & Gupta
+//! (IPL '89): draw `r[i] ∈ [0, N-1-i]` independently, then repair the
+//! collisions that a *sequential* Fisher–Yates would have resolved through
+//! its swap chain, using a sort + pointer-jumping pass. The result is
+//! exactly what sequential Fisher–Yates would output for the same draws —
+//! a fact the property tests below verify — so uniformity follows from
+//! Fisher–Yates' correctness.
+//!
+//! On the GPU the M threads handling one target node cooperate inside one
+//! block; here each target node's sample is an independent unit of rayon
+//! work and the path-doubling structure is preserved faithfully.
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+use crate::radix::sort_with_indices;
+
+/// Reusable scratch buffers for the path-doubling sampler (one per worker
+/// thread; avoids per-node allocation in the sampling hot loop).
+#[derive(Default)]
+pub struct PathDoublingSampler {
+    r: Vec<u32>,
+    chain: Vec<u32>,
+    chain_next: Vec<u32>,
+    q: Vec<u32>,
+    last: Vec<u32>,
+}
+
+impl PathDoublingSampler {
+    /// Fresh sampler with empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sample `m` distinct indices from `0..n` without replacement,
+    /// appending them to `out`. Requires `m <= n`.
+    ///
+    /// This is Algorithm 1 verbatim: lines are annotated with the paper's
+    /// line numbers.
+    pub fn sample(&mut self, m: usize, n: usize, rng: &mut SmallRng, out: &mut Vec<u32>) {
+        assert!(m <= n, "cannot sample {m} of {n} without replacement");
+        if m == 0 {
+            return;
+        }
+        if m == n {
+            // Degenerate case the kernel special-cases: "all of N neighbors
+            // are sampled, and each thread can simply output its id".
+            out.extend(0..n as u32);
+            return;
+        }
+        let (r, chain, chain_next, q, last) =
+            (&mut self.r, &mut self.chain, &mut self.chain_next, &mut self.q, &mut self.last);
+        r.clear();
+        chain.clear();
+        q.resize(m, 0);
+        last.resize(m, 0);
+
+        // Lines 1–4: r[i] ← random(N-1-i); chain[i] ← i.
+        for i in 0..m {
+            r.push(rng.gen_range(0..(n - i) as u32));
+            chain.push(i as u32);
+        }
+
+        // Line 5: s, p ← parallel_sort(r) (stable: ties by original index).
+        let (s, p) = sort_with_indices(r);
+
+        // Lines 6–11: q[p[i]] ← i; the *last* occurrence of each drawn
+        // value v ≥ N-M becomes the chain target of the step that retires
+        // position v (step N-v-1).
+        for i in 0..m {
+            q[p[i] as usize] = i as u32;
+            let is_last_of_group = i == m - 1 || s[i] != s[i + 1];
+            if is_last_of_group && s[i] as usize >= n - m {
+                chain[n - s[i] as usize - 1] = p[i];
+            }
+        }
+
+        // Line 12: chain ← path_doubling(chain). Pointer jumping converges
+        // in ⌈log2 M⌉ rounds because chains are strictly decreasing.
+        let rounds = usize::BITS - m.leading_zeros();
+        chain_next.resize(m, 0);
+        for _ in 0..rounds {
+            for i in 0..m {
+                chain_next[i] = chain[chain[i] as usize];
+            }
+            std::mem::swap(chain, chain_next);
+        }
+
+        // Lines 13–15: last[i] ← N - chain[i] - 1.
+        for i in 0..m {
+            last[i] = (n - chain[i] as usize - 1) as u32;
+        }
+
+        // Lines 16–22: first occurrence of a value keeps its draw; later
+        // occurrences read the value their predecessor's retirement step
+        // exposed.
+        for i in 0..m {
+            let qi = q[i] as usize;
+            let first_of_group = qi == 0 || s[qi] != s[qi - 1];
+            if first_of_group {
+                out.push(r[i]);
+            } else {
+                out.push(last[p[qi - 1] as usize]);
+            }
+        }
+    }
+}
+
+/// One-shot convenience wrapper around [`PathDoublingSampler::sample`].
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let sample = wg_sample::sample_without_replacement(30, 1000, &mut rng);
+/// assert_eq!(sample.len(), 30);
+/// let mut dedup = sample.clone();
+/// dedup.sort_unstable();
+/// dedup.dedup();
+/// assert_eq!(dedup.len(), 30); // no duplicates, ever
+/// ```
+pub fn sample_without_replacement(m: usize, n: usize, rng: &mut SmallRng) -> Vec<u32> {
+    let mut s = PathDoublingSampler::new();
+    let mut out = Vec::with_capacity(m);
+    s.sample(m, n, rng, &mut out);
+    out
+}
+
+/// Sequential Fisher–Yates reference with *explicit draws*: consumes the
+/// same `r[i] ∈ [0, N-1-i]` sequence Algorithm 1 uses, so the two can be
+/// compared result-for-result.
+pub fn fisher_yates_reference(r: &[u32], n: usize) -> Vec<u32> {
+    use std::collections::HashMap;
+    let m = r.len();
+    let mut overlay: HashMap<u32, u32> = HashMap::new(); // position -> value
+    let mut out = Vec::with_capacity(m);
+    for (i, &pos) in r.iter().enumerate() {
+        let value = overlay.get(&pos).copied().unwrap_or(pos);
+        out.push(value);
+        let back = (n - 1 - i) as u32;
+        let back_value = overlay.get(&back).copied().unwrap_or(back);
+        overlay.insert(pos, back_value);
+    }
+    out
+}
+
+/// Rejection-sampling baseline (used in ablation benchmarks): draw with
+/// replacement into a set until `m` distinct values are collected. Cheap
+/// for `m ≪ n`, degenerate as `m → n`.
+pub fn rejection_sample(m: usize, n: usize, rng: &mut SmallRng) -> Vec<u32> {
+    assert!(m <= n);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut out = Vec::with_capacity(m);
+    while out.len() < m {
+        let v = rng.gen_range(0..n as u32);
+        if seen.insert(v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_valid_sample(sample: &[u32], m: usize, n: usize) {
+        assert_eq!(sample.len(), m);
+        let mut sorted = sample.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), m, "sample contains duplicates: {sample:?}");
+        assert!(sample.iter().all(|&v| (v as usize) < n), "out of range: {sample:?}");
+    }
+
+    #[test]
+    fn small_cases_are_valid() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for n in 1..20 {
+            for m in 0..=n {
+                let s = sample_without_replacement(m, n, &mut rng);
+                assert_valid_sample(&s, m, n);
+            }
+        }
+    }
+
+    #[test]
+    fn m_equals_n_returns_identity() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = sample_without_replacement(5, 5, &mut rng);
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn matches_fisher_yates_on_pathological_draws() {
+        // All draws equal — the worst collision chain.
+        for n in [10usize, 16, 33] {
+            for m in [3usize, 5, 8] {
+                let r = vec![0u32; m];
+                let expect = fisher_yates_reference(&r, n);
+                // Drive Algorithm 1 with the same draws by replaying them.
+                let got = run_algorithm1_with_draws(&r, n);
+                assert_eq!(got, expect, "m={m} n={n} all-zero draws");
+                assert_valid_sample(&got, m, n);
+            }
+        }
+    }
+
+    /// Run the path-doubling sampler on a fixed draw sequence (test hook:
+    /// re-implements the entry point with injected r).
+    fn run_algorithm1_with_draws(r: &[u32], n: usize) -> Vec<u32> {
+        struct FixedDraws;
+        // Reuse the sampler internals by constructing them inline.
+        let m = r.len();
+        let _ = FixedDraws;
+        let mut s = PathDoublingSampler::new();
+        s.r = r.to_vec();
+        s.chain = (0..m as u32).collect();
+        s.q.resize(m, 0);
+        s.last.resize(m, 0);
+        let (sorted, p) = sort_with_indices(&s.r);
+        for i in 0..m {
+            s.q[p[i] as usize] = i as u32;
+            let is_last = i == m - 1 || sorted[i] != sorted[i + 1];
+            if is_last && sorted[i] as usize >= n - m {
+                s.chain[n - sorted[i] as usize - 1] = p[i];
+            }
+        }
+        let rounds = usize::BITS - m.leading_zeros();
+        s.chain_next.resize(m, 0);
+        for _ in 0..rounds {
+            for i in 0..m {
+                s.chain_next[i] = s.chain[s.chain[i] as usize];
+            }
+            std::mem::swap(&mut s.chain, &mut s.chain_next);
+        }
+        for i in 0..m {
+            s.last[i] = (n - s.chain[i] as usize - 1) as u32;
+        }
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            let qi = s.q[i] as usize;
+            if qi == 0 || sorted[qi] != sorted[qi - 1] {
+                out.push(s.r[i]);
+            } else {
+                out.push(s.last[p[qi - 1] as usize]);
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn always_distinct_and_in_range(n in 1usize..200, frac in 0.0f64..1.0, seed in any::<u64>()) {
+            let m = ((n as f64) * frac) as usize;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let s = sample_without_replacement(m, n, &mut rng);
+            assert_valid_sample(&s, m, n);
+        }
+
+        #[test]
+        fn equals_sequential_fisher_yates(n in 2usize..120, frac in 0.0f64..1.0, seed in any::<u64>()) {
+            // Same draws → identical output: the parallel algorithm *is*
+            // Fisher–Yates.
+            let m = (((n - 1) as f64) * frac) as usize + 1; // 1..=n-1 (m<n path)
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let r: Vec<u32> = (0..m).map(|i| rng.gen_range(0..(n - i) as u32)).collect();
+            let expect = fisher_yates_reference(&r, n);
+            let got = run_algorithm1_with_draws(&r, n);
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn marginals_are_uniform() {
+        // Sampling 3 of 10, each index should be chosen ~30% of the time.
+        let trials = 40_000;
+        let mut counts = [0u32; 10];
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..trials {
+            for v in sample_without_replacement(3, 10, &mut rng) {
+                counts[v as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * 0.3;
+        for (v, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.06, "index {v} frequency off by {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn rejection_baseline_is_valid() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = rejection_sample(30, 100, &mut rng);
+        assert_valid_sample(&s, 30, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "without replacement")]
+    fn m_greater_than_n_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        sample_without_replacement(5, 3, &mut rng);
+    }
+}

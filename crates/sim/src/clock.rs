@@ -1,0 +1,120 @@
+//! Per-device virtual clocks.
+//!
+//! Each simulated device owns a [`DeviceClock`]. Work performed "on" the
+//! device advances its clock by the cost model's estimate for that work.
+//! Barriers synchronize a set of clocks to the maximum — exactly how a
+//! data-parallel training step behaves (everyone waits for the slowest
+//! rank at the AllReduce).
+
+use crate::time::SimTime;
+
+/// A monotonically advancing virtual clock for one device.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceClock {
+    now: SimTime,
+}
+
+impl DeviceClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time on this device.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the clock by `dt`, returning the new time.
+    ///
+    /// Negative spans are rejected — simulated work cannot take negative
+    /// time, and silently accepting one would corrupt every downstream
+    /// utilization figure.
+    pub fn advance(&mut self, dt: SimTime) -> SimTime {
+        assert!(
+            dt.as_secs() >= 0.0,
+            "cannot advance a device clock by a negative span ({dt})"
+        );
+        self.now += dt;
+        self.now
+    }
+
+    /// Move the clock forward to `t` if `t` is later (no-op otherwise).
+    /// Used by barriers and by waits on data produced by another device.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Reset to time zero (new experiment on the same machine).
+    pub fn reset(&mut self) {
+        self.now = SimTime::ZERO;
+    }
+}
+
+/// Synchronize a set of clocks to their common maximum (a barrier), and
+/// return that barrier time.
+pub fn barrier(clocks: &mut [DeviceClock]) -> SimTime {
+    let t = clocks
+        .iter()
+        .map(|c| c.now())
+        .fold(SimTime::ZERO, SimTime::max);
+    for c in clocks.iter_mut() {
+        c.advance_to(t);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = DeviceClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(SimTime::from_micros(5.0));
+        c.advance(SimTime::from_micros(7.0));
+        assert!((c.now().as_micros() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_advance_panics() {
+        let mut c = DeviceClock::new();
+        c.advance(SimTime::from_secs(-1.0));
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let mut c = DeviceClock::new();
+        c.advance(SimTime::from_secs(2.0));
+        c.advance_to(SimTime::from_secs(1.0)); // earlier: no-op
+        assert_eq!(c.now().as_secs(), 2.0);
+        c.advance_to(SimTime::from_secs(3.0));
+        assert_eq!(c.now().as_secs(), 3.0);
+    }
+
+    #[test]
+    fn barrier_syncs_to_slowest() {
+        let mut clocks = vec![DeviceClock::new(), DeviceClock::new(), DeviceClock::new()];
+        clocks[0].advance(SimTime::from_secs(1.0));
+        clocks[1].advance(SimTime::from_secs(5.0));
+        clocks[2].advance(SimTime::from_secs(3.0));
+        let t = barrier(&mut clocks);
+        assert_eq!(t.as_secs(), 5.0);
+        for c in &clocks {
+            assert_eq!(c.now().as_secs(), 5.0);
+        }
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let mut c = DeviceClock::new();
+        c.advance(SimTime::from_secs(9.0));
+        c.reset();
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,266 @@
+//! Busy/idle utilization traces.
+//!
+//! Figure 12 of the paper plots GPU utilization over wall-clock time for
+//! PyG, DGL and WholeGraph: the host-memory frameworks oscillate between 0%
+//! (GPU starving while the CPU samples/gathers) and bursts of activity,
+//! while WholeGraph stays ≥95% busy. We reproduce this by recording, per
+//! device, the simulated interval every pipeline phase occupies, tagged
+//! with whether the *device under measurement* was busy or idle-waiting.
+
+use crate::device::DeviceId;
+use crate::time::SimTime;
+
+/// Pipeline phase labels (also the legend of Figures 9 and 11).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Phase {
+    /// One-time setup (memory allocation, IPC exchange, data load).
+    Setup,
+    /// Neighbor sampling + sub-graph construction.
+    Sampling,
+    /// Feature gathering (and, for host pipelines, the PCIe copy-in).
+    Gather,
+    /// Forward/backward/optimizer on the GPU.
+    Training,
+    /// Gradient AllReduce / other collective communication.
+    Communication,
+    /// The device is waiting on another device's work.
+    Idle,
+}
+
+impl Phase {
+    /// Whether a GPU doing this phase counts as "utilized" for Figure 12.
+    /// Host-side sampling/gather leave the GPU idle; GPU-side versions of
+    /// the same phases are recorded by the pipelines as busy GPU intervals.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Setup => "setup",
+            Phase::Sampling => "sampling",
+            Phase::Gather => "gather",
+            Phase::Training => "training",
+            Phase::Communication => "comm",
+            Phase::Idle => "idle",
+        }
+    }
+}
+
+/// One recorded interval on one device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Device the interval belongs to.
+    pub device: DeviceId,
+    /// Interval start (simulated).
+    pub start: SimTime,
+    /// Interval end (simulated).
+    pub end: SimTime,
+    /// What the device was doing.
+    pub phase: Phase,
+    /// Whether the device was actively computing during the interval
+    /// (`false` = stalled waiting for data — the utilization dips of
+    /// Figure 12).
+    pub busy: bool,
+}
+
+impl TraceEvent {
+    /// Length of the interval.
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+/// An append-only utilization trace for one device.
+#[derive(Clone, Debug, Default)]
+pub struct UtilizationTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl UtilizationTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an interval. Intervals must be well-formed (`end >= start`).
+    pub fn record(&mut self, ev: TraceEvent) {
+        assert!(
+            ev.end >= ev.start,
+            "trace interval ends before it starts: {ev:?}"
+        );
+        self.events.push(ev);
+    }
+
+    /// All recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Total busy time in `[from, to)`.
+    pub fn busy_time(&self, from: SimTime, to: SimTime) -> SimTime {
+        self.events
+            .iter()
+            .filter(|e| e.busy)
+            .map(|e| overlap(e.start, e.end, from, to))
+            .sum()
+    }
+
+    /// Utilization ratio (busy / span) over `[from, to)`.
+    pub fn utilization(&self, from: SimTime, to: SimTime) -> f64 {
+        let span = to - from;
+        if span.as_secs() <= 0.0 {
+            return 0.0;
+        }
+        self.busy_time(from, to) / span
+    }
+
+    /// Utilization sampled over `bins` equal windows spanning the whole
+    /// trace — the Figure 12 time series for one device.
+    pub fn utilization_series(&self, bins: usize) -> Vec<(SimTime, f64)> {
+        let end = self
+            .events
+            .iter()
+            .map(|e| e.end)
+            .fold(SimTime::ZERO, SimTime::max);
+        if bins == 0 || end.is_zero() {
+            return Vec::new();
+        }
+        let w = end / bins as f64;
+        (0..bins)
+            .map(|i| {
+                let from = w * i as f64;
+                let to = w * (i + 1) as f64;
+                (from, self.utilization(from, to))
+            })
+            .collect()
+    }
+
+    /// Total time attributed to each phase (busy or not) — Figures 9/11
+    /// breakdowns.
+    pub fn phase_total(&self, phase: Phase) -> SimTime {
+        self.events
+            .iter()
+            .filter(|e| e.phase == phase)
+            .map(|e| e.duration())
+            .sum()
+    }
+
+    /// Render the trace as CSV (`start_s,end_s,phase,busy`), for plotting
+    /// Figure 12 outside the ASCII harness.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("start_s,end_s,phase,busy\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:.9},{:.9},{},{}\n",
+                e.start.as_secs(),
+                e.end.as_secs(),
+                e.phase.name(),
+                u8::from(e.busy)
+            ));
+        }
+        out
+    }
+
+    /// Render the binned utilization series as CSV (`t_s,utilization`).
+    pub fn utilization_csv(&self, bins: usize) -> String {
+        let mut out = String::from("t_s,utilization\n");
+        for (t, u) in self.utilization_series(bins) {
+            out.push_str(&format!("{:.9},{u:.4}\n", t.as_secs()));
+        }
+        out
+    }
+}
+
+/// Length of the overlap of `[a0, a1)` and `[b0, b1)`.
+fn overlap(a0: SimTime, a1: SimTime, b0: SimTime, b1: SimTime) -> SimTime {
+    let lo = a0.max(b0);
+    let hi = a1.min(b1);
+    if hi > lo {
+        hi - lo
+    } else {
+        SimTime::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(start: f64, end: f64, phase: Phase, busy: bool) -> TraceEvent {
+        TraceEvent {
+            device: DeviceId::Gpu(0),
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+            phase,
+            busy,
+        }
+    }
+
+    #[test]
+    fn busy_time_and_utilization() {
+        let mut t = UtilizationTrace::new();
+        t.record(ev(0.0, 1.0, Phase::Idle, false));
+        t.record(ev(1.0, 3.0, Phase::Training, true));
+        t.record(ev(3.0, 4.0, Phase::Idle, false));
+        let u = t.utilization(SimTime::ZERO, SimTime::from_secs(4.0));
+        assert!((u - 0.5).abs() < 1e-12);
+        assert_eq!(t.busy_time(SimTime::ZERO, SimTime::from_secs(4.0)).as_secs(), 2.0);
+    }
+
+    #[test]
+    fn utilization_clips_to_window() {
+        let mut t = UtilizationTrace::new();
+        t.record(ev(0.0, 10.0, Phase::Training, true));
+        let u = t.utilization(SimTime::from_secs(2.0), SimTime::from_secs(4.0));
+        assert!((u - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_has_requested_bins() {
+        let mut t = UtilizationTrace::new();
+        t.record(ev(0.0, 2.0, Phase::Training, true));
+        t.record(ev(2.0, 4.0, Phase::Idle, false));
+        let s = t.utilization_series(4);
+        assert_eq!(s.len(), 4);
+        assert!((s[0].1 - 1.0).abs() < 1e-12);
+        assert!((s[3].1 - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_totals() {
+        let mut t = UtilizationTrace::new();
+        t.record(ev(0.0, 1.5, Phase::Sampling, false));
+        t.record(ev(1.5, 2.0, Phase::Gather, false));
+        t.record(ev(2.0, 3.0, Phase::Training, true));
+        t.record(ev(3.0, 4.5, Phase::Sampling, false));
+        assert_eq!(t.phase_total(Phase::Sampling).as_secs(), 3.0);
+        assert_eq!(t.phase_total(Phase::Gather).as_secs(), 0.5);
+        assert_eq!(t.phase_total(Phase::Training).as_secs(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn malformed_interval_panics() {
+        let mut t = UtilizationTrace::new();
+        t.record(ev(2.0, 1.0, Phase::Idle, false));
+    }
+
+    #[test]
+    fn empty_trace_series_is_empty() {
+        let t = UtilizationTrace::new();
+        assert!(t.utilization_series(10).is_empty());
+    }
+
+    #[test]
+    fn csv_exports_are_well_formed() {
+        let mut t = UtilizationTrace::new();
+        t.record(ev(0.0, 1.0, Phase::Sampling, false));
+        t.record(ev(1.0, 2.0, Phase::Training, true));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "start_s,end_s,phase,busy");
+        assert!(lines[1].ends_with(",sampling,0"));
+        assert!(lines[2].ends_with(",training,1"));
+        let ucsv = t.utilization_csv(4);
+        assert_eq!(ucsv.trim().lines().count(), 5);
+        assert!(ucsv.starts_with("t_s,utilization"));
+    }
+}

@@ -1,0 +1,461 @@
+//! Dense kernels (rayon-parallel stand-ins for cuBLAS / elementwise CUDA).
+#![allow(clippy::needless_range_loop)] // kernel-style indexed loops mirror the CUDA code
+
+use rayon::prelude::*;
+
+use crate::matrix::Matrix;
+
+/// `C = A · B` for `A: [m,k]`, `B: [k,n]`. Parallel over rows of `C`,
+/// k-outer inner loop so the `j` loop vectorizes.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    c.data_mut()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, crow)| {
+            let arow = a.row(i);
+            for l in 0..k {
+                let av = arow[l];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = b.row(l);
+                for j in 0..n {
+                    crow[j] += av * brow[j];
+                }
+            }
+        });
+    c
+}
+
+/// `C = Aᵀ · B` for `A: [k,m]`, `B: [k,n]` (weight-gradient shape).
+/// Computed with a deterministic per-thread-partial reduction.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch");
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    // Chunk the k dimension; reduce partials pairwise (deterministic
+    // given the chunking, independent of thread scheduling).
+    const CHUNK: usize = 512;
+    let partials: Vec<Vec<f32>> = (0..k)
+        .into_par_iter()
+        .chunks(CHUNK)
+        .map(|rows| {
+            let mut acc = vec![0.0f32; m * n];
+            for l in rows {
+                let arow = a.row(l);
+                let brow = b.row(l);
+                for (i, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let dst = &mut acc[i * n..(i + 1) * n];
+                    for j in 0..n {
+                        dst[j] += av * brow[j];
+                    }
+                }
+            }
+            acc
+        })
+        .collect();
+    let mut out = vec![0.0f32; m * n];
+    for p in partials {
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += v;
+        }
+    }
+    Matrix::from_vec(m, n, out)
+}
+
+/// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` (backward-through-weights shape).
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut c = Matrix::zeros(m, n);
+    c.data_mut()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, crow)| {
+            let arow = a.row(i);
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = b.row(j);
+                let mut acc = 0.0f32;
+                for l in 0..k {
+                    acc += arow[l] * brow[l];
+                }
+                *cv = acc;
+            }
+        });
+    c
+}
+
+/// Add a bias row vector to every row.
+pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
+    assert_eq!(bias.len(), x.cols(), "bias width mismatch");
+    let n = x.cols();
+    x.data_mut().par_chunks_mut(n).for_each(|row| {
+        for (v, b) in row.iter_mut().zip(bias) {
+            *v += b;
+        }
+    });
+}
+
+/// Elementwise sum `a + b`.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "add shape mismatch");
+    let data = a
+        .data()
+        .par_iter()
+        .zip(b.data().par_iter())
+        .map(|(x, y)| x + y)
+        .collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+/// Elementwise scale.
+pub fn scale(x: &mut Matrix, s: f32) {
+    x.data_mut().par_iter_mut().for_each(|v| *v *= s);
+}
+
+/// ReLU forward (in place).
+pub fn relu(x: &mut Matrix) {
+    x.data_mut().par_iter_mut().for_each(|v| {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    });
+}
+
+/// ReLU backward: zero gradients where the forward input was negative.
+pub fn relu_backward(grad: &mut Matrix, forward_input: &Matrix) {
+    assert_eq!(grad.len(), forward_input.len());
+    grad.data_mut()
+        .par_iter_mut()
+        .zip(forward_input.data().par_iter())
+        .for_each(|(g, &x)| {
+            if x <= 0.0 {
+                *g = 0.0;
+            }
+        });
+}
+
+/// LeakyReLU forward (GAT uses slope 0.2 on attention logits).
+pub fn leaky_relu(x: &mut [f32], slope: f32) {
+    x.par_iter_mut().for_each(|v| {
+        if *v < 0.0 {
+            *v *= slope;
+        }
+    });
+}
+
+/// LeakyReLU backward.
+pub fn leaky_relu_backward(grad: &mut [f32], forward_input: &[f32], slope: f32) {
+    grad.par_iter_mut().zip(forward_input.par_iter()).for_each(|(g, &x)| {
+        if x < 0.0 {
+            *g *= slope;
+        }
+    });
+}
+
+/// ELU forward (GAT's inter-layer activation).
+pub fn elu(x: &mut Matrix, alpha: f32) {
+    x.data_mut().par_iter_mut().for_each(|v| {
+        if *v < 0.0 {
+            *v = alpha * (v.exp() - 1.0);
+        }
+    });
+}
+
+/// ELU backward given the forward *output*.
+pub fn elu_backward(grad: &mut Matrix, forward_output: &Matrix, alpha: f32) {
+    grad.data_mut()
+        .par_iter_mut()
+        .zip(forward_output.data().par_iter())
+        .for_each(|(g, &y)| {
+            if y < 0.0 {
+                *g *= y + alpha;
+            }
+        });
+}
+
+/// Inverted dropout: zero with probability `p`, scale survivors by
+/// `1/(1-p)`. The mask (1/(1-p) or 0 per element) is returned for backward.
+pub fn dropout(x: &mut Matrix, p: f32, seed: u64) -> Vec<f32> {
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+    assert!((0.0..1.0).contains(&p));
+    if p == 0.0 {
+        return Vec::new();
+    }
+    let keep = 1.0 / (1.0 - p);
+    let n = x.cols().max(1);
+    let mut mask = vec![0.0f32; x.len()];
+    mask.par_chunks_mut(n)
+        .zip(x.data_mut().par_chunks_mut(n))
+        .enumerate()
+        .for_each(|(row, (mrow, xrow))| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (row as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            for (m, v) in mrow.iter_mut().zip(xrow.iter_mut()) {
+                if rng.gen::<f32>() < p {
+                    *m = 0.0;
+                    *v = 0.0;
+                } else {
+                    *m = keep;
+                    *v *= keep;
+                }
+            }
+        });
+    mask
+}
+
+/// Fused softmax + cross-entropy over rows. Returns `(mean_loss,
+/// grad_logits)` where the gradient is already divided by the row count.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len(), "one label per row");
+    let (m, n) = (logits.rows(), logits.cols());
+    let mut grad = Matrix::zeros(m, n);
+    let losses: Vec<f32> = grad
+        .data_mut()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .map(|(i, grow)| {
+            let row = logits.row(i);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (g, &x) in grow.iter_mut().zip(row) {
+                let e = (x - max).exp();
+                *g = e;
+                denom += e;
+            }
+            let label = labels[i] as usize;
+            debug_assert!(label < n, "label out of range");
+            let p_label = grow[label] / denom;
+            for g in grow.iter_mut() {
+                *g /= denom * m as f32;
+            }
+            grow[label] -= 1.0 / m as f32;
+            -(p_label.max(1e-12)).ln()
+        })
+        .collect();
+    (losses.iter().sum::<f32>() / m.max(1) as f32, grad)
+}
+
+/// Row-wise argmax (predictions).
+pub fn argmax_rows(x: &Matrix) -> Vec<u32> {
+    (0..x.rows())
+        .into_par_iter()
+        .map(|i| {
+            let row = x.row(i);
+            let mut best = 0usize;
+            for j in 1..row.len() {
+                if row[j] > row[best] {
+                    best = j;
+                }
+            }
+            best as u32
+        })
+        .collect()
+}
+
+/// Horizontal concatenation `[A | B]`.
+pub fn concat_cols(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "concat row mismatch");
+    let (m, na, nb) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, na + nb);
+    out.data_mut()
+        .par_chunks_mut(na + nb)
+        .enumerate()
+        .for_each(|(i, row)| {
+            row[..na].copy_from_slice(a.row(i));
+            row[na..].copy_from_slice(b.row(i));
+        });
+    out
+}
+
+/// Split the columns of `x` back into two matrices of widths `na`, rest —
+/// the backward of [`concat_cols`].
+pub fn split_cols(x: &Matrix, na: usize) -> (Matrix, Matrix) {
+    assert!(na <= x.cols());
+    let (m, n) = (x.rows(), x.cols());
+    let mut a = Matrix::zeros(m, na);
+    let mut b = Matrix::zeros(m, n - na);
+    for i in 0..m {
+        a.row_mut(i).copy_from_slice(&x.row(i)[..na]);
+        b.row_mut(i).copy_from_slice(&x.row(i)[na..]);
+    }
+    (a, b)
+}
+
+/// Column-wise sum (bias gradients).
+pub fn sum_rows(x: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.cols()];
+    for i in 0..x.rows() {
+        for (o, v) in out.iter_mut().zip(x.row(i)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// FLOP count of `matmul(a, b)`-shaped work (2·m·k·n) — used by the cost
+/// model to charge simulated GPU time for the layer compute.
+pub fn matmul_flops(m: usize, k: usize, n: usize) -> f64 {
+    2.0 * m as f64 * k as f64 * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+
+    fn randm(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Matrix::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for l in 0..a.cols() {
+                    acc += a.get(i, l) * b.get(l, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = randm(7, 5, 1);
+        let b = randm(5, 9, 2);
+        assert!(matmul(&a, &b).max_abs_diff(&naive_matmul(&a, &b)) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = randm(11, 4, 3);
+        let b = randm(11, 6, 4);
+        let at = Matrix::from_fn(4, 11, |i, j| a.get(j, i));
+        assert!(matmul_tn(&a, &b).max_abs_diff(&naive_matmul(&at, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = randm(5, 8, 5);
+        let b = randm(7, 8, 6);
+        let bt = Matrix::from_fn(8, 7, |i, j| b.get(j, i));
+        assert!(matmul_nt(&a, &b).max_abs_diff(&naive_matmul(&a, &bt)) < 1e-4);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let mut x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        let input = x.clone();
+        relu(&mut x);
+        assert_eq!(x.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let mut g = Matrix::from_vec(1, 4, vec![1.0; 4]);
+        relu_backward(&mut g, &input);
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn bias_and_sum_rows_are_adjoint_shapes() {
+        let mut x = Matrix::zeros(3, 2);
+        add_bias(&mut x, &[1.0, -2.0]);
+        assert_eq!(x.row(2), &[1.0, -2.0]);
+        assert_eq!(sum_rows(&x), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn softmax_ce_on_known_case() {
+        // Two rows, three classes; uniform logits → loss = ln 3.
+        let logits = Matrix::zeros(2, 3);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 2]);
+        assert!((loss - 3.0f32.ln()).abs() < 1e-6);
+        // Gradient rows sum to zero.
+        for i in 0..2 {
+            let s: f32 = grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+        // True-class entries are negative.
+        assert!(grad.get(0, 0) < 0.0 && grad.get(1, 2) < 0.0);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_matches_finite_difference() {
+        let x = randm(4, 5, 9);
+        let labels = [1u32, 0, 4, 2];
+        let (_, grad) = softmax_cross_entropy(&x, &labels);
+        let eps = 1e-3;
+        for (i, j) in [(0usize, 1usize), (2, 4), (3, 0)] {
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j) + eps);
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j) - eps);
+            let (lp, _) = softmax_cross_entropy(&xp, &labels);
+            let (lm, _) = softmax_cross_entropy(&xm, &labels);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad.get(i, j)).abs() < 1e-3,
+                "({i},{j}): fd {fd} vs grad {}",
+                grad.get(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_scales_survivors() {
+        let mut x = Matrix::from_vec(1, 10_000, vec![1.0; 10_000]);
+        let mask = dropout(&mut x, 0.5, 42);
+        let kept = x.data().iter().filter(|v| **v > 0.0).count();
+        // ~50% kept; survivors scaled to 2.0.
+        assert!((kept as f64 / 10_000.0 - 0.5).abs() < 0.03);
+        assert!(x.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert_eq!(mask.len(), 10_000);
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = randm(3, 2, 7);
+        let b = randm(3, 4, 8);
+        let c = concat_cols(&a, &b);
+        assert_eq!(c.cols(), 6);
+        let (a2, b2) = split_cols(&c, 2);
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let x = Matrix::from_vec(2, 3, vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0]);
+        assert_eq!(argmax_rows(&x), vec![1, 0]);
+    }
+
+    #[test]
+    fn elu_matches_definition() {
+        let mut x = Matrix::from_vec(1, 2, vec![-1.0, 2.0]);
+        elu(&mut x, 1.0);
+        assert!((x.get(0, 0) - ((-1.0f32).exp() - 1.0)).abs() < 1e-6);
+        assert_eq!(x.get(0, 1), 2.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn matmul_is_linear(seed in 0u64..1000) {
+            // (A + A) · B == 2 (A · B)
+            let a = randm(6, 4, seed);
+            let b = randm(4, 5, seed + 1);
+            let a2 = add(&a, &a);
+            let mut twice = matmul(&a, &b);
+            scale(&mut twice, 2.0);
+            prop_assert!(matmul(&a2, &b).max_abs_diff(&twice) < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,669 @@
+//! g-SpMM / g-SDDMM sparse kernels (§III-C4).
+//!
+//! "For message passing, it is a g-SpMM pattern as the message passes from
+//! edges to the target node and aggregates in the target node. ...
+//! Backward edge weights can be done by a g-SDDMM also on the CSR matrix.
+//! Backward dense feature input should be g-SpMM on the transposed CSR
+//! matrix, this can be done by computing on the original CSR matrix and
+//! using atomic add operations to avoid the sparse matrix transpose. ...
+//! We use the duplicate count array to help identify the nodes without
+//! duplicated one, whose atomic add can then be optimized to a simple
+//! assign operation."
+//!
+//! The kernels below follow that design literally: the backward w.r.t.
+//! source features walks the *forward* CSR in parallel and scatters with
+//! CAS-loop atomic f32 adds, downgraded to plain stores for sub-graph nodes
+//! whose AppendUnique duplicate count is 1.
+
+#![allow(clippy::needless_range_loop)] // kernel-style indexed loops mirror the CUDA code
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use rayon::prelude::*;
+
+use crate::matrix::Matrix;
+
+/// Aggregation applied over each destination's incoming messages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Agg {
+    /// Plain sum.
+    Sum,
+    /// Mean over the destination's sampled in-edges (GraphSage's mean
+    /// aggregator; also our sampled-GCN normalization).
+    Mean,
+}
+
+/// A sampled bipartite sub-graph in CSR form: `num_dst` destination rows,
+/// columns indexing a `num_src`-node source space (whose first `num_dst`
+/// entries are the destinations themselves — AppendUnique's targets-first
+/// layout).
+#[derive(Clone, Debug)]
+pub struct BlockCsr {
+    /// Destination node count.
+    pub num_dst: usize,
+    /// Source node count.
+    pub num_src: usize,
+    /// CSR offsets (`num_dst + 1`).
+    pub offsets: Vec<u32>,
+    /// Column indices (`offsets[num_dst]` entries, each `< num_src`).
+    pub indices: Vec<u32>,
+    /// AppendUnique duplicate counts per source node (how many times each
+    /// was sampled); drives the atomic→assign optimization.
+    pub dup_count: Vec<u32>,
+}
+
+impl BlockCsr {
+    /// Sampled edge count.
+    pub fn num_edges(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// In-degree of a destination.
+    #[inline]
+    pub fn degree(&self, dst: usize) -> usize {
+        (self.offsets[dst + 1] - self.offsets[dst]) as usize
+    }
+
+    /// Validate structural invariants (debug aid; O(E)).
+    pub fn validate(&self) {
+        assert_eq!(self.offsets.len(), self.num_dst + 1);
+        assert_eq!(self.offsets[0], 0);
+        assert_eq!(*self.offsets.last().unwrap() as usize, self.indices.len());
+        assert!(self.offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert!(self.indices.iter().all(|&c| (c as usize) < self.num_src));
+        assert_eq!(self.dup_count.len(), self.num_src);
+        assert!(self.num_dst <= self.num_src, "targets must be a prefix of the source space");
+    }
+}
+
+/// Per-message scale applied during aggregation.
+#[inline]
+fn agg_scale(agg: Agg, degree: usize) -> f32 {
+    match agg {
+        Agg::Sum => 1.0,
+        Agg::Mean => {
+            if degree == 0 {
+                0.0
+            } else {
+                1.0 / degree as f32
+            }
+        }
+    }
+}
+
+/// g-SpMM forward: `out[d] = agg over edges (d←s) of w_e · src[s]`.
+///
+/// `src`: `[num_src, H·D]` source features. `edge_weights`: optional
+/// `[E, H]` per-edge per-head weights (`heads` must divide `src.cols()`);
+/// `None` means weight 1 on a single head spanning all channels.
+pub fn spmm(
+    block: &BlockCsr,
+    src: &Matrix,
+    edge_weights: Option<&Matrix>,
+    heads: usize,
+    agg: Agg,
+) -> Matrix {
+    assert_eq!(src.rows(), block.num_src, "src feature rows != num_src");
+    let channels = src.cols();
+    assert!(heads >= 1 && channels.is_multiple_of(heads), "heads must divide channels");
+    if let Some(w) = edge_weights {
+        assert_eq!(w.rows(), block.num_edges());
+        assert_eq!(w.cols(), heads);
+    }
+    let head_dim = channels / heads;
+    let mut out = Matrix::zeros(block.num_dst, channels);
+    out.data_mut()
+        .par_chunks_mut(channels.max(1))
+        .enumerate()
+        .for_each(|(d, orow)| {
+            let lo = block.offsets[d] as usize;
+            let hi = block.offsets[d + 1] as usize;
+            let scale = agg_scale(agg, hi - lo);
+            for e in lo..hi {
+                let s = block.indices[e] as usize;
+                let srow = src.row(s);
+                match edge_weights {
+                    None => {
+                        for (o, &x) in orow.iter_mut().zip(srow) {
+                            *o += scale * x;
+                        }
+                    }
+                    Some(w) => {
+                        let wrow = w.row(e);
+                        for h in 0..heads {
+                            let wh = scale * wrow[h];
+                            let base = h * head_dim;
+                            for j in 0..head_dim {
+                                orow[base + j] += wh * srow[base + j];
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    out
+}
+
+/// CAS-loop atomic add on an `f32` stored in an `AtomicU32` — the software
+/// equivalent of CUDA's `atomicAdd(float*)`.
+#[inline]
+fn atomic_add_f32(slot: &AtomicU32, add: f32) {
+    let mut cur = slot.load(Ordering::Relaxed);
+    loop {
+        let new = f32::from_bits(cur) + add;
+        match slot.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// g-SpMM backward w.r.t. source features: the transposed aggregation,
+/// executed on the **untransposed** CSR with atomic adds; source nodes with
+/// `dup_count == 1` take the plain-store fast path.
+pub fn spmm_backward_src(
+    block: &BlockCsr,
+    grad_dst: &Matrix,
+    edge_weights: Option<&Matrix>,
+    heads: usize,
+    agg: Agg,
+) -> Matrix {
+    assert_eq!(grad_dst.rows(), block.num_dst);
+    let channels = grad_dst.cols();
+    assert!(heads >= 1 && channels.is_multiple_of(heads));
+    let head_dim = channels / heads;
+    let grad_src: Vec<AtomicU32> = (0..block.num_src * channels)
+        .map(|_| AtomicU32::new(0f32.to_bits()))
+        .collect();
+
+    (0..block.num_dst).into_par_iter().for_each(|d| {
+        let lo = block.offsets[d] as usize;
+        let hi = block.offsets[d + 1] as usize;
+        let scale = agg_scale(agg, hi - lo);
+        let grow = grad_dst.row(d);
+        for e in lo..hi {
+            let s = block.indices[e] as usize;
+            let plain_store = block.dup_count[s] == 1;
+            let dst_slots = &grad_src[s * channels..(s + 1) * channels];
+            match edge_weights {
+                None => {
+                    for (slot, &g) in dst_slots.iter().zip(grow) {
+                        let v = scale * g;
+                        if plain_store {
+                            // dup_count == 1 ⇒ this edge is the only writer.
+                            slot.store((f32::from_bits(slot.load(Ordering::Relaxed)) + v).to_bits(), Ordering::Relaxed);
+                        } else {
+                            atomic_add_f32(slot, v);
+                        }
+                    }
+                }
+                Some(w) => {
+                    let wrow = w.row(e);
+                    for h in 0..heads {
+                        let wh = scale * wrow[h];
+                        let base = h * head_dim;
+                        for j in 0..head_dim {
+                            let v = wh * grow[base + j];
+                            if plain_store {
+                                let slot = &dst_slots[base + j];
+                                slot.store((f32::from_bits(slot.load(Ordering::Relaxed)) + v).to_bits(), Ordering::Relaxed);
+                            } else {
+                                atomic_add_f32(&dst_slots[base + j], v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+
+    let data: Vec<f32> = grad_src
+        .into_iter()
+        .map(|a| f32::from_bits(a.into_inner()))
+        .collect();
+    Matrix::from_vec(block.num_src, channels, data)
+}
+
+/// g-SpMM with **max** aggregation (GraphSage's pooling aggregator):
+/// `out[d, c] = max over edges (d←s) of src[s, c]`, zeros for isolated
+/// destinations. Returns the output and, per `(dst, channel)`, the *edge
+/// index* that won (`u32::MAX` when the dst has no edges) — the backward
+/// routes gradients through exactly those edges.
+pub fn spmm_max(block: &BlockCsr, src: &Matrix) -> (Matrix, Vec<u32>) {
+    assert_eq!(src.rows(), block.num_src, "src feature rows != num_src");
+    let channels = src.cols();
+    let mut out = Matrix::zeros(block.num_dst, channels);
+    let mut argmax = vec![u32::MAX; block.num_dst * channels];
+    out.data_mut()
+        .par_chunks_mut(channels.max(1))
+        .zip(argmax.par_chunks_mut(channels.max(1)))
+        .enumerate()
+        .for_each(|(d, (orow, arow))| {
+            let lo = block.offsets[d] as usize;
+            let hi = block.offsets[d + 1] as usize;
+            if lo == hi {
+                return; // isolated dst: zeros, argmax stays MAX
+            }
+            orow.fill(f32::NEG_INFINITY);
+            for e in lo..hi {
+                let s = block.indices[e] as usize;
+                let srow = src.row(s);
+                for c in 0..channels {
+                    if srow[c] > orow[c] {
+                        orow[c] = srow[c];
+                        arow[c] = e as u32;
+                    }
+                }
+            }
+        });
+    (out, argmax)
+}
+
+/// Backward of [`spmm_max`]: each `(dst, channel)` gradient flows only to
+/// the source node of its winning edge.
+pub fn spmm_max_backward(block: &BlockCsr, grad_dst: &Matrix, argmax: &[u32]) -> Matrix {
+    let channels = grad_dst.cols();
+    assert_eq!(argmax.len(), block.num_dst * channels);
+    let grad_src: Vec<AtomicU32> = (0..block.num_src * channels)
+        .map(|_| AtomicU32::new(0f32.to_bits()))
+        .collect();
+    (0..block.num_dst).into_par_iter().for_each(|d| {
+        let grow = grad_dst.row(d);
+        let arow = &argmax[d * channels..(d + 1) * channels];
+        for c in 0..channels {
+            let e = arow[c];
+            if e == u32::MAX {
+                continue;
+            }
+            let s = block.indices[e as usize] as usize;
+            atomic_add_f32(&grad_src[s * channels + c], grow[c]);
+        }
+    });
+    let data: Vec<f32> = grad_src
+        .into_iter()
+        .map(|a| f32::from_bits(a.into_inner()))
+        .collect();
+    Matrix::from_vec(block.num_src, channels, data)
+}
+
+/// g-SDDMM: per-edge, per-head dot products `out[e,h] = <a_dst[d], b_src[s]>_h`
+/// for each edge `d←s`. This is both the GAT attention-logit kernel and
+/// the backward of weighted g-SpMM w.r.t. the edge weights
+/// (`a = grad_dst, b = src`, with the forward's aggregation scale).
+pub fn sddmm(block: &BlockCsr, a_dst: &Matrix, b_src: &Matrix, heads: usize, agg: Agg) -> Matrix {
+    assert_eq!(a_dst.rows(), block.num_dst);
+    assert_eq!(b_src.rows(), block.num_src);
+    assert_eq!(a_dst.cols(), b_src.cols());
+    let channels = a_dst.cols();
+    assert!(heads >= 1 && channels.is_multiple_of(heads));
+    let head_dim = channels / heads;
+    let mut out = Matrix::zeros(block.num_edges(), heads);
+    // Parallel over dst rows; each owns a disjoint slice of edges.
+    let out_ptr = out.data_mut().as_mut_ptr() as usize;
+    (0..block.num_dst).into_par_iter().for_each(|d| {
+        let lo = block.offsets[d] as usize;
+        let hi = block.offsets[d + 1] as usize;
+        let scale = agg_scale(agg, hi - lo);
+        let arow = a_dst.row(d);
+        for e in lo..hi {
+            let s = block.indices[e] as usize;
+            let brow = b_src.row(s);
+            // SAFETY: edge ranges [lo, hi) are disjoint across dst rows, so
+            // each parallel task writes a private slice of `out`.
+            let orow = unsafe {
+                std::slice::from_raw_parts_mut((out_ptr as *mut f32).add(e * heads), heads)
+            };
+            for h in 0..heads {
+                let base = h * head_dim;
+                let mut acc = 0.0f32;
+                for j in 0..head_dim {
+                    acc += arow[base + j] * brow[base + j];
+                }
+                orow[h] = scale * acc;
+            }
+        }
+    });
+    out
+}
+
+/// Softmax over each destination's incoming edges, per head (GAT's
+/// attention normalization). Input and output are `[E, H]`.
+pub fn edge_softmax(block: &BlockCsr, logits: &Matrix) -> Matrix {
+    assert_eq!(logits.rows(), block.num_edges());
+    let heads = logits.cols();
+    let mut out = logits.clone();
+    let out_ptr = out.data_mut().as_mut_ptr() as usize;
+    (0..block.num_dst).into_par_iter().for_each(|d| {
+        let lo = block.offsets[d] as usize;
+        let hi = block.offsets[d + 1] as usize;
+        if lo == hi {
+            return;
+        }
+        // SAFETY: disjoint edge ranges per dst.
+        let rows = unsafe {
+            std::slice::from_raw_parts_mut((out_ptr as *mut f32).add(lo * heads), (hi - lo) * heads)
+        };
+        for h in 0..heads {
+            let mut max = f32::NEG_INFINITY;
+            for e in 0..hi - lo {
+                max = max.max(rows[e * heads + h]);
+            }
+            let mut denom = 0.0f32;
+            for e in 0..hi - lo {
+                let v = (rows[e * heads + h] - max).exp();
+                rows[e * heads + h] = v;
+                denom += v;
+            }
+            for e in 0..hi - lo {
+                rows[e * heads + h] /= denom;
+            }
+        }
+    });
+    out
+}
+
+/// Backward of [`edge_softmax`]: given the forward output `soft` and
+/// upstream gradient `grad`, returns the gradient w.r.t. the logits:
+/// `g_e = soft_e · (grad_e − Σ_f soft_f · grad_f)` per destination, per head.
+pub fn edge_softmax_backward(block: &BlockCsr, soft: &Matrix, grad: &Matrix) -> Matrix {
+    assert_eq!(soft.rows(), block.num_edges());
+    assert_eq!(grad.rows(), block.num_edges());
+    let heads = soft.cols();
+    let mut out = Matrix::zeros(block.num_edges(), heads);
+    let out_ptr = out.data_mut().as_mut_ptr() as usize;
+    (0..block.num_dst).into_par_iter().for_each(|d| {
+        let lo = block.offsets[d] as usize;
+        let hi = block.offsets[d + 1] as usize;
+        for h in 0..heads {
+            let mut dot = 0.0f32;
+            for e in lo..hi {
+                dot += soft.get(e, h) * grad.get(e, h);
+            }
+            for e in lo..hi {
+                let v = soft.get(e, h) * (grad.get(e, h) - dot);
+                // SAFETY: disjoint edge ranges per dst.
+                unsafe {
+                    *(out_ptr as *mut f32).add(e * heads + h) = v;
+                }
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+
+    /// Tiny block: 2 dst, 4 src (dst 0,1 are src 0,1).
+    /// dst0 ← {src2, src3}; dst1 ← {src2}.
+    fn tiny_block() -> BlockCsr {
+        let b = BlockCsr {
+            num_dst: 2,
+            num_src: 4,
+            offsets: vec![0, 2, 3],
+            indices: vec![2, 3, 2],
+            dup_count: vec![0, 0, 2, 1],
+        };
+        b.validate();
+        b
+    }
+
+    fn randm(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Matrix::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    /// Dense reference: materialize the (scaled, weighted) adjacency and
+    /// multiply.
+    fn dense_spmm(block: &BlockCsr, src: &Matrix, w: Option<&Matrix>, heads: usize, agg: Agg) -> Matrix {
+        let channels = src.cols();
+        let head_dim = channels / heads;
+        let mut out = Matrix::zeros(block.num_dst, channels);
+        for d in 0..block.num_dst {
+            let lo = block.offsets[d] as usize;
+            let hi = block.offsets[d + 1] as usize;
+            let scale = agg_scale(agg, hi - lo);
+            for e in lo..hi {
+                let s = block.indices[e] as usize;
+                for h in 0..heads {
+                    let wh = w.map_or(1.0, |w| w.get(e, h)) * scale;
+                    for j in 0..head_dim {
+                        let c = h * head_dim + j;
+                        out.set(d, c, out.get(d, c) + wh * src.get(s, c));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn spmm_sum_matches_dense() {
+        let b = tiny_block();
+        let src = randm(4, 6, 1);
+        let got = spmm(&b, &src, None, 1, Agg::Sum);
+        assert!(got.max_abs_diff(&dense_spmm(&b, &src, None, 1, Agg::Sum)) < 1e-6);
+    }
+
+    #[test]
+    fn spmm_mean_divides_by_degree() {
+        let b = tiny_block();
+        let src = randm(4, 3, 2);
+        let got = spmm(&b, &src, None, 1, Agg::Mean);
+        // dst0 has 2 in-edges: mean = (src2 + src3)/2.
+        for j in 0..3 {
+            let expect = (src.get(2, j) + src.get(3, j)) / 2.0;
+            assert!((got.get(0, j) - expect).abs() < 1e-6);
+        }
+        // dst1: only src2.
+        for j in 0..3 {
+            assert!((got.get(1, j) - src.get(2, j)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weighted_multihead_spmm_matches_dense() {
+        let b = tiny_block();
+        let heads = 2;
+        let src = randm(4, 8, 3);
+        let w = randm(b.num_edges(), heads, 4);
+        let got = spmm(&b, &src, Some(&w), heads, Agg::Sum);
+        assert!(got.max_abs_diff(&dense_spmm(&b, &src, Some(&w), heads, Agg::Sum)) < 1e-6);
+    }
+
+    #[test]
+    fn backward_src_is_adjoint_of_forward() {
+        // <spmm(x), g> == <x, spmm_backward_src(g)> for all x, g — the
+        // defining property of the transpose.
+        let b = tiny_block();
+        for agg in [Agg::Sum, Agg::Mean] {
+            let x = randm(4, 5, 10);
+            let g = randm(2, 5, 11);
+            let fwd = spmm(&b, &x, None, 1, agg);
+            let bwd = spmm_backward_src(&b, &g, None, 1, agg);
+            let lhs: f32 = fwd.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+            let rhs: f32 = x.data().iter().zip(bwd.data()).map(|(a, b)| a * b).sum();
+            assert!((lhs - rhs).abs() < 1e-4, "{agg:?}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn backward_weights_via_sddmm_matches_finite_difference() {
+        let b = tiny_block();
+        let heads = 1;
+        let src = randm(4, 4, 20);
+        let w = randm(b.num_edges(), heads, 21);
+        let g = randm(2, 4, 22);
+        // Analytic: dL/dw_e = scale_d · <g[d], src[s]> = sddmm(g, src).
+        let gw = sddmm(&b, &g, &src, heads, Agg::Sum);
+        let eps = 1e-3;
+        for e in 0..b.num_edges() {
+            let mut wp = w.clone();
+            wp.set(e, 0, w.get(e, 0) + eps);
+            let mut wm = w.clone();
+            wm.set(e, 0, w.get(e, 0) - eps);
+            let loss = |w: &Matrix| -> f32 {
+                spmm(&b, &src, Some(w), heads, Agg::Sum)
+                    .data()
+                    .iter()
+                    .zip(g.data())
+                    .map(|(a, b)| a * b)
+                    .sum()
+            };
+            let fd = (loss(&wp) - loss(&wm)) / (2.0 * eps);
+            assert!((fd - gw.get(e, 0)).abs() < 1e-2, "edge {e}: fd {fd} vs {}", gw.get(e, 0));
+        }
+    }
+
+    #[test]
+    fn edge_softmax_rows_sum_to_one_per_dst() {
+        let b = tiny_block();
+        let logits = randm(b.num_edges(), 2, 30);
+        let soft = edge_softmax(&b, &logits);
+        for h in 0..2 {
+            let s0 = soft.get(0, h) + soft.get(1, h); // dst0's edges
+            assert!((s0 - 1.0).abs() < 1e-6);
+            assert!((soft.get(2, h) - 1.0).abs() < 1e-6); // dst1's single edge
+        }
+        assert!(soft.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn edge_softmax_backward_matches_finite_difference() {
+        let b = tiny_block();
+        let logits = randm(b.num_edges(), 1, 40);
+        let up = randm(b.num_edges(), 1, 41);
+        let soft = edge_softmax(&b, &logits);
+        let grad = edge_softmax_backward(&b, &soft, &up);
+        let eps = 1e-3;
+        let loss = |l: &Matrix| -> f32 {
+            edge_softmax(&b, l)
+                .data()
+                .iter()
+                .zip(up.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        for e in 0..b.num_edges() {
+            let mut lp = logits.clone();
+            lp.set(e, 0, logits.get(e, 0) + eps);
+            let mut lm = logits.clone();
+            lm.set(e, 0, logits.get(e, 0) - eps);
+            let fd = (loss(&lp) - loss(&lm)) / (2.0 * eps);
+            assert!((fd - grad.get(e, 0)).abs() < 1e-2, "edge {e}");
+        }
+    }
+
+    #[test]
+    fn spmm_max_matches_scalar_reference() {
+        let b = tiny_block();
+        let src = randm(4, 5, 50);
+        let (out, argmax) = spmm_max(&b, &src);
+        // dst0 ← {src2, src3}: per-channel max; dst1 ← {src2}: identity.
+        for c in 0..5 {
+            assert_eq!(out.get(0, c), src.get(2, c).max(src.get(3, c)));
+            assert_eq!(out.get(1, c), src.get(2, c));
+        }
+        // Winning edges are real edges of the right dst.
+        for d in 0..2 {
+            for c in 0..5 {
+                let e = argmax[d * 5 + c] as usize;
+                assert!(e >= b.offsets[d] as usize && e < b.offsets[d + 1] as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_max_isolated_dst_is_zero() {
+        let b = BlockCsr {
+            num_dst: 2,
+            num_src: 3,
+            offsets: vec![0, 0, 1],
+            indices: vec![2],
+            dup_count: vec![0, 0, 1],
+        };
+        let src = randm(3, 4, 51);
+        let (out, argmax) = spmm_max(&b, &src);
+        assert!(out.row(0).iter().all(|&v| v == 0.0));
+        assert!(argmax[..4].iter().all(|&e| e == u32::MAX));
+    }
+
+    #[test]
+    fn spmm_max_backward_matches_finite_difference() {
+        let b = tiny_block();
+        let src = randm(4, 3, 52);
+        let g = randm(2, 3, 53);
+        let (_, argmax) = spmm_max(&b, &src);
+        let bwd = spmm_max_backward(&b, &g, &argmax);
+        let eps = 1e-3;
+        let loss = |x: &Matrix| -> f32 {
+            let (o, _) = spmm_max(&b, x);
+            o.data().iter().zip(g.data()).map(|(a, b)| a * b).sum()
+        };
+        for s in 0..4 {
+            for c in 0..3 {
+                let mut xp = src.clone();
+                xp.set(s, c, src.get(s, c) + eps);
+                let mut xm = src.clone();
+                xm.set(s, c, src.get(s, c) - eps);
+                let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+                assert!(
+                    (fd - bwd.get(s, c)).abs() < 1e-2,
+                    "({s},{c}): fd {fd} vs {}",
+                    bwd.get(s, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_add_accumulates_under_contention() {
+        let slot = AtomicU32::new(0f32.to_bits());
+        (0..10_000).into_par_iter().for_each(|_| atomic_add_f32(&slot, 0.5));
+        let v = f32::from_bits(slot.into_inner());
+        assert!((v - 5000.0).abs() < 1e-1, "{v}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn spmm_matches_dense_on_random_blocks(
+            num_dst in 1usize..12,
+            extra_src in 0usize..12,
+            seed in 0u64..500,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let num_src = num_dst + extra_src;
+            let mut offsets = vec![0u32];
+            let mut indices = Vec::new();
+            for _ in 0..num_dst {
+                let deg = rng.gen_range(0..5usize);
+                for _ in 0..deg {
+                    indices.push(rng.gen_range(0..num_src as u32));
+                }
+                offsets.push(indices.len() as u32);
+            }
+            let mut dup = vec![0u32; num_src];
+            for &c in &indices {
+                dup[c as usize] += 1;
+            }
+            let b = BlockCsr { num_dst, num_src, offsets, indices, dup_count: dup };
+            b.validate();
+            let src = randm(num_src, 4, seed + 1);
+            for agg in [Agg::Sum, Agg::Mean] {
+                let got = spmm(&b, &src, None, 1, agg);
+                prop_assert!(got.max_abs_diff(&dense_spmm(&b, &src, None, 1, agg)) < 1e-5);
+                // Adjoint check.
+                let g = randm(num_dst, 4, seed + 2);
+                let bwd = spmm_backward_src(&b, &g, None, 1, agg);
+                let lhs: f32 = got.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+                let rhs: f32 = src.data().iter().zip(bwd.data()).map(|(a, b)| a * b).sum();
+                prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()));
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Multi-node data-parallel integration (§III-D / Figure 13) plus
+//! gradient-averaging semantics.
+
+use std::sync::Arc;
+
+use wholegraph::multinode::scaling_sweep;
+use wholegraph::prelude::*;
+
+fn pipeline() -> Pipeline {
+    let dataset = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnPapers100M, 2000, 31));
+    let machine = Machine::dgx_a100();
+    let mut cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage).with_seed(31);
+    cfg.batch_size = 16;
+    Pipeline::new(machine, dataset, cfg).unwrap()
+}
+
+#[test]
+fn scaling_sweep_matches_figure13_shape() {
+    let mut pipe = pipeline();
+    let pts = scaling_sweep(&mut pipe, &[1, 2, 4, 8], 2);
+    assert_eq!(pts.len(), 4);
+    // Speedups grow with node count and 8-node efficiency is high.
+    for w in pts.windows(2) {
+        assert!(w[1].speedup > w[0].speedup);
+    }
+    let eff8 = pts[3].speedup / 8.0;
+    assert!(eff8 > 0.55, "8-node efficiency {eff8:.2}");
+    // 2-node efficiency should be nearly perfect (tiny gradients over fat
+    // IB pipes).
+    let eff2 = pts[1].speedup / 2.0;
+    assert!(eff2 > 0.8, "2-node efficiency {eff2:.2}");
+}
+
+#[test]
+fn gradient_averaging_equalizes_replicas() {
+    // Two replicas with different local gradients end up identical after
+    // the simulated AllReduce — the §III-D invariant ("each GPU has the
+    // same GNN model parameters").
+    use wg_autograd::{average_gradients, Params};
+    use wg_tensor::Matrix;
+    let mut a = Params::new();
+    let mut b = Params::new();
+    let ia = a.add("w", Matrix::zeros(2, 2));
+    let ib = b.add("w", Matrix::zeros(2, 2));
+    a.accumulate_grad(ia, &Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+    b.accumulate_grad(ib, &Matrix::from_vec(2, 2, vec![3.0, 2.0, 1.0, 0.0]));
+    average_gradients(&mut [&mut a, &mut b]);
+    assert_eq!(a.grad(ia).data(), b.grad(ib).data());
+    assert_eq!(a.grad(ia).data(), &[2.0, 2.0, 2.0, 2.0]);
+}
+
+#[test]
+fn more_real_iterations_refine_but_do_not_flip_the_sweep() {
+    let mut pipe = pipeline();
+    let one = scaling_sweep(&mut pipe, &[1, 8], 1);
+    let mut pipe = pipeline();
+    let three = scaling_sweep(&mut pipe, &[1, 8], 3);
+    // Both sweeps agree that 8 nodes is much faster than 1.
+    assert!(one[1].speedup > 3.0);
+    assert!(three[1].speedup > 3.0);
+}

@@ -1,0 +1,161 @@
+//! Analytic validation at FULL paper scale.
+//!
+//! The empirical harnesses run on scaled stand-ins; this test evaluates
+//! the cost model alone at the paper's true dataset sizes (ogbn-products:
+//! 2.4 M nodes, batch 512, fanout 30,30,30, 384 iterations/epoch, 8 GPUs)
+//! and checks that the resulting epoch times land in the bands Table V
+//! reports. This closes the loop between calibration (DESIGN.md §4) and
+//! the published numbers without needing 100 GB of RAM.
+
+use wg_gnn::cost::{train_step_time, BlockShape};
+use wg_gnn::{GnnConfig, LayerProvider, ModelKind};
+use wg_sim::collective::allreduce_intra_node;
+use wg_sim::{CostModel, DeviceSpec, SimTime};
+
+/// Paper-scale per-batch shapes for ogbn-products (batch 512, fanout 30):
+/// frontier sizes estimated with moderate dedup on a 2.4 M-node graph.
+fn products_shapes() -> Vec<BlockShape> {
+    vec![
+        BlockShape { num_dst: 512, num_src: 14_500, num_edges: 15_360 },
+        BlockShape { num_dst: 14_500, num_src: 350_000, num_edges: 435_000 },
+        BlockShape { num_dst: 350_000, num_src: 1_400_000, num_edges: 10_500_000 },
+    ]
+}
+
+struct PaperScale {
+    model: CostModel,
+    spec: DeviceSpec,
+    shapes: Vec<BlockShape>,
+    feat_dim: usize,
+    iters: usize,
+    gpus: u32,
+}
+
+impl PaperScale {
+    fn products() -> Self {
+        PaperScale {
+            model: CostModel::dgx_a100(),
+            spec: DeviceSpec::a100_40gb(),
+            shapes: products_shapes(),
+            feat_dim: 100,
+            iters: 384, // ~196k train nodes / 512
+            gpus: 8,
+        }
+    }
+
+    fn edges_sampled(&self) -> u64 {
+        self.shapes.iter().map(|s| s.num_edges as u64).sum()
+    }
+
+    fn gathered_rows(&self) -> u64 {
+        self.shapes.last().unwrap().num_src as u64
+    }
+
+    fn waves(&self) -> f64 {
+        (self.iters as f64 / self.gpus as f64).ceil()
+    }
+
+    /// WholeGraph epoch: GPU sampling + P2P gather + native train, per
+    /// wave.
+    fn wholegraph_epoch(&self, kind: ModelKind) -> SimTime {
+        let m = &self.model;
+        let sample = SimTime::from_secs(
+            self.edges_sampled() as f64 / m.gpu_sample_edges_per_s
+                + (self.edges_sampled() + 400_000) as f64 / m.gpu_unique_keys_per_s
+                + 6.0 * self.spec.kernel_launch_overhead_s,
+        );
+        let gather = m.dsm_gather_time(self.gathered_rows(), self.feat_dim * 4, &self.spec);
+        let cfg = GnnConfig::paper(kind, self.feat_dim, 47);
+        let train = train_step_time(&cfg, &self.shapes, LayerProvider::WholeGraphNative, m, &self.spec, 500_000);
+        let comm = allreduce_intra_node(m, 2_000_000, self.gpus);
+        (sample + gather + train + comm) * self.waves()
+    }
+
+    /// Host-pipeline epoch: CPU sampling/gather are aggregate resources
+    /// (×gpus per wave), PCIe shares uplinks, third-party layers train.
+    fn host_epoch(&self, kind: ModelKind, pyg: bool) -> SimTime {
+        let m = &self.model;
+        let rate = if pyg { m.pyg_sample_edges_per_s } else { m.cpu_sample_edges_per_s };
+        let sample = SimTime::from_secs(self.edges_sampled() as f64 / rate) * self.gpus as f64;
+        let row_bytes = self.feat_dim * 4;
+        let cpu_gather = m.host_gather_time(self.gathered_rows(), row_bytes) * self.gpus as f64;
+        let bytes = self.gathered_rows() * row_bytes as u64;
+        let path = m.topology.path(wg_sim::DeviceId::Cpu, wg_sim::DeviceId::Gpu(0), self.gpus);
+        let pcie = m.transfer_time(bytes, path);
+        let cfg = GnnConfig::paper(kind, self.feat_dim, 47);
+        let provider = if pyg { LayerProvider::PygLayers } else { LayerProvider::DglLayers };
+        let train = train_step_time(&cfg, &self.shapes, provider, m, &self.spec, 500_000);
+        let comm = allreduce_intra_node(m, 2_000_000, self.gpus);
+        (sample + cpu_gather + pcie + train + comm) * self.waves()
+    }
+}
+
+#[test]
+fn products_epoch_magnitudes_match_table5() {
+    let p = PaperScale::products();
+    // Paper Table V, ogbn-products GraphSage: PyG 228.96 s, DGL 30.8 s,
+    // WholeGraph 0.99 s. Require each model estimate within ~2.5x.
+    let wg = p.wholegraph_epoch(ModelKind::GraphSage).as_secs();
+    let dgl = p.host_epoch(ModelKind::GraphSage, false).as_secs();
+    let pyg = p.host_epoch(ModelKind::GraphSage, true).as_secs();
+    assert!(wg > 0.99 / 2.5 && wg < 0.99 * 2.5, "WholeGraph epoch {wg:.2} s vs paper 0.99 s");
+    assert!(dgl > 30.8 / 2.5 && dgl < 30.8 * 2.5, "DGL epoch {dgl:.2} s vs paper 30.8 s");
+    assert!(pyg > 228.96 / 2.5 && pyg < 228.96 * 2.5, "PyG epoch {pyg:.2} s vs paper 228.96 s");
+}
+
+#[test]
+fn products_speedups_land_in_paper_bands() {
+    let p = PaperScale::products();
+    // Paper speedups (GraphSage, products): 231.27x vs PyG, 31.11x vs DGL.
+    let wg = p.wholegraph_epoch(ModelKind::GraphSage);
+    let dgl = p.host_epoch(ModelKind::GraphSage, false);
+    let pyg = p.host_epoch(ModelKind::GraphSage, true);
+    let s_dgl = dgl / wg;
+    let s_pyg = pyg / wg;
+    assert!(s_dgl > 15.0 && s_dgl < 60.0, "vs DGL {s_dgl:.1}x (paper 31.1x)");
+    assert!(s_pyg > 100.0 && s_pyg < 450.0, "vs PyG {s_pyg:.1}x (paper 231.3x)");
+}
+
+#[test]
+fn gat_dilutes_the_speedup_at_paper_scale() {
+    // Paper: GAT's speedup vs DGL drops from ~31x (GraphSage) to ~8.9x on
+    // products. At full scale our model must show the same strong
+    // dilution (>2x reduction).
+    let p = PaperScale::products();
+    let sage = p.host_epoch(ModelKind::GraphSage, false) / p.wholegraph_epoch(ModelKind::GraphSage);
+    let gat = p.host_epoch(ModelKind::Gat, false) / p.wholegraph_epoch(ModelKind::Gat);
+    assert!(gat < sage / 1.8, "GAT {gat:.1}x vs GraphSage {sage:.1}x — insufficient dilution");
+    assert!(gat > 4.0, "GAT speedup {gat:.1}x collapsed entirely");
+}
+
+#[test]
+fn input_phases_dominate_host_pipelines_at_paper_scale() {
+    // Figure 9's full-scale shape: ≥80% of a DGL epoch is sampling+gather;
+    // ≤25% of a WholeGraph epoch is.
+    let p = PaperScale::products();
+    let m = &p.model;
+    let dgl_sample = SimTime::from_secs(p.edges_sampled() as f64 / m.cpu_sample_edges_per_s) * 8.0;
+    let dgl_gather = m.host_gather_time(p.gathered_rows(), 400) * 8.0;
+    let dgl_total = p.host_epoch(ModelKind::GraphSage, false) / p.waves();
+    let share = (dgl_sample + dgl_gather) / dgl_total;
+    assert!(share > 0.8, "DGL input share {share:.2}");
+
+    let wg_sample = SimTime::from_secs(p.edges_sampled() as f64 / m.gpu_sample_edges_per_s);
+    let wg_gather = m.dsm_gather_time(p.gathered_rows(), 400, &p.spec);
+    let wg_total = p.wholegraph_epoch(ModelKind::GraphSage) / p.waves();
+    let share = (wg_sample + wg_gather) / wg_total;
+    assert!(share < 0.35, "WholeGraph input share {share:.2}");
+}
+
+#[test]
+fn paper_scale_gather_volume_is_nvlink_friendly() {
+    // Sanity: a products batch gathers ~560 MB of features; at saturated
+    // AlgoBW (~263 GB/s) that is ~2 ms — small next to ~20 ms of train
+    // compute, which is why WholeGraph's GPUs stay >95% busy.
+    let p = PaperScale::products();
+    let gather = p.model.dsm_gather_time(p.gathered_rows(), 400, &p.spec);
+    assert!(gather.as_millis() < 5.0, "gather {gather}");
+    let cfg = GnnConfig::paper(ModelKind::GraphSage, 100, 47);
+    let train = train_step_time(&cfg, &p.shapes, LayerProvider::WholeGraphNative, &p.model, &p.spec, 500_000);
+    assert!(train / gather > 4.0, "train {train} vs gather {gather}");
+}
