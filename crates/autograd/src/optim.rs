@@ -48,7 +48,12 @@ impl Optimizer for Sgd {
             }
             let lr = self.lr;
             let vclone = v.clone();
-            for (p, vv) in params.value_mut(id).data_mut().iter_mut().zip(vclone.data()) {
+            for (p, vv) in params
+                .value_mut(id)
+                .data_mut()
+                .iter_mut()
+                .zip(vclone.data())
+            {
                 *p -= lr * vv;
             }
         }

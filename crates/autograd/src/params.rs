@@ -32,7 +32,13 @@ impl Params {
     }
 
     /// Register a Xavier-initialized `[fan_in, fan_out]` weight.
-    pub fn add_xavier(&mut self, name: &str, fan_in: usize, fan_out: usize, rng: &mut SmallRng) -> ParamId {
+    pub fn add_xavier(
+        &mut self,
+        name: &str,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut SmallRng,
+    ) -> ParamId {
         self.add(name, Matrix::xavier(fan_in, fan_out, rng))
     }
 
@@ -79,7 +85,11 @@ impl Params {
     /// Accumulate into a parameter's gradient.
     pub fn accumulate_grad(&mut self, id: ParamId, g: &Matrix) {
         let slot = &mut self.grads[id.0];
-        assert_eq!((slot.rows(), slot.cols()), (g.rows(), g.cols()), "gradient shape mismatch");
+        assert_eq!(
+            (slot.rows(), slot.cols()),
+            (g.rows(), g.cols()),
+            "gradient shape mismatch"
+        );
         for (a, b) in slot.data_mut().iter_mut().zip(g.data()) {
             *a += b;
         }
@@ -139,7 +149,11 @@ pub fn average_gradients(replicas: &mut [&mut Params]) {
     }
     let num_params = replicas[0].len();
     for r in replicas.iter() {
-        assert_eq!(r.len(), num_params, "replicas have different parameter counts");
+        assert_eq!(
+            r.len(),
+            num_params,
+            "replicas have different parameter counts"
+        );
     }
     for p in 0..num_params {
         let len = replicas[0].grads[p].len();

@@ -70,7 +70,10 @@ enum Op {
         argmax: Vec<u32>,
     },
     /// Per-dst edge softmax; backward uses this node's output value.
-    EdgeSoftmax { logits: NodeId, block: Arc<BlockCsr> },
+    EdgeSoftmax {
+        logits: NodeId,
+        block: Arc<BlockCsr>,
+    },
     /// Per-edge sum of a dst-side and a src-side per-node score:
     /// `out[e, h] = dst[d(e), h] + src[s(e), h]` (GAT attention logits).
     EdgeScores {
@@ -441,7 +444,11 @@ mod tests {
 
     /// Scalar loss = <output, probe> used for finite-difference checks.
     fn probe_loss(out: &Matrix, probe: &Matrix) -> f32 {
-        out.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum()
+        out.data()
+            .iter()
+            .zip(probe.data())
+            .map(|(a, b)| a * b)
+            .sum()
     }
 
     /// Check d(probe_loss ∘ f)/d(param) by central differences against the
@@ -485,7 +492,10 @@ mod tests {
         let mut params = Params::new();
         let w = params.add_xavier("w", 4, 3, &mut rng);
         let b = params.add_bias("b", 3);
-        params.value_mut(b).data_mut().copy_from_slice(&[0.1, -0.2, 0.3]);
+        params
+            .value_mut(b)
+            .data_mut()
+            .copy_from_slice(&[0.1, -0.2, 0.3]);
         let x = randm(5, 4, 2);
         let probe = randm(5, 3, 3);
         let xc = x.clone();

@@ -19,7 +19,11 @@ fn bench_append_unique(c: &mut Criterion) {
     let mut group = c.benchmark_group("append_unique");
     group.sample_size(15);
     // Batch-512 × fanout-30 shaped inputs at two duplication levels.
-    for (targets, neighbors, universe) in [(512usize, 15_360usize, 100_000u64), (512, 15_360, 4_000), (8_192, 245_760, 500_000)] {
+    for (targets, neighbors, universe) in [
+        (512usize, 15_360usize, 100_000u64),
+        (512, 15_360, 4_000),
+        (8_192, 245_760, 500_000),
+    ] {
         let (t, n) = workload(targets, neighbors, universe, 3);
         let label = format!("{targets}t_{neighbors}n_u{universe}");
         group.bench_with_input(BenchmarkId::new("hash_table", &label), &(), |b, _| {

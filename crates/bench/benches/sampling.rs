@@ -12,20 +12,28 @@ fn bench_samplers(c: &mut Criterion) {
     // The paper's shape: fanout 30 out of various neighbor counts, plus a
     // stress shape where m approaches n (rejection's worst case).
     for (m, n) in [(30usize, 100usize), (30, 10_000), (256, 512), (900, 1000)] {
-        group.bench_with_input(BenchmarkId::new("path_doubling", format!("{m}of{n}")), &(m, n), |b, &(m, n)| {
-            let mut rng = SmallRng::seed_from_u64(1);
-            let mut sampler = PathDoublingSampler::new();
-            let mut out = Vec::with_capacity(m);
-            b.iter(|| {
-                out.clear();
-                sampler.sample(black_box(m), black_box(n), &mut rng, &mut out);
-                black_box(out.len())
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("rejection", format!("{m}of{n}")), &(m, n), |b, &(m, n)| {
-            let mut rng = SmallRng::seed_from_u64(1);
-            b.iter(|| black_box(rejection_sample(black_box(m), black_box(n), &mut rng)).len());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("path_doubling", format!("{m}of{n}")),
+            &(m, n),
+            |b, &(m, n)| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                let mut sampler = PathDoublingSampler::new();
+                let mut out = Vec::with_capacity(m);
+                b.iter(|| {
+                    out.clear();
+                    sampler.sample(black_box(m), black_box(n), &mut rng, &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rejection", format!("{m}of{n}")),
+            &(m, n),
+            |b, &(m, n)| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                b.iter(|| black_box(rejection_sample(black_box(m), black_box(n), &mut rng)).len());
+            },
+        );
     }
     group.finish();
 

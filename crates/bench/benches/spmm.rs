@@ -52,12 +52,38 @@ fn bench_spmm(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("forward_mean", ""), &(), |bch, _| {
         bch.iter(|| black_box(spmm(&b_atomic, black_box(&x), None, 1, Agg::Mean)).rows());
     });
-    group.bench_with_input(BenchmarkId::new("backward_atomic_all", ""), &(), |bch, _| {
-        bch.iter(|| black_box(spmm_backward_src(&b_atomic, black_box(&g), None, 1, Agg::Mean)).rows());
-    });
-    group.bench_with_input(BenchmarkId::new("backward_dupcount_assign", ""), &(), |bch, _| {
-        bch.iter(|| black_box(spmm_backward_src(&b_assign, black_box(&g), None, 1, Agg::Mean)).rows());
-    });
+    group.bench_with_input(
+        BenchmarkId::new("backward_atomic_all", ""),
+        &(),
+        |bch, _| {
+            bch.iter(|| {
+                black_box(spmm_backward_src(
+                    &b_atomic,
+                    black_box(&g),
+                    None,
+                    1,
+                    Agg::Mean,
+                ))
+                .rows()
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("backward_dupcount_assign", ""),
+        &(),
+        |bch, _| {
+            bch.iter(|| {
+                black_box(spmm_backward_src(
+                    &b_assign,
+                    black_box(&g),
+                    None,
+                    1,
+                    Agg::Mean,
+                ))
+                .rows()
+            });
+        },
+    );
     group.finish();
 }
 

@@ -5,24 +5,38 @@
 //! All variants compute identical training; only the gather path changes.
 
 use wg_bench::{banner, bench_dataset, bench_pipeline_config, secs, Table};
-use wholegraph::prelude::*;
 use wg_graph::DatasetKind;
+use wholegraph::prelude::*;
 
 fn main() {
-    banner("Ablation", "feature placement: P2P vs UM vs host zero-copy vs CPU gather");
+    banner(
+        "Ablation",
+        "feature placement: P2P vs UM vs host zero-copy vs CPU gather",
+    );
     let dataset = bench_dataset(DatasetKind::OgbnPapers100M, 41);
-    let mut t = Table::new(&[
-        "variant",
-        "gather/epoch (s)",
-        "epoch (s)",
-        "vs P2P",
-    ]);
+    let mut t = Table::new(&["variant", "gather/epoch (s)", "epoch (s)", "vs P2P"]);
     let mut base = None;
     let variants: Vec<(String, Framework, FeaturePlacement)> = vec![
-        ("WholeGraph GPU+P2P".into(), Framework::WholeGraph, FeaturePlacement::DeviceP2p),
-        ("WholeGraph host zero-copy".into(), Framework::WholeGraph, FeaturePlacement::HostMapped),
-        ("WholeGraph GPU+UM".into(), Framework::WholeGraph, FeaturePlacement::DeviceUnifiedMemory),
-        ("DGL (CPU gather + copy)".into(), Framework::Dgl, FeaturePlacement::DeviceP2p),
+        (
+            "WholeGraph GPU+P2P".into(),
+            Framework::WholeGraph,
+            FeaturePlacement::DeviceP2p,
+        ),
+        (
+            "WholeGraph host zero-copy".into(),
+            Framework::WholeGraph,
+            FeaturePlacement::HostMapped,
+        ),
+        (
+            "WholeGraph GPU+UM".into(),
+            Framework::WholeGraph,
+            FeaturePlacement::DeviceUnifiedMemory,
+        ),
+        (
+            "DGL (CPU gather + copy)".into(),
+            Framework::Dgl,
+            FeaturePlacement::DeviceP2p,
+        ),
     ];
     for (label, fw, placement) in variants {
         let machine = Machine::dgx_a100();

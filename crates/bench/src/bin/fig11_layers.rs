@@ -3,11 +3,14 @@
 //! WholeGraph+DGL vs WholeGraph native layers.
 
 use wg_bench::{banner, bench_dataset, bench_pipeline_config, secs, Table};
-use wholegraph::prelude::*;
 use wg_graph::DatasetKind;
+use wholegraph::prelude::*;
 
 fn main() {
-    banner("Figure 11", "layer providers on top of WholeGraph sampling/gather");
+    banner(
+        "Figure 11",
+        "layer providers on top of WholeGraph sampling/gather",
+    );
     for kind in [DatasetKind::OgbnProducts, DatasetKind::OgbnPapers100M] {
         let dataset = bench_dataset(kind, 13);
         println!("\n--- {} ---", kind.name());

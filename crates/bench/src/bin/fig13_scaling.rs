@@ -2,16 +2,26 @@
 //! datasets for GCN, GraphSage and GAT, 1 → 8 nodes.
 
 use wg_bench::{banner, bench_dataset, bench_pipeline_config, Table};
+use wg_graph::DatasetKind;
 use wholegraph::multinode::scaling_sweep;
 use wholegraph::prelude::*;
-use wg_graph::DatasetKind;
 
 fn main() {
     banner("Figure 13", "multi-node scaling on three large datasets");
     let mut t = Table::new(&[
-        "dataset", "model", "1 node", "2 nodes", "4 nodes", "8 nodes", "8-node eff.",
+        "dataset",
+        "model",
+        "1 node",
+        "2 nodes",
+        "4 nodes",
+        "8 nodes",
+        "8-node eff.",
     ]);
-    for kind in [DatasetKind::OgbnPapers100M, DatasetKind::Friendster, DatasetKind::UkDomain] {
+    for kind in [
+        DatasetKind::OgbnPapers100M,
+        DatasetKind::Friendster,
+        DatasetKind::UkDomain,
+    ] {
         let dataset = bench_dataset(kind, 23);
         for model in ModelKind::ALL {
             let machine = Machine::dgx_a100();

@@ -2,12 +2,18 @@
 //! for GraphSage on the ogbn-products stand-in.
 
 use wg_bench::{banner, hard_accuracy_dataset, Table};
-use wholegraph::prelude::*;
 use wg_graph::DatasetKind;
+use wholegraph::prelude::*;
 
 fn main() {
-    banner("Figure 7", "validation accuracy per epoch: DGL vs WholeGraph");
-    let epochs: u64 = std::env::var("WG_EPOCHS").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
+    banner(
+        "Figure 7",
+        "validation accuracy per epoch: DGL vs WholeGraph",
+    );
+    let epochs: u64 = std::env::var("WG_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let dataset = hard_accuracy_dataset(DatasetKind::OgbnProducts, 600, 19);
 
     let mut curves = Vec::new();

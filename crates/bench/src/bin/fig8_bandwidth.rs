@@ -16,7 +16,12 @@ fn main() {
     let spec = DeviceSpec::a100_40gb();
     let points = bandwidth_sweep(&model, &spec);
 
-    let mut t = Table::new(&["segment (B)", "BusBW (GB/s)", "AlgoBW (GB/s)", "paper anchor"]);
+    let mut t = Table::new(&[
+        "segment (B)",
+        "BusBW (GB/s)",
+        "AlgoBW (GB/s)",
+        "paper anchor",
+    ]);
     for p in &points {
         let anchor = match p.segment_bytes {
             64 => "BusBW ~181",

@@ -26,9 +26,9 @@ fn main() {
     let mut failures = Vec::new();
     for bin in bins {
         println!("\n################ {bin} ################\n");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e} (build with --release -p wg-bench first)"));
+        let status = Command::new(dir.join(bin)).status().unwrap_or_else(|e| {
+            panic!("failed to launch {bin}: {e} (build with --release -p wg-bench first)")
+        });
         if !status.success() {
             failures.push(bin);
         }

@@ -7,15 +7,24 @@
 //! both on the GPU in the first place.
 
 use wg_bench::{banner, bench_dataset, secs, Table};
-use wholegraph::prelude::*;
 use wg_graph::DatasetKind;
+use wholegraph::prelude::*;
 
 fn main() {
-    banner("Sweep", "epoch time vs fanout and batch size (GraphSage, papers stand-in)");
+    banner(
+        "Sweep",
+        "epoch time vs fanout and batch size (GraphSage, papers stand-in)",
+    );
     let dataset = bench_dataset(DatasetKind::OgbnPapers100M, 61);
 
     println!("\n--- fanout sweep (batch 512, 3 layers) ---");
-    let mut t = Table::new(&["fanout", "edges/iter", "DGL (s)", "WholeGraph (s)", "speedup"]);
+    let mut t = Table::new(&[
+        "fanout",
+        "edges/iter",
+        "DGL (s)",
+        "WholeGraph (s)",
+        "speedup",
+    ]);
     for fanout in [5usize, 10, 20, 30] {
         let mut row: Vec<String> = vec![fanout.to_string()];
         let mut edges = 0u64;

@@ -23,18 +23,26 @@ fn main() {
         (128, 35.8, 1.56),
     ];
 
-    let mut t = Table::new(&[
-        "size (GB)",
-        "UM (us)",
-        "UM paper",
-        "P2P (us)",
-        "P2P paper",
-    ]);
+    let mut t = Table::new(&["size (GB)", "UM (us)", "UM paper", "P2P (us)", "P2P paper"]);
     for (gb, um_paper, p2p_paper) in paper {
         // 100K dependent accesses as in the paper; the walked array is a
         // scaled 64K-row cycle, the latency model sees the logical size.
-        let um = pointer_chase(&model, AccessMode::UnifiedMemory, gb * GB, 1 << 16, 100_000, gb);
-        let p2p = pointer_chase(&model, AccessMode::PeerAccess, gb * GB, 1 << 16, 100_000, gb);
+        let um = pointer_chase(
+            &model,
+            AccessMode::UnifiedMemory,
+            gb * GB,
+            1 << 16,
+            100_000,
+            gb,
+        );
+        let p2p = pointer_chase(
+            &model,
+            AccessMode::PeerAccess,
+            gb * GB,
+            1 << 16,
+            100_000,
+            gb,
+        );
         t.row(&[
             gb.to_string(),
             format!("{:.1}", um.avg_latency.as_micros()),

@@ -21,8 +21,15 @@ fn main() {
         t.row(&[
             kind.name().to_string(),
             format!("{:.1}M", n as f64 / 1e6),
-            format!("{:.1}{}", if e >= 1_000_000_000 { e as f64 / 1e9 } else { e as f64 / 1e6 },
-                if e >= 1_000_000_000 { "B" } else { "M" }),
+            format!(
+                "{:.1}{}",
+                if e >= 1_000_000_000 {
+                    e as f64 / 1e9
+                } else {
+                    e as f64 / 1e6
+                },
+                if e >= 1_000_000_000 { "B" } else { "M" }
+            ),
             f.to_string(),
             format!("1/{}", bench_scale(kind)),
             d.num_nodes().to_string(),

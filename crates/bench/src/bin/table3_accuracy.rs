@@ -6,18 +6,26 @@
 //! which is the point of the paper's table. Set `WG_EPOCHS` to override
 //! the default epoch count.
 
-
 use wg_bench::{banner, Table};
-use wholegraph::prelude::*;
 use wg_graph::DatasetKind;
+use wholegraph::prelude::*;
 
 fn main() {
     banner("Table III", "validation and test accuracy parity");
-    let epochs: u64 = std::env::var("WG_EPOCHS").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let epochs: u64 = std::env::var("WG_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     println!("training {epochs} epochs per cell (WG_EPOCHS to override)\n");
 
     let mut t = Table::new(&[
-        "dataset", "model", "framework", "valid", "test", "paper valid", "paper test",
+        "dataset",
+        "model",
+        "framework",
+        "valid",
+        "test",
+        "paper valid",
+        "paper test",
     ]);
     // Paper Table III values for reference.
     let paper = |kind: DatasetKind, model: ModelKind, fw: Framework| -> (f64, f64) {
@@ -47,7 +55,10 @@ fn main() {
         }
     };
 
-    for (kind, scale) in [(DatasetKind::OgbnProducts, 600), (DatasetKind::OgbnPapers100M, 20_000)] {
+    for (kind, scale) in [
+        (DatasetKind::OgbnProducts, 600),
+        (DatasetKind::OgbnPapers100M, 20_000),
+    ] {
         let dataset = wg_bench::hard_accuracy_dataset(kind, scale, 55);
         for model in ModelKind::ALL {
             for fw in [Framework::Dgl, Framework::Pyg, Framework::WholeGraph] {

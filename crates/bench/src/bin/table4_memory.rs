@@ -7,9 +7,9 @@
 //! column is scaled back up for comparison.
 
 use wg_bench::{banner, bench_dataset, bench_pipeline_config, bench_scale, Table};
+use wg_graph::DatasetKind;
 use wholegraph::memstats::{memory_report, register_training_memory, training_bytes_per_gpu};
 use wholegraph::prelude::*;
-use wg_graph::DatasetKind;
 
 const GIB: f64 = (1u64 << 30) as f64;
 
@@ -37,7 +37,11 @@ fn main() {
         "paper theoretical",
     ]);
     // Paper: graph 3.1 GiB/GPU (24 GB total), features 6.7 (53), training 20.4.
-    let paper = [("graph structure", 3.1, "24"), ("node feature", 6.7, "53"), ("training", 20.4, "-")];
+    let paper = [
+        ("graph structure", 3.1, "24"),
+        ("node feature", 6.7, "53"),
+        ("training", 20.4, "-"),
+    ];
     for (row, (label, paper_per_gpu, paper_total)) in rows.iter().zip(paper) {
         // Structure/features scale with the graph; training state scales
         // with the mini-batch (same at any graph scale) plus parameters.

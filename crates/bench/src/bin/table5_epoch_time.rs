@@ -6,9 +6,9 @@
 //! wave-by-wave (iterations are statistically identical). The paper's
 //! speedup columns are printed alongside for comparison.
 
-use wg_bench::{banner, bench_dataset, bench_pipeline_config, secs, speedup, Table};
-use wholegraph::prelude::*;
+use wg_bench::{banner, bench_dataset, bench_pipeline_config, overlap_mode, secs, speedup, Table};
 use wg_graph::DatasetKind;
+use wholegraph::prelude::*;
 
 /// Paper Table V speedups (ours-vs-PyG, ours-vs-DGL) per (dataset, model).
 fn paper_speedups(kind: DatasetKind, model: ModelKind) -> (f64, f64) {
@@ -33,7 +33,15 @@ fn paper_speedups(kind: DatasetKind, model: ModelKind) -> (f64, f64) {
 }
 
 fn main() {
-    banner("Table V", "average epoch time and speedups (3 models x 4 datasets)");
+    let exec = overlap_mode();
+    banner(
+        "Table V",
+        "average epoch time and speedups (3 models x 4 datasets)",
+    );
+    println!(
+        "executor: {} (pass --overlap for the pipelined schedule)",
+        exec.name()
+    );
     let mut t = Table::new(&[
         "dataset",
         "model",
@@ -56,7 +64,9 @@ fn main() {
             let mut times = Vec::new();
             for fw in [Framework::Pyg, Framework::Dgl, Framework::WholeGraph] {
                 let machine = Machine::dgx_a100();
-                let cfg = bench_pipeline_config(fw, model).with_seed(77);
+                let cfg = bench_pipeline_config(fw, model)
+                    .with_seed(77)
+                    .with_exec(exec);
                 let mut pipe = Pipeline::new(machine, dataset.clone(), cfg)
                     .expect("stand-in fits in simulated GPU memory");
                 let r = pipe.measure_epoch(0, 1);

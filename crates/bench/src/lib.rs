@@ -13,8 +13,8 @@
 
 use std::sync::Arc;
 
-use wholegraph::prelude::*;
 use wg_graph::DatasetKind;
+use wholegraph::prelude::*;
 
 /// Default scale divisors for the performance stand-ins: large enough to
 /// run in seconds on a laptop, small enough that sampling does not
@@ -51,6 +51,17 @@ pub fn bench_pipeline_config(fw: Framework, model: ModelKind) -> PipelineConfig 
     }
 }
 
+/// Executor mode requested on the regenerator's command line: passing
+/// `--overlap` re-runs the experiment under the double-buffered
+/// overlapped executor (same numerics, pipelined schedule).
+pub fn overlap_mode() -> ExecMode {
+    if std::env::args().any(|a| a == "--overlap") {
+        ExecMode::Overlapped
+    } else {
+        ExecMode::Serial
+    }
+}
+
 /// A *harder* learnable stand-in for the accuracy experiments: noisier
 /// features and weaker homophily than the default generator, so accuracy
 /// climbs over many epochs and plateaus below 100% (the default SBM is
@@ -64,7 +75,8 @@ pub fn hard_accuracy_dataset(kind: DatasetKind, scale: u64, seed: u64) -> Arc<Sy
     let avg_degree = 2.0 * paper_edges as f64 / paper_nodes as f64;
     let num_classes = kind.num_classes();
     let (graph, labels) = wg_graph::gen::sbm(n, num_classes, avg_degree, 0.55, seed);
-    let features = wg_graph::gen::class_features(&labels, num_classes, feature_dim, 3.0, seed ^ 0xfeed);
+    let features =
+        wg_graph::gen::class_features(&labels, num_classes, feature_dim, 3.0, seed ^ 0xfeed);
     let mut order: Vec<wg_graph::NodeId> = (0..n as u64).collect();
     order.shuffle(&mut SmallRng::seed_from_u64(seed ^ 0x51137));
     let n_train = (n / 10).max(1);

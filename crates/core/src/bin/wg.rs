@@ -13,13 +13,13 @@ use std::collections::HashMap;
 use std::process::exit;
 use std::sync::Arc;
 
-use wholegraph::prelude::*;
 use wg_graph::io::{load_dataset, save_dataset};
 use wg_graph::{DatasetKind, SyntheticDataset};
+use wholegraph::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  wg gen   --dataset <products|papers100m|friendster|uk> --scale <N> --out <file> [--seed <N>]\n  wg train [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--framework <wholegraph|dgl|pyg>] [--epochs <N>] [--batch <N>] [--hidden <N>]\n           [--layers <N>] [--fanout <N>] [--gpus <N>] [--seed <N>]\n  wg info  --data <file>"
+        "usage:\n  wg gen   --dataset <products|papers100m|friendster|uk> --scale <N> --out <file> [--seed <N>]\n  wg train [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--framework <wholegraph|dgl|pyg>] [--epochs <N>] [--batch <N>] [--hidden <N>]\n           [--layers <N>] [--fanout <N>] [--gpus <N>] [--seed <N>] [--overlap]\n  wg info  --data <file>"
     );
     exit(2);
 }
@@ -29,12 +29,19 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         let k = &args[i];
-        if !k.starts_with("--") || i + 1 >= args.len() {
+        if !k.starts_with("--") {
             eprintln!("bad argument: {k}");
             usage();
         }
-        out.insert(k[2..].to_string(), args[i + 1].clone());
-        i += 2;
+        // A flag with no value (end of args, or followed by another
+        // flag) is a boolean switch, e.g. `--overlap`.
+        if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+            out.insert(k[2..].to_string(), "true".to_string());
+            i += 1;
+        } else {
+            out.insert(k[2..].to_string(), args[i + 1].clone());
+            i += 2;
+        }
     }
     out
 }
@@ -107,7 +114,12 @@ fn load_or_generate(flags: &HashMap<String, String>) -> Arc<SyntheticDataset> {
 }
 
 fn cmd_gen(flags: HashMap<String, String>) {
-    let kind = dataset_kind(flags.get("dataset").map(String::as_str).unwrap_or_else(|| usage()));
+    let kind = dataset_kind(
+        flags
+            .get("dataset")
+            .map(String::as_str)
+            .unwrap_or_else(|| usage()),
+    );
     let scale = num(&flags, "scale", 800u64);
     let seed = num(&flags, "seed", 0u64);
     let out = flags.get("out").cloned().unwrap_or_else(|| usage());
@@ -135,18 +147,33 @@ fn cmd_info(flags: HashMap<String, String>) {
     println!("  max degree: {}", d.graph.max_degree());
     println!("  features: {} (f32)", d.feature_dim);
     println!("  classes: {}", d.num_classes);
-    println!("  splits: {} train / {} val / {} test", d.train.len(), d.val.len(), d.test.len());
+    println!(
+        "  splits: {} train / {} val / {} test",
+        d.train.len(),
+        d.val.len(),
+        d.test.len()
+    );
     println!("  structure bytes: {}", d.graph.structure_bytes());
 }
 
 fn cmd_train(flags: HashMap<String, String>) {
     let dataset = load_or_generate(&flags);
-    let fw = framework(flags.get("framework").map(String::as_str).unwrap_or("wholegraph"));
+    let fw = framework(
+        flags
+            .get("framework")
+            .map(String::as_str)
+            .unwrap_or("wholegraph"),
+    );
     let model = model_kind(flags.get("model").map(String::as_str).unwrap_or("sage"));
     let epochs: u64 = num(&flags, "epochs", 5);
     let gpus: u32 = num(&flags, "gpus", 8);
     let layers: usize = num(&flags, "layers", 2);
     let fanout: usize = num(&flags, "fanout", 10);
+    let exec = if flags.contains_key("overlap") {
+        ExecMode::Overlapped
+    } else {
+        ExecMode::Serial
+    };
     let cfg = PipelineConfig {
         batch_size: num(&flags, "batch", 128),
         hidden: num(&flags, "hidden", 64),
@@ -154,15 +181,17 @@ fn cmd_train(flags: HashMap<String, String>) {
         fanouts: vec![fanout; layers],
         ..PipelineConfig::tiny(fw, model)
     }
-    .with_seed(num(&flags, "seed", 0));
+    .with_seed(num(&flags, "seed", 0))
+    .with_exec(exec);
 
     let machine = Machine::new(MachineConfig::dgx_like(gpus));
     println!(
-        "training {} with {} on {} ({} GPUs simulated)",
+        "training {} with {} on {} ({} GPUs simulated, {} executor)",
         model.name(),
         fw.name(),
         dataset.kind.name(),
-        gpus
+        gpus,
+        exec.name()
     );
     let mut pipe = match Pipeline::new(machine, dataset, cfg) {
         Ok(p) => p,
@@ -183,6 +212,21 @@ fn cmd_train(flags: HashMap<String, String>) {
             r.gather_time,
             r.train_time,
             r.comm_time
+        );
+        let occ = r.occupancy;
+        println!(
+            "  gpu0 occupancy: {:.1}% busy ({} busy / {} idle; sampling {}+{} | gather {}+{} | train {}+{} | comm {}+{})",
+            occ.utilization() * 100.0,
+            occ.busy,
+            occ.idle,
+            occ.sampling.busy,
+            occ.sampling.idle,
+            occ.gather.busy,
+            occ.gather.idle,
+            occ.training.busy,
+            occ.training.idle,
+            occ.comm.busy,
+            occ.comm.idle
         );
     }
     let test = pipe.evaluate(&pipe.dataset().test.clone());

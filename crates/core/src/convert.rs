@@ -24,7 +24,10 @@ pub fn to_block_csr(b: &SampleBlock) -> BlockCsr {
 
 /// Convert a whole mini-batch (outermost-first order preserved).
 pub fn minibatch_blocks(mb: &MiniBatch) -> Vec<Arc<BlockCsr>> {
-    mb.blocks.iter().map(|b| Arc::new(to_block_csr(b))).collect()
+    mb.blocks
+        .iter()
+        .map(|b| Arc::new(to_block_csr(b)))
+        .collect()
 }
 
 /// Shape summaries for the compute cost model.

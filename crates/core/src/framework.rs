@@ -71,7 +71,10 @@ mod tests {
         assert!(Framework::WholeGraph.uses_dsm());
         assert!(!Framework::Dgl.uses_dsm());
         assert!(!Framework::Pyg.uses_dsm());
-        assert_eq!(Framework::WholeGraph.sampler_backend(), SamplerBackend::WholeGraphGpu);
+        assert_eq!(
+            Framework::WholeGraph.sampler_backend(),
+            SamplerBackend::WholeGraphGpu
+        );
         assert_eq!(Framework::Dgl.default_provider(), LayerProvider::DglLayers);
         assert_eq!(Framework::ALL.len(), 3);
         assert_eq!(Framework::Pyg.name(), "PyG");

@@ -15,8 +15,11 @@
 use std::sync::Arc;
 
 use wg_autograd::{Adam, Optimizer, Tape};
-use wg_gnn::{GnnConfig, GnnModel, ModelKind};
+use wg_gnn::cost::{train_step_time, BlockShape};
+use wg_gnn::{GnnConfig, GnnModel, LayerProvider, ModelKind};
 use wg_graph::{Csr, SyntheticDataset};
+use wg_sim::trace::Phase;
+use wg_sim::{Machine, SimTime};
 use wg_tensor::ops::{argmax_rows, softmax_cross_entropy};
 use wg_tensor::sparse::BlockCsr;
 use wg_tensor::Matrix;
@@ -68,7 +71,14 @@ pub struct FullBatchTrainer {
 
 impl FullBatchTrainer {
     /// Build a full-batch trainer with the given model shape.
-    pub fn new(dataset: Arc<SyntheticDataset>, kind: ModelKind, hidden: usize, num_layers: usize, lr: f32, seed: u64) -> Self {
+    pub fn new(
+        dataset: Arc<SyntheticDataset>,
+        kind: ModelKind,
+        hidden: usize,
+        num_layers: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Self {
         let cfg = GnnConfig {
             kind,
             in_dim: dataset.feature_dim,
@@ -99,13 +109,10 @@ impl FullBatchTrainer {
     /// one epoch training".
     pub fn train_epoch(&mut self) -> FullBatchEpoch {
         let n = self.dataset.num_nodes();
-        let features = Matrix::from_vec(
-            n,
-            self.dataset.feature_dim,
-            self.dataset.features.clone(),
-        );
-        let blocks: Vec<Arc<BlockCsr>> =
-            (0..self.model.cfg.num_layers).map(|_| Arc::clone(&self.block)).collect();
+        let features = Matrix::from_vec(n, self.dataset.feature_dim, self.dataset.features.clone());
+        let blocks: Vec<Arc<BlockCsr>> = (0..self.model.cfg.num_layers)
+            .map(|_| Arc::clone(&self.block))
+            .collect();
         let mut tape = Tape::new();
         let out = self.model.forward(&mut tape, &blocks, features, true, 0);
         // Mask the loss to the training nodes by building the gradient
@@ -115,7 +122,10 @@ impl FullBatchTrainer {
         let sub = Matrix::from_fn(train.len(), logits.cols(), |i, j| {
             logits.get(train[i] as usize, j)
         });
-        let labels: Vec<u32> = train.iter().map(|&v| self.dataset.labels[v as usize]).collect();
+        let labels: Vec<u32> = train
+            .iter()
+            .map(|&v| self.dataset.labels[v as usize])
+            .collect();
         let (loss, sub_grad) = softmax_cross_entropy(&sub, &labels);
         let preds = argmax_rows(&sub);
         let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
@@ -132,12 +142,43 @@ impl FullBatchTrainer {
         }
     }
 
+    /// One full-batch epoch with its simulated training time charged to
+    /// `machine`'s GPUs. The whole graph is one giant block per layer —
+    /// there is no sampling or gather phase to overlap, which is §II-A's
+    /// contrast with the staged mini-batch pipeline: the epoch is a
+    /// single `Training` span, and no executor choice can shorten it.
+    pub fn timed_epoch(
+        &mut self,
+        machine: &mut Machine,
+        provider: LayerProvider,
+    ) -> (FullBatchEpoch, SimTime) {
+        let report = self.train_epoch();
+        let n = self.dataset.num_nodes();
+        let shape = BlockShape {
+            num_dst: n,
+            num_src: n,
+            num_edges: self.dataset.num_edges(),
+        };
+        let shapes = vec![shape; self.model.cfg.num_layers];
+        let t = train_step_time(
+            &self.model.cfg,
+            &shapes,
+            provider,
+            machine.cost(),
+            machine.spec(wg_sim::DeviceId::Gpu(0)),
+            self.model.params.num_scalars(),
+        );
+        machine.run_all_gpus(Phase::Training, true, t);
+        (report, t)
+    }
+
     /// Accuracy over an arbitrary node list (full forward, no sampling).
     pub fn evaluate(&self, nodes: &[wg_graph::NodeId]) -> f64 {
         let n = self.dataset.num_nodes();
         let features = Matrix::from_vec(n, self.dataset.feature_dim, self.dataset.features.clone());
-        let blocks: Vec<Arc<BlockCsr>> =
-            (0..self.model.cfg.num_layers).map(|_| Arc::clone(&self.block)).collect();
+        let blocks: Vec<Arc<BlockCsr>> = (0..self.model.cfg.num_layers)
+            .map(|_| Arc::clone(&self.block))
+            .collect();
         let mut tape = Tape::new();
         let out = self.model.forward(&mut tape, &blocks, features, false, 0);
         let logits = tape.value(out);
@@ -164,7 +205,11 @@ mod tests {
     use wg_graph::DatasetKind;
 
     fn dataset() -> Arc<SyntheticDataset> {
-        Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 2000, 13))
+        Arc::new(SyntheticDataset::generate(
+            DatasetKind::OgbnProducts,
+            2000,
+            13,
+        ))
     }
 
     #[test]
@@ -189,7 +234,12 @@ mod tests {
             t.train_epoch();
         }
         let last = t.train_epoch();
-        assert!(last.loss < first.loss, "loss {} -> {}", first.loss, last.loss);
+        assert!(
+            last.loss < first.loss,
+            "loss {} -> {}",
+            first.loss,
+            last.loss
+        );
         let val = t.evaluate(&d.val);
         assert!(val > 0.4, "full-batch val accuracy {val}");
     }
@@ -201,9 +251,36 @@ mod tests {
         // effect on weights.
         let d = dataset();
         let mut t = FullBatchTrainer::new(d, ModelKind::GraphSage, 16, 2, 1e-2, 4);
-        let w0 = t.model().params.value(t.model().params.ids().next().unwrap()).clone();
+        let w0 = t
+            .model()
+            .params
+            .value(t.model().params.ids().next().unwrap())
+            .clone();
         t.train_epoch();
-        let w1 = t.model().params.value(t.model().params.ids().next().unwrap()).clone();
+        let w1 = t
+            .model()
+            .params
+            .value(t.model().params.ids().next().unwrap())
+            .clone();
         assert!(w0.max_abs_diff(&w1) > 0.0, "an epoch must move parameters");
+    }
+
+    #[test]
+    fn timed_epoch_charges_the_machine() {
+        use wg_sim::{DeviceId, MachineConfig};
+        let d = dataset();
+        let mut t = FullBatchTrainer::new(d, ModelKind::Gcn, 16, 2, 1e-2, 7);
+        let mut machine = Machine::new(MachineConfig::dgx_like(4));
+        let (report, dt) = t.timed_epoch(&mut machine, LayerProvider::WholeGraphNative);
+        assert!(report.loss.is_finite());
+        assert!(dt > SimTime::ZERO);
+        // All GPUs advance together by exactly the epoch's training time.
+        for g in machine.gpus() {
+            assert_eq!(machine.now(g), dt);
+        }
+        assert_eq!(
+            machine.trace(DeviceId::Gpu(0)).phase_total(Phase::Training),
+            dt
+        );
     }
 }

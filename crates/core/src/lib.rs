@@ -34,8 +34,9 @@
 //! * [`framework`] — the three systems under comparison: WholeGraph and
 //!   the DGL/PyG-style host-memory baselines;
 //! * [`convert`] — sampled-block → sparse-kernel format conversion;
-//! * [`pipeline`] — the per-iteration engine (sample → gather → train)
-//!   with per-phase simulated timing and utilization traces;
+//! * [`pipeline`] — the stage-graph engine (sample → gather → train
+//!   stages, scheduled by a serial or stream-overlapped executor) with
+//!   per-phase simulated timing and utilization traces;
 //! * [`trainer`] — multi-epoch training and evaluation (accuracy
 //!   experiments: Table III, Figure 7);
 //! * [`multinode`] — data-parallel multi-node scaling (§III-D,
@@ -58,13 +59,18 @@ pub mod pipeline;
 pub mod trainer;
 
 pub use framework::Framework;
-pub use pipeline::{EpochReport, FeaturePlacement, InferenceReport, Pipeline, PipelineConfig};
+pub use pipeline::{
+    EpochOccupancy, EpochReport, ExecMode, FeaturePlacement, InferenceReport, Pipeline,
+    PipelineConfig,
+};
 pub use trainer::{TrainOutcome, Trainer, TrainerConfig};
 
 /// Convenient re-exports for applications.
 pub mod prelude {
     pub use crate::framework::Framework;
-    pub use crate::pipeline::{EpochReport, FeaturePlacement, Pipeline, PipelineConfig};
+    pub use crate::pipeline::{
+        EpochOccupancy, EpochReport, ExecMode, FeaturePlacement, Pipeline, PipelineConfig,
+    };
     pub use crate::trainer::{TrainOutcome, Trainer, TrainerConfig};
     pub use wg_gnn::{GnnConfig, GnnModel, LayerProvider, ModelKind};
     pub use wg_graph::{DatasetKind, SyntheticDataset};

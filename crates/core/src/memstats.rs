@@ -25,7 +25,9 @@ pub fn training_bytes_per_gpu(model: &GnnModel, shapes: &[BlockShape], feat_dim:
         activations += (s.num_src * width * 4) as u64 * 4;
     }
     // Gathered input features for the deepest frontier.
-    let gathered = shapes.last().map_or(0, |s| (s.num_src * feat_dim * 4) as u64);
+    let gathered = shapes
+        .last()
+        .map_or(0, |s| (s.num_src * feat_dim * 4) as u64);
     params + activations + gathered
 }
 
@@ -53,19 +55,23 @@ pub struct MemoryRow {
 /// Collect the per-phase memory rows from the machine's accounting.
 pub fn memory_report(machine: &Machine) -> Vec<MemoryRow> {
     let acct = machine.memory();
-    [AllocKind::GraphStructure, AllocKind::Features, AllocKind::Training]
-        .into_iter()
-        .map(|kind| {
-            let rows = acct.gpu_usage_by(kind);
-            let total: u64 = rows.iter().map(|(_, b)| b).sum();
-            let per_gpu = rows.first().map_or(0, |(_, b)| *b);
-            MemoryRow {
-                kind,
-                per_gpu_bytes: per_gpu,
-                total_bytes: total,
-            }
-        })
-        .collect()
+    [
+        AllocKind::GraphStructure,
+        AllocKind::Features,
+        AllocKind::Training,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let rows = acct.gpu_usage_by(kind);
+        let total: u64 = rows.iter().map(|(_, b)| b).sum();
+        let per_gpu = rows.first().map_or(0, |(_, b)| *b);
+        MemoryRow {
+            kind,
+            per_gpu_bytes: per_gpu,
+            total_bytes: total,
+        }
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -80,11 +86,16 @@ mod tests {
 
     #[test]
     fn table4_style_report_has_all_phases() {
-        let dataset = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 2000, 1));
+        let dataset = Arc::new(SyntheticDataset::generate(
+            DatasetKind::OgbnProducts,
+            2000,
+            1,
+        ));
         let machine = Machine::new(MachineConfig::dgx_like(4));
         let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage);
         let mut pipe = Pipeline::new(machine, dataset, cfg).unwrap();
-        let batch: Vec<NodeId> = pipe.dataset().train[..32.min(pipe.dataset().train.len())].to_vec();
+        let batch: Vec<NodeId> =
+            pipe.dataset().train[..32.min(pipe.dataset().train.len())].to_vec();
         let it = pipe.run_iteration(0, 0, &batch, true);
         let bytes = training_bytes_per_gpu(&pipe.model, &it.shapes, pipe.dataset().feature_dim);
         assert!(bytes > 0);
@@ -103,7 +114,11 @@ mod tests {
 
     #[test]
     fn training_estimate_scales_with_batch() {
-        let dataset = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 2000, 2));
+        let dataset = Arc::new(SyntheticDataset::generate(
+            DatasetKind::OgbnProducts,
+            2000,
+            2,
+        ));
         let machine = Machine::new(MachineConfig::dgx_like(2));
         let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::Gcn);
         let mut pipe = Pipeline::new(machine, dataset, cfg).unwrap();

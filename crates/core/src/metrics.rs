@@ -58,7 +58,9 @@ impl ConfusionMatrix {
     /// Per-class precision (None when the class was never predicted).
     pub fn precision(&self, class: u32) -> Option<f64> {
         let c = class as usize;
-        let predicted: u64 = (0..self.classes).map(|t| self.counts[t * self.classes + c]).sum();
+        let predicted: u64 = (0..self.classes)
+            .map(|t| self.counts[t * self.classes + c])
+            .sum();
         if predicted == 0 {
             None
         } else {
@@ -69,7 +71,9 @@ impl ConfusionMatrix {
     /// Per-class recall (None when the class never occurs).
     pub fn recall(&self, class: u32) -> Option<f64> {
         let c = class as usize;
-        let actual: u64 = self.counts[c * self.classes..(c + 1) * self.classes].iter().sum();
+        let actual: u64 = self.counts[c * self.classes..(c + 1) * self.classes]
+            .iter()
+            .sum();
         if actual == 0 {
             None
         } else {

@@ -32,7 +32,11 @@ pub struct ScalingPoint {
 /// Measure per-iteration times on `pipe` (executing `real_iters`
 /// iterations) and project the epoch time across `node_counts` machine
 /// nodes.
-pub fn scaling_sweep(pipe: &mut Pipeline, node_counts: &[u32], real_iters: usize) -> Vec<ScalingPoint> {
+pub fn scaling_sweep(
+    pipe: &mut Pipeline,
+    node_counts: &[u32],
+    real_iters: usize,
+) -> Vec<ScalingPoint> {
     assert!(!node_counts.is_empty());
     let batches = pipe.epoch_batches(0);
     let n = real_iters.clamp(1, batches.len());
@@ -43,18 +47,27 @@ pub fn scaling_sweep(pipe: &mut Pipeline, node_counts: &[u32], real_iters: usize
     let mean = |f: fn(&IterTimes) -> SimTime| -> SimTime {
         times.iter().map(f).sum::<SimTime>() / times.len() as f64
     };
-    let iter_compute = mean(|t| t.sample) + mean(|t| t.gather) + mean(|t| t.train);
+    let mean_times = IterTimes {
+        sample: mean(|t| t.sample),
+        gather: mean(|t| t.gather),
+        train: mean(|t| t.train),
+        comm: SimTime::ZERO, // replaced per node count below
+    };
 
     let total_iters = batches.len();
     let gpus = pipe.machine().num_gpus();
     let param_bytes = pipe.model.params.param_bytes();
     let cost = pipe.machine().cost().clone();
+    // Project with the pipeline's configured executor: serial waves cost
+    // the phase sum, overlapped waves the max of the input and compute
+    // streams (steady state of the double-buffered schedule).
+    let exec = pipe.executor();
 
     let epoch_time = |nodes: u32| -> SimTime {
         let ranks = (nodes * gpus) as usize;
         let waves = total_iters.div_ceil(ranks).max(1);
         let comm = allreduce_multi_node(&cost, param_bytes, nodes, gpus);
-        (iter_compute + comm) * waves as f64
+        exec.wave_time(&IterTimes { comm, ..mean_times }) * waves as f64
     };
 
     let base = epoch_time(node_counts[0]);
@@ -84,9 +97,14 @@ mod tests {
     fn pipeline() -> Pipeline {
         // Enough training nodes that an epoch has many waves even on
         // 8 nodes × 8 GPUs (scaling needs iterations to distribute).
-        let dataset = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnPapers100M, 2000, 9));
+        let dataset = Arc::new(SyntheticDataset::generate(
+            DatasetKind::OgbnPapers100M,
+            2000,
+            9,
+        ));
         let machine = Machine::new(MachineConfig::dgx_like(8));
-        let mut cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage).with_seed(1);
+        let mut cfg =
+            PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage).with_seed(1);
         cfg.batch_size = 16;
         Pipeline::new(machine, dataset, cfg).unwrap()
     }
@@ -116,5 +134,35 @@ mod tests {
         let mut pipe = pipeline();
         let pts = scaling_sweep(&mut pipe, &[1, 8], 1);
         assert!(pts[1].epoch_time < pts[0].epoch_time);
+    }
+
+    #[test]
+    fn overlapped_projection_is_not_slower_than_serial() {
+        use crate::pipeline::ExecMode;
+        let dataset = Arc::new(SyntheticDataset::generate(
+            DatasetKind::OgbnPapers100M,
+            2000,
+            9,
+        ));
+        let project = |exec: ExecMode| {
+            let machine = Machine::new(MachineConfig::dgx_like(8));
+            let mut cfg = PipelineConfig::tiny(Framework::Dgl, ModelKind::GraphSage)
+                .with_seed(1)
+                .with_exec(exec);
+            cfg.batch_size = 16;
+            let mut pipe = Pipeline::new(machine, dataset.clone(), cfg).unwrap();
+            scaling_sweep(&mut pipe, &[1, 4], 1)
+        };
+        let serial = project(ExecMode::Serial);
+        let overlapped = project(ExecMode::Overlapped);
+        for (s, o) in serial.iter().zip(&overlapped) {
+            assert!(
+                o.epoch_time < s.epoch_time,
+                "{} nodes: overlapped {} !< serial {}",
+                s.nodes,
+                o.epoch_time,
+                s.epoch_time
+            );
+        }
     }
 }

@@ -1,0 +1,177 @@
+//! Pipeline configuration: framework/model/hyper-parameters, feature
+//! placement, and the executor mode.
+
+use wg_gnn::{GnnConfig, LayerProvider, ModelKind};
+
+use crate::framework::Framework;
+
+/// Where the node features physically live and how the training GPU
+/// reaches them — the design space the paper's introduction lays out
+/// ("Either collecting sparse features on CPU before sending them to GPU
+/// or directly accessing these sparse features of CPU from GPU leads to
+/// high pressure on PCIe"), plus the §II-B UM alternative.
+///
+/// Applies to the WholeGraph framework only; the DGL/PyG baselines always
+/// gather on the CPU.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+pub enum FeaturePlacement {
+    /// Distributed across GPU memories, mapped with GPUDirect P2P — the
+    /// WholeGraph design.
+    #[default]
+    DeviceP2p,
+    /// Distributed across GPU memories, mapped with CUDA Unified Memory —
+    /// every remote row is a page fault (Table I's slow column).
+    DeviceUnifiedMemory,
+    /// Features stay in host-pinned memory; the gather kernel reads them
+    /// over PCIe zero-copy (the Seung et al. style referenced in §V).
+    HostMapped,
+}
+
+impl FeaturePlacement {
+    /// Display name for ablation tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeaturePlacement::DeviceP2p => "GPU+P2P",
+            FeaturePlacement::DeviceUnifiedMemory => "GPU+UM",
+            FeaturePlacement::HostMapped => "host zero-copy",
+        }
+    }
+}
+
+/// How the executor schedules each wave's stages onto the machine.
+///
+/// Both modes run the *same* iterations with the *same* numerics (same
+/// seeds → same sub-graphs → same losses and parameter updates); they
+/// differ only in how the simulated phase times are laid onto the device
+/// timelines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+pub enum ExecMode {
+    /// Sample → gather → train → AllReduce back-to-back on one timeline
+    /// per wave (synchronous DataLoader semantics).
+    #[default]
+    Serial,
+    /// Double-buffered software pipeline: wave `i+1`'s sampling and
+    /// gathering run on an input stream while wave `i` trains on the
+    /// compute stream — the overlap a prefetching DataLoader achieves.
+    Overlapped,
+}
+
+impl ExecMode {
+    /// Display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Serial => "serial",
+            ExecMode::Overlapped => "overlapped",
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// System under test.
+    pub framework: Framework,
+    /// GNN architecture.
+    pub model: ModelKind,
+    /// Hidden width (paper: 256).
+    pub hidden: usize,
+    /// Layer count (paper: 3).
+    pub num_layers: usize,
+    /// GAT heads (paper: 4).
+    pub heads: usize,
+    /// Per-layer fanout (paper: 30,30,30).
+    pub fanouts: Vec<usize>,
+    /// Mini-batch size per iteration (paper: 512).
+    pub batch_size: usize,
+    /// Dropout on layer inputs.
+    pub dropout: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Master seed (model init, shuffling, sampling).
+    pub seed: u64,
+    /// Override the layer provider (Figure 11's WholeGraph+DGL /
+    /// WholeGraph+PyG variants). `None` uses the framework's default.
+    pub provider_override: Option<LayerProvider>,
+    /// Feature placement for the WholeGraph framework (storage-mode
+    /// ablation; ignored by the host baselines).
+    pub feature_placement: FeaturePlacement,
+    /// How epochs are scheduled onto the machine (timing only — the
+    /// numerics are identical across modes).
+    pub exec: ExecMode,
+}
+
+impl PipelineConfig {
+    /// The paper's evaluation configuration.
+    pub fn paper(framework: Framework, model: ModelKind) -> Self {
+        PipelineConfig {
+            framework,
+            model,
+            hidden: 256,
+            num_layers: 3,
+            heads: 4,
+            fanouts: vec![30, 30, 30],
+            batch_size: 512,
+            dropout: 0.5,
+            lr: 3e-3,
+            seed: 0,
+            provider_override: None,
+            feature_placement: FeaturePlacement::DeviceP2p,
+            exec: ExecMode::Serial,
+        }
+    }
+
+    /// A small configuration for tests and examples.
+    pub fn tiny(framework: Framework, model: ModelKind) -> Self {
+        PipelineConfig {
+            framework,
+            model,
+            hidden: 32,
+            num_layers: 2,
+            heads: 2,
+            fanouts: vec![5, 5],
+            batch_size: 64,
+            dropout: 0.0,
+            lr: 1e-2,
+            seed: 0,
+            provider_override: None,
+            feature_placement: FeaturePlacement::DeviceP2p,
+            exec: ExecMode::Serial,
+        }
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set an explicit layer provider.
+    pub fn with_provider(mut self, p: LayerProvider) -> Self {
+        self.provider_override = Some(p);
+        self
+    }
+
+    /// Set the feature placement (storage-mode ablation).
+    pub fn with_feature_placement(mut self, p: FeaturePlacement) -> Self {
+        self.feature_placement = p;
+        self
+    }
+
+    /// Set the executor mode.
+    pub fn with_exec(mut self, mode: ExecMode) -> Self {
+        self.exec = mode;
+        self
+    }
+
+    pub(crate) fn gnn_config(&self, in_dim: usize, num_classes: usize) -> GnnConfig {
+        GnnConfig {
+            kind: self.model,
+            in_dim,
+            hidden: self.hidden,
+            num_classes,
+            num_layers: self.num_layers,
+            heads: self.heads,
+            dropout: self.dropout,
+        }
+    }
+}

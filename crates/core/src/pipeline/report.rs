@@ -1,0 +1,286 @@
+//! Iteration and epoch reports: phase times, numerics, and the busy/idle
+//! occupancy accounting derived from stream traces.
+
+use wg_gnn::cost::BlockShape;
+use wg_sample::SampleStats;
+use wg_sim::trace::Phase;
+use wg_sim::{SimTime, UtilizationTrace};
+
+/// Per-iteration simulated phase times.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IterTimes {
+    /// Sub-graph sampling (+ sub-graph transfer for host pipelines).
+    pub sample: SimTime,
+    /// Feature gathering (+ PCIe copy for host pipelines).
+    pub gather: SimTime,
+    /// Forward + backward + optimizer.
+    pub train: SimTime,
+    /// Gradient AllReduce.
+    pub comm: SimTime,
+}
+
+impl IterTimes {
+    /// Sum of all phases.
+    pub fn total(&self) -> SimTime {
+        self.sample + self.gather + self.train + self.comm
+    }
+
+    /// The input-pipeline half (sampling + gather) — what an overlapped
+    /// executor runs on the input stream.
+    pub fn input(&self) -> SimTime {
+        self.sample + self.gather
+    }
+
+    /// The compute half (training + AllReduce) — what runs on the train
+    /// stream.
+    pub fn compute(&self) -> SimTime {
+        self.train + self.comm
+    }
+}
+
+/// Result of one executed iteration.
+#[derive(Clone, Debug)]
+pub struct IterationResult {
+    /// Phase times of this iteration.
+    pub times: IterTimes,
+    /// Mini-batch training loss.
+    pub loss: f32,
+    /// Correct predictions on the batch.
+    pub correct: usize,
+    /// Batch size actually processed.
+    pub batch: usize,
+    /// Shapes of the sampled blocks (for memory estimates).
+    pub shapes: Vec<BlockShape>,
+    /// Sampling work counters.
+    pub sample_stats: SampleStats,
+}
+
+/// Busy/idle split of the simulated time one phase occupied on a GPU.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseOccupancy {
+    /// Time the GPU actively computed in this phase.
+    pub busy: SimTime,
+    /// Time the phase occupied while the GPU waited (host-side work).
+    pub idle: SimTime,
+}
+
+impl PhaseOccupancy {
+    /// Total time the phase occupied.
+    pub fn total(&self) -> SimTime {
+        self.busy + self.idle
+    }
+}
+
+/// Per-phase busy/idle accounting of one epoch on one GPU, derived from
+/// the trace intervals the executor recorded. Under the overlapped
+/// executor, phase spans on different streams cover the same simulated
+/// time, so the per-phase totals can *sum* to more than the epoch span —
+/// that is the overlap. `busy`/`idle` are union measures over the epoch
+/// window and always add up to exactly the epoch span.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochOccupancy {
+    /// Sampling-phase occupancy.
+    pub sampling: PhaseOccupancy,
+    /// Gather-phase occupancy.
+    pub gather: PhaseOccupancy,
+    /// Training-phase occupancy.
+    pub training: PhaseOccupancy,
+    /// AllReduce-phase occupancy.
+    pub comm: PhaseOccupancy,
+    /// Union busy time of the GPU over the epoch window (overlapping
+    /// busy spans counted once).
+    pub busy: SimTime,
+    /// Epoch span minus union busy time.
+    pub idle: SimTime,
+}
+
+impl EpochOccupancy {
+    /// GPU utilization over the epoch: union busy / epoch span.
+    pub fn utilization(&self) -> f64 {
+        let span = self.busy + self.idle;
+        if span.as_secs() <= 0.0 {
+            return 0.0;
+        }
+        self.busy / span
+    }
+
+    /// Occupancy of one phase by trace label.
+    pub fn phase(&self, phase: Phase) -> PhaseOccupancy {
+        match phase {
+            Phase::Sampling => self.sampling,
+            Phase::Gather => self.gather,
+            Phase::Training => self.training,
+            Phase::Communication => self.comm,
+            Phase::Setup | Phase::Idle => PhaseOccupancy::default(),
+        }
+    }
+}
+
+/// Derive the epoch occupancy from a device's trace over `[from, to)`.
+/// Executors call this on GPU 0 after recording the epoch's spans.
+pub(crate) fn occupancy_from_trace(
+    trace: &UtilizationTrace,
+    from: SimTime,
+    to: SimTime,
+) -> EpochOccupancy {
+    let mut occ = EpochOccupancy::default();
+    for e in trace.events() {
+        let lo = e.start.max(from);
+        let hi = e.end.min(to);
+        if hi <= lo {
+            continue;
+        }
+        let d = hi - lo;
+        let slot = match e.phase {
+            Phase::Sampling => &mut occ.sampling,
+            Phase::Gather => &mut occ.gather,
+            Phase::Training => &mut occ.training,
+            Phase::Communication => &mut occ.comm,
+            Phase::Setup | Phase::Idle => continue,
+        };
+        if e.busy {
+            slot.busy += d;
+        } else {
+            slot.idle += d;
+        }
+    }
+    occ.busy = trace.busy_time(from, to);
+    occ.idle = (to - from) - occ.busy;
+    occ
+}
+
+/// Aggregated report of one (possibly extrapolated) epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochReport {
+    /// Wall-clock epoch time (per-GPU, data-parallel waves). Under the
+    /// overlapped executor this is the schedule length, which is shorter
+    /// than the phase-time sum whenever input and compute overlap.
+    pub epoch_time: SimTime,
+    /// Total sampling time across the epoch.
+    pub sample_time: SimTime,
+    /// Total gather time.
+    pub gather_time: SimTime,
+    /// Total training time.
+    pub train_time: SimTime,
+    /// Total AllReduce time.
+    pub comm_time: SimTime,
+    /// Mean training loss over executed iterations.
+    pub loss: f32,
+    /// Training accuracy over executed iterations.
+    pub train_accuracy: f64,
+    /// Iterations the epoch comprises (across all GPUs).
+    pub iterations: usize,
+    /// Iterations actually executed (≤ `iterations` when extrapolating).
+    pub executed_iterations: usize,
+    /// Per-phase busy/idle accounting on GPU 0, from the recorded trace.
+    pub occupancy: EpochOccupancy,
+}
+
+/// Timing summary of an inference run (no backward, no AllReduce).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InferenceReport {
+    /// Nodes predicted.
+    pub nodes: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Total sampling time.
+    pub sample_time: SimTime,
+    /// Total gather time.
+    pub gather_time: SimTime,
+    /// Total forward compute time.
+    pub compute_time: SimTime,
+    /// End-to-end wall time: equals [`InferenceReport::total_time`] when
+    /// batches run serially, less when the executor overlaps each batch's
+    /// input phases with the previous batch's forward pass.
+    pub wall_time: SimTime,
+}
+
+impl InferenceReport {
+    /// Sum of all phase times (the serial end-to-end time).
+    pub fn total_time(&self) -> SimTime {
+        self.sample_time + self.gather_time + self.compute_time
+    }
+
+    /// Predicted nodes per simulated second of wall time.
+    pub fn throughput(&self) -> f64 {
+        let t = if self.wall_time.is_zero() {
+            self.total_time()
+        } else {
+            self.wall_time
+        };
+        self.nodes as f64 / t.as_secs().max(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_sim::{DeviceId, TraceEvent};
+
+    fn ev(start: f64, end: f64, phase: Phase, busy: bool) -> TraceEvent {
+        TraceEvent {
+            device: DeviceId::Gpu(0),
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+            phase,
+            busy,
+        }
+    }
+
+    #[test]
+    fn occupancy_splits_phases_and_unions_busy() {
+        let mut t = UtilizationTrace::new();
+        // Overlapped-style wave: input phases idle-overlapping training.
+        t.record(ev(0.0, 1.0, Phase::Sampling, false));
+        t.record(ev(1.0, 2.0, Phase::Gather, false));
+        t.record(ev(0.5, 2.5, Phase::Training, true));
+        t.record(ev(2.5, 3.0, Phase::Communication, true));
+        let occ = occupancy_from_trace(&t, SimTime::ZERO, SimTime::from_secs(3.0));
+        assert_eq!(occ.sampling.idle.as_secs(), 1.0);
+        assert_eq!(occ.gather.idle.as_secs(), 1.0);
+        assert_eq!(occ.training.busy.as_secs(), 2.0);
+        assert_eq!(occ.comm.busy.as_secs(), 0.5);
+        assert_eq!(occ.busy.as_secs(), 2.5);
+        assert_eq!(occ.idle.as_secs(), 0.5);
+        assert!((occ.utilization() - 2.5 / 3.0).abs() < 1e-12);
+        assert_eq!(occ.phase(Phase::Gather), occ.gather);
+    }
+
+    #[test]
+    fn occupancy_clips_to_window() {
+        let mut t = UtilizationTrace::new();
+        t.record(ev(0.0, 10.0, Phase::Training, true));
+        let occ = occupancy_from_trace(&t, SimTime::from_secs(4.0), SimTime::from_secs(6.0));
+        assert_eq!(occ.training.busy.as_secs(), 2.0);
+        assert!((occ.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_times_halves() {
+        let t = IterTimes {
+            sample: SimTime::from_secs(1.0),
+            gather: SimTime::from_secs(2.0),
+            train: SimTime::from_secs(3.0),
+            comm: SimTime::from_secs(4.0),
+        };
+        assert_eq!(t.input().as_secs(), 3.0);
+        assert_eq!(t.compute().as_secs(), 7.0);
+        assert_eq!(t.total().as_secs(), 10.0);
+    }
+
+    #[test]
+    fn inference_throughput_prefers_wall_time() {
+        let mut r = InferenceReport {
+            nodes: 100,
+            batches: 2,
+            sample_time: SimTime::from_secs(1.0),
+            gather_time: SimTime::from_secs(1.0),
+            compute_time: SimTime::from_secs(2.0),
+            wall_time: SimTime::ZERO,
+        };
+        let serial = r.throughput();
+        r.wall_time = SimTime::from_secs(2.0);
+        assert!((serial - 25.0).abs() < 1e-9);
+        assert!((r.throughput() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,225 @@
+//! The three iteration stages (sample → gather → train) behind the
+//! [`Stage`] trait.
+//!
+//! Each stage performs its *real* computation (sampling, feature
+//! movement, forward/backward/optimizer math) against the pipeline's
+//! store and model, and returns the *simulated* time that phase costs on
+//! the machine under the configured framework. Stages never touch the
+//! machine's clocks or traces — that is the executor's job — which is
+//! what lets the serial and overlapped executors schedule the same
+//! stages differently while producing bit-identical numerics.
+
+use wg_autograd::{Optimizer, Tape};
+use wg_gnn::cost::train_step_time;
+use wg_sample::SampleStats;
+use wg_sim::collective::allreduce_intra_node;
+use wg_sim::trace::Phase;
+use wg_sim::SimTime;
+use wg_tensor::ops::{argmax_rows, softmax_cross_entropy};
+use wg_tensor::Matrix;
+
+use crate::convert::{minibatch_blocks, minibatch_shapes};
+use crate::pipeline::report::{IterTimes, IterationResult};
+use crate::pipeline::Pipeline;
+use wg_graph::NodeId;
+use wg_sample::MiniBatch;
+
+/// Mutable state threaded through one iteration's stages.
+pub struct IterContext<'p> {
+    pub(crate) pipeline: &'p mut Pipeline,
+    /// Epoch index (seeds shuffling and dropout).
+    pub epoch: u64,
+    /// Iteration index within the epoch.
+    pub iter: u64,
+    /// Whether the optimizer applies updates (false = timing-only run).
+    pub update: bool,
+    pub(crate) batch_nodes: &'p [NodeId],
+    pub(crate) handles: Vec<u64>,
+    pub(crate) minibatch: Option<MiniBatch>,
+    pub(crate) sample_stats: SampleStats,
+    pub(crate) features: Option<Matrix>,
+    pub(crate) loss: f32,
+    pub(crate) correct: usize,
+    pub(crate) shapes: Vec<wg_gnn::cost::BlockShape>,
+    pub(crate) comm: SimTime,
+}
+
+impl<'p> IterContext<'p> {
+    /// A fresh context for one iteration over `batch_nodes`.
+    pub(crate) fn new(
+        pipeline: &'p mut Pipeline,
+        epoch: u64,
+        iter: u64,
+        batch_nodes: &'p [NodeId],
+        update: bool,
+    ) -> Self {
+        IterContext {
+            pipeline,
+            epoch,
+            iter,
+            update,
+            batch_nodes,
+            handles: Vec::new(),
+            minibatch: None,
+            sample_stats: SampleStats::default(),
+            features: None,
+            loss: 0.0,
+            correct: 0,
+            shapes: Vec::new(),
+            comm: SimTime::ZERO,
+        }
+    }
+
+    /// Assemble the iteration result from the completed stages' output.
+    pub(crate) fn into_result(self, times: IterTimes) -> IterationResult {
+        IterationResult {
+            times,
+            loss: self.loss,
+            correct: self.correct,
+            batch: self.batch_nodes.len(),
+            shapes: self.shapes,
+            sample_stats: self.sample_stats,
+        }
+    }
+}
+
+/// One stage of the iteration: runs its real computation and returns the
+/// simulated time the phase costs. Implementations are framework-aware —
+/// they consult the pipeline's [`crate::framework::Framework`] for where
+/// the work runs (GPU kernels vs. contended host cores) and price it
+/// accordingly.
+pub trait Stage {
+    /// The trace label executors record this stage's spans under.
+    fn phase(&self) -> Phase;
+
+    /// Execute the stage against `ctx`, returning its simulated duration.
+    fn run(&self, ctx: &mut IterContext<'_>) -> SimTime;
+}
+
+/// Sampling: build the multi-layer sub-graph. GPU-side fused kernels for
+/// WholeGraph; a contended host-side sampler for the DGL/PyG baselines.
+pub struct SampleStage;
+
+impl Stage for SampleStage {
+    fn phase(&self) -> Phase {
+        Phase::Sampling
+    }
+
+    fn run(&self, ctx: &mut IterContext<'_>) -> SimTime {
+        let p = &mut *ctx.pipeline;
+        ctx.handles = p.handles_for(ctx.batch_nodes);
+        let (mb, sample_stats) = p.sample(&ctx.handles, ctx.epoch, ctx.iter);
+        let gpu_spec = p.machine.spec(wg_sim::DeviceId::Gpu(0));
+        let mut t_sample =
+            p.cfg
+                .framework
+                .sampler_backend()
+                .sample_time(p.machine.cost(), gpu_spec, sample_stats);
+        if !p.cfg.framework.uses_dsm() {
+            // Host pipelines also run the CPU-side sub-graph construction
+            // (unique etc.) inside the sampling phase:
+            t_sample += SimTime::from_secs(
+                sample_stats.keys_inserted as f64 / p.machine.cost().cpu_sample_edges_per_s,
+            );
+            // ... and, crucially, all G trainer processes contend for the
+            // same host cores: the sampler rates are *aggregate* CPU
+            // rates, so when G GPUs each demand a mini-batch per wave,
+            // each wave pays G iterations' worth of CPU sampling. This is
+            // why DGL/PyG epochs do not shrink 8x on an 8-GPU node while
+            // WholeGraph's GPU sampling does.
+            t_sample = t_sample * p.machine.num_gpus() as f64;
+        }
+        ctx.minibatch = Some(mb);
+        ctx.sample_stats = sample_stats;
+        t_sample
+    }
+}
+
+/// Gather: materialize the mini-batch's input features. A one-kernel
+/// P2P/zero-copy gather for WholeGraph; CPU gather + PCIe copy for the
+/// host baselines.
+pub struct GatherStage;
+
+impl Stage for GatherStage {
+    fn phase(&self) -> Phase {
+        Phase::Gather
+    }
+
+    fn run(&self, ctx: &mut IterContext<'_>) -> SimTime {
+        let mb = ctx
+            .minibatch
+            .as_ref()
+            .expect("gather requires a sampled mini-batch");
+        let (features, t_gather) = ctx.pipeline.gather(mb, ctx.iter);
+        ctx.features = Some(features);
+        t_gather
+    }
+}
+
+/// Train: forward, loss, backward, optimizer step — plus the gradient
+/// AllReduce, whose cost the stage leaves in [`IterContext`] for the
+/// executor to schedule as its own `Communication` span.
+pub struct TrainStage;
+
+impl Stage for TrainStage {
+    fn phase(&self) -> Phase {
+        Phase::Training
+    }
+
+    fn run(&self, ctx: &mut IterContext<'_>) -> SimTime {
+        let p = &mut *ctx.pipeline;
+        let mb = ctx
+            .minibatch
+            .as_ref()
+            .expect("train requires a sampled mini-batch");
+        let features = ctx
+            .features
+            .take()
+            .expect("train requires gathered features");
+        let blocks = minibatch_blocks(mb);
+        let shapes = minibatch_shapes(mb);
+        let mut tape = Tape::new();
+        let out = p.model.forward(
+            &mut tape,
+            &blocks,
+            features,
+            ctx.update,
+            p.cfg.seed ^ ctx.epoch.rotate_left(13) ^ ctx.iter,
+        );
+        let batch_ids = p.stable_ids(&ctx.handles);
+        let labels: Vec<u32> = batch_ids
+            .iter()
+            .map(|&v| p.dataset.labels[v as usize])
+            .collect();
+        let (loss, grad) = softmax_cross_entropy(tape.value(out), &labels);
+        let preds = argmax_rows(tape.value(out));
+        ctx.correct = preds.iter().zip(&labels).filter(|(pr, l)| pr == l).count();
+        ctx.loss = loss;
+        if ctx.update {
+            p.model.params.zero_grads();
+            tape.backward(out, grad, &mut p.model.params);
+            p.opt.step(&mut p.model.params);
+        }
+        let gpu_spec = p.machine.spec(wg_sim::DeviceId::Gpu(0));
+        let t_train = train_step_time(
+            &p.cfg
+                .gnn_config(p.dataset.feature_dim, p.dataset.num_classes),
+            &shapes,
+            p.provider,
+            p.machine.cost(),
+            gpu_spec,
+            p.model.params.num_scalars(),
+        );
+        ctx.comm = if ctx.update {
+            allreduce_intra_node(
+                p.machine.cost(),
+                p.model.params.param_bytes(),
+                p.machine.num_gpus(),
+            )
+        } else {
+            SimTime::ZERO
+        };
+        ctx.shapes = shapes;
+        t_train
+    }
+}

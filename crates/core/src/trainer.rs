@@ -46,6 +46,22 @@ pub struct TrainOutcome {
     pub total_time: SimTime,
 }
 
+impl TrainOutcome {
+    /// Mean GPU-0 utilization across the trained epochs, from each
+    /// epoch's busy/idle occupancy accounting (union busy over the epoch
+    /// span, so overlapped schedules never exceed 1.0).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs
+            .iter()
+            .map(|r| r.occupancy.utilization())
+            .sum::<f64>()
+            / self.epochs.len() as f64
+    }
+}
+
 /// Drives a [`Pipeline`] through epochs with periodic evaluation.
 pub struct Trainer {
     cfg: TrainerConfig,
@@ -111,7 +127,11 @@ mod tests {
     fn learnable_pipeline(fw: Framework) -> Pipeline {
         // A dense, strongly homophilous SBM stand-in the tiny model can
         // learn quickly.
-        let dataset = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 1200, 3));
+        let dataset = Arc::new(SyntheticDataset::generate(
+            DatasetKind::OgbnProducts,
+            1200,
+            3,
+        ));
         let machine = Machine::new(MachineConfig::dgx_like(4));
         let cfg = PipelineConfig::tiny(fw, ModelKind::GraphSage).with_seed(3);
         Pipeline::new(machine, dataset, cfg).unwrap()
@@ -135,10 +155,17 @@ mod tests {
             "validation accuracy {} too low",
             out.val_accuracy
         );
-        assert!(out.test_accuracy > 0.5, "test accuracy {}", out.test_accuracy);
+        assert!(
+            out.test_accuracy > 0.5,
+            "test accuracy {}",
+            out.test_accuracy
+        );
         // Loss decreases epoch over epoch (first vs last).
         assert!(out.epochs.last().unwrap().loss < out.epochs[0].loss);
         assert!(out.total_time > wg_sim::SimTime::ZERO);
+        // WholeGraph keeps the GPU busy in every phase, so the occupancy
+        // accounting must report near-full utilization.
+        assert!(out.mean_utilization() > 0.99, "{}", out.mean_utilization());
     }
 
     #[test]
@@ -154,7 +181,11 @@ mod tests {
         .run(&mut pipe);
         assert!(out.epochs.len() < 50, "ran all {} epochs", out.epochs.len());
         // Accuracy is still good — stopping happened at the plateau.
-        assert!(out.val_accuracy > 0.5, "stopped too early: {}", out.val_accuracy);
+        assert!(
+            out.val_accuracy > 0.5,
+            "stopped too early: {}",
+            out.val_accuracy
+        );
     }
 
     #[test]

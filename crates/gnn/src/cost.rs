@@ -34,7 +34,11 @@ pub fn forward_flops(cfg: &GnnConfig, blocks: &[BlockShape]) -> (f64, f64) {
     for l in 0..cfg.num_layers {
         let b = blocks[cfg.num_layers - 1 - l];
         let in_dim = if l == 0 { cfg.in_dim } else { cfg.hidden };
-        let out_dim = if l == cfg.num_layers - 1 { cfg.num_classes } else { cfg.hidden };
+        let out_dim = if l == cfg.num_layers - 1 {
+            cfg.num_classes
+        } else {
+            cfg.hidden
+        };
         let (m, s, e) = (b.num_dst as f64, b.num_src as f64, b.num_edges as f64);
         match cfg.kind {
             ModelKind::Gcn => {
@@ -51,7 +55,11 @@ pub fn forward_flops(cfg: &GnnConfig, blocks: &[BlockShape]) -> (f64, f64) {
                 dense += 2.0 * m * out_dim as f64 * out_dim as f64; // MLP layer 2
             }
             ModelKind::Gat => {
-                let heads = if l == cfg.num_layers - 1 { 1 } else { cfg.heads } as f64;
+                let heads = if l == cfg.num_layers - 1 {
+                    1
+                } else {
+                    cfg.heads
+                } as f64;
                 dense += 2.0 * s * in_dim as f64 * out_dim as f64; // per-src transform
                 dense += 2.0 * 2.0 * s * out_dim as f64 * heads; // attention projections
                 sparse += 2.0 * e * out_dim as f64; // weighted aggregate
@@ -114,9 +122,21 @@ mod tests {
     fn paper_blocks() -> Vec<BlockShape> {
         // Representative 3-layer, batch-512, fanout-30 shapes.
         vec![
-            BlockShape { num_dst: 512, num_src: 14_000, num_edges: 15_360 },
-            BlockShape { num_dst: 14_000, num_src: 300_000, num_edges: 420_000 },
-            BlockShape { num_dst: 300_000, num_src: 1_500_000, num_edges: 9_000_000 },
+            BlockShape {
+                num_dst: 512,
+                num_src: 14_000,
+                num_edges: 15_360,
+            },
+            BlockShape {
+                num_dst: 14_000,
+                num_src: 300_000,
+                num_edges: 420_000,
+            },
+            BlockShape {
+                num_dst: 300_000,
+                num_src: 1_500_000,
+                num_edges: 9_000_000,
+            },
         ]
     }
 
@@ -127,7 +147,14 @@ mod tests {
         let spec = DeviceSpec::a100_40gb();
         let t = |kind| {
             let cfg = GnnConfig::paper(kind, 100, 47);
-            train_step_time(&cfg, &paper_blocks(), LayerProvider::WholeGraphNative, &model, &spec, 500_000)
+            train_step_time(
+                &cfg,
+                &paper_blocks(),
+                LayerProvider::WholeGraphNative,
+                &model,
+                &spec,
+                500_000,
+            )
         };
         let gcn = t(ModelKind::Gcn);
         let sage = t(ModelKind::GraphSage);
@@ -161,7 +188,14 @@ mod tests {
         let model = CostModel::dgx_a100();
         let spec = DeviceSpec::a100_40gb();
         let cfg = GnnConfig::paper(ModelKind::GraphSage, 100, 47);
-        let t = train_step_time(&cfg, &paper_blocks(), LayerProvider::WholeGraphNative, &model, &spec, 500_000);
+        let t = train_step_time(
+            &cfg,
+            &paper_blocks(),
+            LayerProvider::WholeGraphNative,
+            &model,
+            &spec,
+            500_000,
+        );
         assert!(t.as_millis() > 1.0 && t.as_millis() < 50.0, "step time {t}");
     }
 
@@ -170,8 +204,21 @@ mod tests {
         let model = CostModel::dgx_a100();
         let spec = DeviceSpec::a100_40gb();
         let cfg = GnnConfig::paper(ModelKind::Gcn, 100, 47);
-        let tr = train_step_time(&cfg, &paper_blocks(), LayerProvider::WholeGraphNative, &model, &spec, 100_000);
-        let ev = eval_step_time(&cfg, &paper_blocks(), LayerProvider::WholeGraphNative, &model, &spec);
+        let tr = train_step_time(
+            &cfg,
+            &paper_blocks(),
+            LayerProvider::WholeGraphNative,
+            &model,
+            &spec,
+            100_000,
+        );
+        let ev = eval_step_time(
+            &cfg,
+            &paper_blocks(),
+            LayerProvider::WholeGraphNative,
+            &model,
+            &spec,
+        );
         assert!(ev < tr);
     }
 }

@@ -36,8 +36,12 @@ impl ModelKind {
     pub const ALL: [ModelKind; 3] = [ModelKind::Gcn, ModelKind::GraphSage, ModelKind::Gat];
 
     /// The paper's models plus the GIN extension.
-    pub const EXTENDED: [ModelKind; 4] =
-        [ModelKind::Gcn, ModelKind::GraphSage, ModelKind::Gat, ModelKind::Gin];
+    pub const EXTENDED: [ModelKind; 4] = [
+        ModelKind::Gcn,
+        ModelKind::GraphSage,
+        ModelKind::Gat,
+        ModelKind::Gin,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -156,8 +160,18 @@ impl GnnModel {
                     b: params.add_bias(&format!("gcn{l}.b"), out_dim),
                 },
                 ModelKind::GraphSage => LayerParams::Sage {
-                    w_self: params.add_xavier(&format!("sage{l}.w_self"), in_dim, out_dim, &mut rng),
-                    w_neigh: params.add_xavier(&format!("sage{l}.w_neigh"), in_dim, out_dim, &mut rng),
+                    w_self: params.add_xavier(
+                        &format!("sage{l}.w_self"),
+                        in_dim,
+                        out_dim,
+                        &mut rng,
+                    ),
+                    w_neigh: params.add_xavier(
+                        &format!("sage{l}.w_neigh"),
+                        in_dim,
+                        out_dim,
+                        &mut rng,
+                    ),
                     b: params.add_bias(&format!("sage{l}.b"), out_dim),
                 },
                 ModelKind::Gin => LayerParams::Gin {
@@ -169,7 +183,11 @@ impl GnnModel {
                 ModelKind::Gat => {
                     // Hidden layers use `heads` heads over out_dim channels;
                     // the final layer collapses to a single head.
-                    let heads = if l == cfg.num_layers - 1 { 1 } else { cfg.heads };
+                    let heads = if l == cfg.num_layers - 1 {
+                        1
+                    } else {
+                        cfg.heads
+                    };
                     // Attention vectors project the full layer width onto
                     // one score per head (a mild simplification of
                     // per-head-slice projection; heads still attend
@@ -177,8 +195,18 @@ impl GnnModel {
                     let _ = heads;
                     LayerParams::Gat {
                         w: params.add_xavier(&format!("gat{l}.w"), in_dim, out_dim, &mut rng),
-                        a_dst: params.add_xavier(&format!("gat{l}.a_dst"), out_dim, heads, &mut rng),
-                        a_src: params.add_xavier(&format!("gat{l}.a_src"), out_dim, heads, &mut rng),
+                        a_dst: params.add_xavier(
+                            &format!("gat{l}.a_dst"),
+                            out_dim,
+                            heads,
+                            &mut rng,
+                        ),
+                        a_src: params.add_xavier(
+                            &format!("gat{l}.a_src"),
+                            out_dim,
+                            heads,
+                            &mut rng,
+                        ),
                         b: params.add_bias(&format!("gat{l}.b"), out_dim),
                     }
                 }
@@ -348,7 +376,10 @@ mod tests {
             let out = model.forward(&mut tape, &blocks(), input(), false, 0);
             let v = tape.value(out);
             assert_eq!((v.rows(), v.cols()), (2, 4), "{kind:?}");
-            assert!(v.data().iter().all(|x| x.is_finite()), "{kind:?} produced non-finite logits");
+            assert!(
+                v.data().iter().all(|x| x.is_finite()),
+                "{kind:?} produced non-finite logits"
+            );
         }
     }
 
@@ -397,7 +428,11 @@ mod tests {
         // parameter/compute footprint; the *compute* ordering is asserted
         // in `cost::tests`. Parameter-wise, GAT and GraphSage both exceed
         // plain GCN (attention vectors / the second weight matrix).
-        let n = |kind| GnnModel::new(GnnConfig::paper(kind, 100, 16), 0).params.num_scalars();
+        let n = |kind| {
+            GnnModel::new(GnnConfig::paper(kind, 100, 16), 0)
+                .params
+                .num_scalars()
+        };
         assert!(n(ModelKind::Gat) > n(ModelKind::Gcn));
         assert!(n(ModelKind::GraphSage) > n(ModelKind::Gcn));
     }

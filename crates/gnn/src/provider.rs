@@ -62,8 +62,13 @@ mod tests {
 
     #[test]
     fn native_is_fastest() {
-        assert!(LayerProvider::WholeGraphNative.compute_factor() < LayerProvider::DglLayers.compute_factor());
-        assert!(LayerProvider::DglLayers.compute_factor() < LayerProvider::PygLayers.compute_factor());
+        assert!(
+            LayerProvider::WholeGraphNative.compute_factor()
+                < LayerProvider::DglLayers.compute_factor()
+        );
+        assert!(
+            LayerProvider::DglLayers.compute_factor() < LayerProvider::PygLayers.compute_factor()
+        );
         assert_eq!(LayerProvider::WholeGraphNative.compute_factor(), 1.0);
     }
 

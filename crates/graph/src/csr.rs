@@ -29,7 +29,10 @@ impl Csr {
     pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)], symmetrize: bool) -> Self {
         let mut degree = vec![0u64; num_nodes];
         for &(s, t) in edges {
-            assert!((s as usize) < num_nodes && (t as usize) < num_nodes, "edge ({s},{t}) out of range");
+            assert!(
+                (s as usize) < num_nodes && (t as usize) < num_nodes,
+                "edge ({s},{t}) out of range"
+            );
             degree[s as usize] += 1;
             if symmetrize {
                 degree[t as usize] += 1;

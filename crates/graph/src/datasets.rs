@@ -67,7 +67,10 @@ impl DatasetKind {
     /// Whether the graph has real (learnable) labels in the paper — the
     /// OGB graphs do; Friendster/UK_domain are performance-only.
     pub fn learnable(self) -> bool {
-        matches!(self, DatasetKind::OgbnProducts | DatasetKind::OgbnPapers100M)
+        matches!(
+            self,
+            DatasetKind::OgbnProducts | DatasetKind::OgbnPapers100M
+        )
     }
 
     /// Classes our stand-in uses (the real counts are 47 / 172; we keep
@@ -120,7 +123,8 @@ impl SyntheticDataset {
 
         let (graph, labels, features) = if kind.learnable() {
             let (g, labels) = gen::sbm(n, num_classes, avg_degree, 0.85, seed);
-            let features = gen::class_features(&labels, num_classes, feature_dim, 0.8, seed ^ 0xfeed);
+            let features =
+                gen::class_features(&labels, num_classes, feature_dim, 0.8, seed ^ 0xfeed);
             (g, labels, features)
         } else {
             let scale_log2 = (n as f64).log2().ceil() as u32;
@@ -128,7 +132,9 @@ impl SyntheticDataset {
             let g = gen::rmat(scale_log2, edges, seed);
             let n2 = g.num_nodes();
             let mut rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
-            let labels: Vec<u32> = (0..n2).map(|_| rng.gen_range(0..num_classes as u32)).collect();
+            let labels: Vec<u32> = (0..n2)
+                .map(|_| rng.gen_range(0..num_classes as u32))
+                .collect();
             let features = gen::random_features(n2, feature_dim, seed ^ 0xbeef);
             (g, labels, features)
         };
@@ -192,8 +198,11 @@ mod tests {
         let d = SyntheticDataset::generate(DatasetKind::OgbnProducts, 200, 1);
         let (pn, pe, pf) = DatasetKind::OgbnProducts.paper_stats();
         let paper_degree = 2.0 * pe as f64 / pn as f64;
-        assert!((d.graph.avg_degree() - paper_degree).abs() / paper_degree < 0.15,
-            "degree {} vs paper {paper_degree}", d.graph.avg_degree());
+        assert!(
+            (d.graph.avg_degree() - paper_degree).abs() / paper_degree < 0.15,
+            "degree {} vs paper {paper_degree}",
+            d.graph.avg_degree()
+        );
         assert_eq!(d.feature_dim, pf);
         assert_eq!(d.features.len(), d.num_nodes() * pf);
         assert_eq!(d.labels.len(), d.num_nodes());
@@ -202,7 +211,13 @@ mod tests {
     #[test]
     fn splits_are_disjoint() {
         let d = SyntheticDataset::generate(DatasetKind::OgbnProducts, 400, 2);
-        let mut all: Vec<NodeId> = d.train.iter().chain(&d.val).chain(&d.test).copied().collect();
+        let mut all: Vec<NodeId> = d
+            .train
+            .iter()
+            .chain(&d.val)
+            .chain(&d.test)
+            .copied()
+            .collect();
         let len = all.len();
         all.sort_unstable();
         all.dedup();

@@ -83,7 +83,9 @@ pub fn rmat(scale: u32, edges: usize, seed: u64) -> Csr {
 pub fn sbm(n: usize, num_classes: usize, avg_degree: f64, p_in: f64, seed: u64) -> (Csr, Vec<u32>) {
     assert!(num_classes >= 2 && n >= num_classes);
     let mut rng = SmallRng::seed_from_u64(seed);
-    let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..num_classes as u32)).collect();
+    let labels: Vec<u32> = (0..n)
+        .map(|_| rng.gen_range(0..num_classes as u32))
+        .collect();
     // Index nodes by class for fast intra-class endpoint sampling.
     let mut by_class: Vec<Vec<NodeId>> = vec![Vec::new(); num_classes];
     for (v, &c) in labels.iter().enumerate() {
@@ -116,10 +118,18 @@ fn normal(rng: &mut SmallRng) -> f32 {
 /// norm ~1, each node's feature is its class mean plus `noise`·N(0,1) —
 /// the information a classifier must aggregate over neighborhoods to
 /// denoise (mirroring how OGB features correlate with labels).
-pub fn class_features(labels: &[u32], num_classes: usize, dim: usize, noise: f32, seed: u64) -> Vec<f32> {
+pub fn class_features(
+    labels: &[u32],
+    num_classes: usize,
+    dim: usize,
+    noise: f32,
+    seed: u64,
+) -> Vec<f32> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let scale = 1.0 / (dim as f32).sqrt();
-    let means: Vec<f32> = (0..num_classes * dim).map(|_| normal(&mut rng) * scale).collect();
+    let means: Vec<f32> = (0..num_classes * dim)
+        .map(|_| normal(&mut rng) * scale)
+        .collect();
     let mut out = Vec::with_capacity(labels.len() * dim);
     for &c in labels {
         let mean = &means[c as usize * dim..(c as usize + 1) * dim];
@@ -146,7 +156,11 @@ mod tests {
     fn erdos_renyi_hits_target_degree() {
         let g = erdos_renyi(2000, 10.0, 3);
         assert_eq!(g.num_nodes(), 2000);
-        assert!((g.avg_degree() - 10.0).abs() < 0.5, "avg degree {}", g.avg_degree());
+        assert!(
+            (g.avg_degree() - 10.0).abs() < 0.5,
+            "avg degree {}",
+            g.avg_degree()
+        );
     }
 
     #[test]
@@ -160,8 +174,13 @@ mod tests {
     #[test]
     fn rmat_is_heavy_tailed() {
         let g = rmat(12, 40_000, 5); // 4096 nodes
-        // A power-law graph's max degree vastly exceeds its average.
-        assert!(g.max_degree() as f64 > 8.0 * g.avg_degree(), "max {} avg {}", g.max_degree(), g.avg_degree());
+                                     // A power-law graph's max degree vastly exceeds its average.
+        assert!(
+            g.max_degree() as f64 > 8.0 * g.avg_degree(),
+            "max {} avg {}",
+            g.max_degree(),
+            g.avg_degree()
+        );
     }
 
     #[test]
@@ -190,7 +209,9 @@ mod tests {
         assert_eq!(f.len(), 200 * 16);
         // Same-class feature vectors are closer than cross-class ones.
         let dist = |a: usize, b: usize| -> f32 {
-            (0..16).map(|j| (f[a * 16 + j] - f[b * 16 + j]).powi(2)).sum::<f32>()
+            (0..16)
+                .map(|j| (f[a * 16 + j] - f[b * 16 + j]).powi(2))
+                .sum::<f32>()
         };
         let same = dist(0, 4); // both class 0
         let cross = dist(0, 1); // class 0 vs 1

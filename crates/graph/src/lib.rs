@@ -23,8 +23,8 @@
 pub mod csr;
 pub mod datasets;
 pub mod gen;
-pub mod io;
 pub mod global_id;
+pub mod io;
 pub mod partition;
 pub mod store;
 

@@ -101,7 +101,8 @@ impl HashPartition {
     /// The DSM row a node's data lives at.
     #[inline]
     pub fn dsm_row(&self, v: NodeId) -> usize {
-        self.rank_of[v as usize] as usize * self.rows_per_rank() + self.local_of[v as usize] as usize
+        self.rank_of[v as usize] as usize * self.rows_per_rank()
+            + self.local_of[v as usize] as usize
     }
 
     /// Imbalance of the partition: max per-rank count over the ideal

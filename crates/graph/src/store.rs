@@ -54,7 +54,15 @@ impl MultiGpuGraph {
         feature_dim: usize,
         acct: &MemoryAccounting,
     ) -> Result<Self, OutOfMemory> {
-        Self::build_with_mode(model, ranks, graph, features, feature_dim, acct, AccessMode::PeerAccess)
+        Self::build_with_mode(
+            model,
+            ranks,
+            graph,
+            features,
+            feature_dim,
+            acct,
+            AccessMode::PeerAccess,
+        )
     }
 
     /// Like [`build`](Self::build) but with an explicit [`AccessMode`]
@@ -75,7 +83,17 @@ impl MultiGpuGraph {
         acct: &MemoryAccounting,
         feature_mode: AccessMode,
     ) -> Result<Self, OutOfMemory> {
-        Self::build_full(model, ranks, graph, features, feature_dim, None, 0, acct, feature_mode)
+        Self::build_full(
+            model,
+            ranks,
+            graph,
+            features,
+            feature_dim,
+            None,
+            0,
+            acct,
+            feature_mode,
+        )
     }
 
     /// Full builder: node features plus optional per-edge features
@@ -95,7 +113,11 @@ impl MultiGpuGraph {
     ) -> Result<Self, OutOfMemory> {
         let n = graph.num_nodes();
         assert!(n > 0, "empty graph");
-        assert_eq!(features.len(), n * feature_dim, "feature matrix shape mismatch");
+        assert_eq!(
+            features.len(),
+            n * feature_dim,
+            "feature matrix shape mismatch"
+        );
         let partition = HashPartition::new(n, ranks);
 
         // Per-rank edge totals decide the edge-allocation stride.
@@ -111,7 +133,13 @@ impl MultiGpuGraph {
         let padded = partition.padded_rows();
 
         let node_meta = WholeMemory::<u64>::allocate_tracked(
-            model, ranks, padded, 2, AccessMode::PeerAccess, acct, AllocKind::GraphStructure,
+            model,
+            ranks,
+            padded,
+            2,
+            AccessMode::PeerAccess,
+            acct,
+            AllocKind::GraphStructure,
         )?;
         let edges = WholeMemory::<u64>::allocate_tracked(
             model,
@@ -123,7 +151,13 @@ impl MultiGpuGraph {
             AllocKind::GraphStructure,
         )?;
         let features_wm = WholeMemory::<f32>::allocate_tracked(
-            model, ranks, padded, feature_dim.max(1), feature_mode, acct, AllocKind::Features,
+            model,
+            ranks,
+            padded,
+            feature_dim.max(1),
+            feature_mode,
+            acct,
+            AllocKind::Features,
         )?;
         if let Some(ef) = edge_features {
             assert_eq!(
@@ -160,8 +194,10 @@ impl MultiGpuGraph {
                     }
                 });
                 if feature_dim > 0 {
-                    features_wm
-                        .write_row(meta_row, &features[v as usize * feature_dim..(v as usize + 1) * feature_dim]);
+                    features_wm.write_row(
+                        meta_row,
+                        &features[v as usize * feature_dim..(v as usize + 1) * feature_dim],
+                    );
                 }
                 if let (Some(wm), Some(ef)) = (&edge_features_wm, edge_features) {
                     // CSR edge order: edge (v, k) is global CSR slot
@@ -172,7 +208,8 @@ impl MultiGpuGraph {
                         let row = r as usize * edge_rows_per_rank + cursor as usize + k;
                         wm.write_row(
                             row,
-                            &ef[(csr_base + k) * edge_feature_dim..(csr_base + k + 1) * edge_feature_dim],
+                            &ef[(csr_base + k) * edge_feature_dim
+                                ..(csr_base + k + 1) * edge_feature_dim],
                         );
                     }
                 }
@@ -183,7 +220,9 @@ impl MultiGpuGraph {
         let setup_time = node_meta.setup_time()
             + edges.setup_time()
             + features_wm.setup_time()
-            + edge_features_wm.as_ref().map_or(SimTime::ZERO, |wm| wm.setup_time());
+            + edge_features_wm
+                .as_ref()
+                .map_or(SimTime::ZERO, |wm| wm.setup_time());
         Ok(MultiGpuGraph {
             partition,
             node_meta,
@@ -248,8 +287,10 @@ impl MultiGpuGraph {
     /// Out-degree by GlobalId.
     pub fn degree_of_global(&self, g: GlobalId) -> usize {
         let mut meta = [0u64; 2];
-        self.node_meta
-            .read_row(g.rank() as usize * self.partition.rows_per_rank() + g.local() as usize, &mut meta);
+        self.node_meta.read_row(
+            g.rank() as usize * self.partition.rows_per_rank() + g.local() as usize,
+            &mut meta,
+        );
         meta[1] as usize
     }
 
@@ -261,10 +302,13 @@ impl MultiGpuGraph {
     pub fn with_neighbors<R>(&self, g: GlobalId, f: impl FnOnce(&[u64]) -> R) -> R {
         let rank = g.rank();
         let mut meta = [0u64; 2];
-        self.node_meta
-            .read_row(rank as usize * self.partition.rows_per_rank() + g.local() as usize, &mut meta);
+        self.node_meta.read_row(
+            rank as usize * self.partition.rows_per_rank() + g.local() as usize,
+            &mut meta,
+        );
         let (start, deg) = (meta[0] as usize, meta[1] as usize);
-        self.edges.with_region(rank, |region| f(&region[start..start + deg]))
+        self.edges
+            .with_region(rank, |region| f(&region[start..start + deg]))
     }
 
     /// Neighbor list of a node as GlobalIds (allocating convenience).
@@ -297,8 +341,10 @@ impl MultiGpuGraph {
     pub fn edge_slot_base(&self, g: GlobalId) -> u64 {
         let rank = g.rank();
         let mut meta = [0u64; 2];
-        self.node_meta
-            .read_row(rank as usize * self.partition.rows_per_rank() + g.local() as usize, &mut meta);
+        self.node_meta.read_row(
+            rank as usize * self.partition.rows_per_rank() + g.local() as usize,
+            &mut meta,
+        );
         rank as u64 * self.edge_rows_per_rank as u64 + meta[0]
     }
 }
@@ -321,8 +367,16 @@ impl HostGraph {
         acct: &MemoryAccounting,
     ) -> Result<Self, OutOfMemory> {
         assert_eq!(features.len(), graph.num_nodes() * feature_dim);
-        acct.alloc(DeviceId::Cpu, AllocKind::GraphStructure, graph.structure_bytes())?;
-        acct.alloc(DeviceId::Cpu, AllocKind::Features, (features.len() * 4) as u64)?;
+        acct.alloc(
+            DeviceId::Cpu,
+            AllocKind::GraphStructure,
+            graph.structure_bytes(),
+        )?;
+        acct.alloc(
+            DeviceId::Cpu,
+            AllocKind::Features,
+            (features.len() * 4) as u64,
+        )?;
         Ok(HostGraph {
             graph,
             features,
@@ -366,7 +420,8 @@ mod tests {
     use wg_sim::device::DeviceSpec;
 
     fn acct(ranks: u32) -> MemoryAccounting {
-        let mut devs: Vec<(DeviceId, u64)> = (0..ranks).map(|r| (DeviceId::Gpu(r), 1 << 30)).collect();
+        let mut devs: Vec<(DeviceId, u64)> =
+            (0..ranks).map(|r| (DeviceId::Gpu(r), 1 << 30)).collect();
         devs.push((DeviceId::Cpu, 1 << 32));
         MemoryAccounting::new(devs)
     }
@@ -376,7 +431,8 @@ mod tests {
         let feat_dim = 6;
         let features: Vec<f32> = (0..200 * feat_dim).map(|i| i as f32 * 0.25).collect();
         let model = CostModel::dgx_a100();
-        let store = MultiGpuGraph::build(&model, ranks, &g, &features, feat_dim, &acct(ranks)).unwrap();
+        let store =
+            MultiGpuGraph::build(&model, ranks, &g, &features, feat_dim, &acct(ranks)).unwrap();
         (store, g, features)
     }
 
@@ -422,8 +478,16 @@ mod tests {
         let features = vec![0.5f32; 100 * 8];
         let model = CostModel::dgx_a100();
         let _store = MultiGpuGraph::build(&model, ranks, &g, &features, 8, &a).unwrap();
-        let structure: u64 = a.gpu_usage_by(AllocKind::GraphStructure).iter().map(|(_, b)| b).sum();
-        let feats: u64 = a.gpu_usage_by(AllocKind::Features).iter().map(|(_, b)| b).sum();
+        let structure: u64 = a
+            .gpu_usage_by(AllocKind::GraphStructure)
+            .iter()
+            .map(|(_, b)| b)
+            .sum();
+        let feats: u64 = a
+            .gpu_usage_by(AllocKind::Features)
+            .iter()
+            .map(|(_, b)| b)
+            .sum();
         // Structure ≥ edges (8 B each) + metadata (16 B per padded node).
         assert!(structure >= (g.num_edges() * 8) as u64);
         // Features: padded rows × 8 × 4 bytes ≥ the real matrix.
@@ -450,6 +514,9 @@ mod tests {
         assert_eq!(&out[0..4], &features[28..32]);
         assert_eq!(&out[4..8], &features[12..16]);
         assert_eq!(&out[8..12], &features[28..32]);
-        assert_eq!(a.pool(DeviceId::Cpu).used_by(AllocKind::Features), 50 * 4 * 4);
+        assert_eq!(
+            a.pool(DeviceId::Cpu).used_by(AllocKind::Features),
+            50 * 4 * 4
+        );
     }
 }

@@ -88,9 +88,27 @@ mod tests {
     fn even_partition() {
         let p = ChunkedPartition::new(8, 4);
         assert_eq!(p.rows_per_rank, 2);
-        assert_eq!(p.locate(0), RowLocation { device_rank: 0, local_row: 0 });
-        assert_eq!(p.locate(3), RowLocation { device_rank: 1, local_row: 1 });
-        assert_eq!(p.locate(7), RowLocation { device_rank: 3, local_row: 1 });
+        assert_eq!(
+            p.locate(0),
+            RowLocation {
+                device_rank: 0,
+                local_row: 0
+            }
+        );
+        assert_eq!(
+            p.locate(3),
+            RowLocation {
+                device_rank: 1,
+                local_row: 1
+            }
+        );
+        assert_eq!(
+            p.locate(7),
+            RowLocation {
+                device_rank: 3,
+                local_row: 1
+            }
+        );
         for r in 0..4 {
             assert_eq!(p.rows_on_rank(r), 2);
         }

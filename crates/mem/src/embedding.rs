@@ -37,11 +37,13 @@ impl EmbeddingTable {
         let weights = WholeMemory::<f32>::allocate(model, ranks, rows, dim, AccessMode::PeerAccess);
         let state = WholeMemory::<f32>::allocate(model, ranks, rows, dim, AccessMode::PeerAccess);
         weights.init_rows(|row, out| {
-            let mut rng = SmallRng::seed_from_u64(seed ^ (row as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            let mut rng =
+                SmallRng::seed_from_u64(seed ^ (row as u64).wrapping_mul(0x9e3779b97f4a7c15));
             for v in out.iter_mut() {
                 let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let u2: f64 = rng.gen();
-                *v = 0.1 * ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32;
+                *v = 0.1
+                    * ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32;
             }
         });
         EmbeddingTable {
@@ -91,7 +93,11 @@ impl EmbeddingTable {
         model: &CostModel,
         spec: &DeviceSpec,
     ) -> SimTime {
-        assert_eq!(grads.len(), rows.len() * self.dim, "gradient shape mismatch");
+        assert_eq!(
+            grads.len(),
+            rows.len() * self.dim,
+            "gradient shape mismatch"
+        );
         debug_assert!(
             {
                 let mut seen = std::collections::HashSet::new();
@@ -102,7 +108,8 @@ impl EmbeddingTable {
         let dim = self.dim;
         // Group updates per home rank so region locks are taken once.
         let partition = self.weights.partition();
-        let mut by_rank: Vec<Vec<(usize, &[f32])>> = (0..self.weights.ranks()).map(|_| Vec::new()).collect();
+        let mut by_rank: Vec<Vec<(usize, &[f32])>> =
+            (0..self.weights.ranks()).map(|_| Vec::new()).collect();
         for (i, &row) in rows.iter().enumerate() {
             let loc = partition.locate(row);
             by_rank[loc.device_rank as usize].push((loc.local_row, &grads[i * dim..(i + 1) * dim]));
@@ -167,7 +174,11 @@ mod tests {
         for i in 0..8 {
             let s = 0.5f32 * 0.5;
             let expect = before[i] - lr * 0.5 / (s.sqrt() + eps);
-            assert!((after[i] - expect).abs() < 1e-6, "elem {i}: {} vs {expect}", after[i]);
+            assert!(
+                (after[i] - expect).abs() < 1e-6,
+                "elem {i}: {} vs {expect}",
+                after[i]
+            );
         }
         // Rows not updated stay put.
         let other = vec![0usize];
@@ -211,7 +222,11 @@ mod tests {
         for step in 0..300 {
             let mut cur = vec![0.0f32; 32];
             t.gather(&rows, &mut cur, 0, &model, &spec);
-            let grads: Vec<f32> = cur.iter().zip(&target).map(|(c, g)| 2.0 * (c - g)).collect();
+            let grads: Vec<f32> = cur
+                .iter()
+                .zip(&target)
+                .map(|(c, g)| 2.0 * (c - g))
+                .collect();
             let d: f32 = cur.iter().zip(&target).map(|(c, g)| (c - g).powi(2)).sum();
             if step == 0 {
                 dist_start = Some(d);
@@ -221,7 +236,11 @@ mod tests {
         let mut cur = vec![0.0f32; 32];
         t.gather(&rows, &mut cur, 0, &model, &spec);
         let d: f32 = cur.iter().zip(&target).map(|(c, g)| (c - g).powi(2)).sum();
-        assert!(d < 0.01 * dist_start.unwrap(), "distance {d} from {}", dist_start.unwrap());
+        assert!(
+            d < 0.01 * dist_start.unwrap(),
+            "distance {d} from {}",
+            dist_start.unwrap()
+        );
     }
 
     #[test]

@@ -105,9 +105,8 @@ pub fn global_gather<T: Element>(
             let fault_time = fault * (remote_rows as f64 / FAULT_PARALLELISM);
             let page = 64 * 1024;
             let pages = remote_rows as u64 * row_bytes.div_ceil(page) as u64;
-            let migrate = SimTime::from_secs(
-                (pages * page as u64) as f64 / model.topology.nvlink_bandwidth,
-            );
+            let migrate =
+                SimTime::from_secs((pages * page as u64) as f64 / model.topology.nvlink_bandwidth);
             SimTime::from_secs(spec.kernel_launch_overhead_s) + fault_time + migrate
         }
     };
@@ -156,7 +155,12 @@ pub fn global_scatter<T: Element>(
     model.dsm_gather_time(indices.len() as u64, row_bytes, spec)
 }
 
-fn wm_write_rank<T: Element>(wm: &WholeMemory<T>, rank: u32, width: usize, updates: &[(usize, &[T])]) {
+fn wm_write_rank<T: Element>(
+    wm: &WholeMemory<T>,
+    rank: u32,
+    width: usize,
+    updates: &[(usize, &[T])],
+) {
     // Private helper: apply a batch of (local_row, data) writes to a rank.
     wm.with_region_mut(rank, |region| {
         for (local_row, row) in updates {
@@ -182,7 +186,12 @@ mod tests {
     use rand::prelude::*;
     use rand::rngs::SmallRng;
 
-    fn setup(rows: usize, width: usize, ranks: u32, mode: AccessMode) -> (WholeMemory<f32>, CostModel, DeviceSpec) {
+    fn setup(
+        rows: usize,
+        width: usize,
+        ranks: u32,
+        mode: AccessMode,
+    ) -> (WholeMemory<f32>, CostModel, DeviceSpec) {
         let model = CostModel::dgx_a100();
         let wm = WholeMemory::<f32>::allocate(&model, ranks, rows, width, mode);
         wm.init_rows(|row, out| {
@@ -228,7 +237,10 @@ mod tests {
         let mut out = vec![0.0f32; indices.len() * 32];
         let p2p = global_gather(&wm_p2p, &indices, &mut out, 0, &model, &spec);
         let um = global_gather(&wm_um, &indices, &mut out, 0, &model, &spec);
-        assert!(um.sim_time / p2p.sim_time > 10.0, "UM should be >10x slower");
+        assert!(
+            um.sim_time / p2p.sim_time > 10.0,
+            "UM should be >10x slower"
+        );
     }
 
     #[test]
@@ -239,7 +251,10 @@ mod tests {
         let mut out = vec![0.0f32; indices.len() * 128];
         let stats = global_gather(&wm, &indices, &mut out, 0, &model, &spec);
         let algobw = stats.algo_bandwidth();
-        assert!(algobw > 0.8 * model.gather_algobw(512), "algo bandwidth {algobw:.3e}");
+        assert!(
+            algobw > 0.8 * model.gather_algobw(512),
+            "algo bandwidth {algobw:.3e}"
+        );
     }
 
     #[test]

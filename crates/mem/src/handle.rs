@@ -57,7 +57,13 @@ pub struct WholeMemory<T> {
 impl<T: Element> WholeMemory<T> {
     /// Allocate a `rows × width` matrix partitioned across `ranks` devices,
     /// running the IPC handle-exchange setup protocol.
-    pub fn allocate(model: &CostModel, ranks: u32, rows: usize, width: usize, mode: AccessMode) -> Self {
+    pub fn allocate(
+        model: &CostModel,
+        ranks: u32,
+        rows: usize,
+        width: usize,
+        mode: AccessMode,
+    ) -> Self {
         assert!(width > 0, "row width must be positive");
         assert!(rows > 0, "cannot allocate an empty WholeMemory");
         let partition = ChunkedPartition::new(rows, ranks);
@@ -185,13 +191,16 @@ impl<T: Element> WholeMemory<T> {
     {
         let width = self.width;
         let partition = self.partition;
-        self.regions.par_iter().enumerate().for_each(|(rank, region)| {
-            let mut region = region.write();
-            for (local, chunk) in region.chunks_mut(width).enumerate() {
-                let global = partition.global_row(rank as u32, local);
-                f(global, chunk);
-            }
-        });
+        self.regions
+            .par_iter()
+            .enumerate()
+            .for_each(|(rank, region)| {
+                let mut region = region.write();
+                for (local, chunk) in region.chunks_mut(width).enumerate() {
+                    let global = partition.global_row(rank as u32, local);
+                    f(global, chunk);
+                }
+            });
     }
 
     /// Run `f` with read access to the region of `rank`.
@@ -254,7 +263,15 @@ mod tests {
         let mut buf = [0u32; 4];
         for row in 0..23 {
             wm.read_row(row, &mut buf);
-            assert_eq!(buf, [10 * row as u32, 10 * row as u32 + 1, 10 * row as u32 + 2, 10 * row as u32 + 3]);
+            assert_eq!(
+                buf,
+                [
+                    10 * row as u32,
+                    10 * row as u32 + 1,
+                    10 * row as u32 + 2,
+                    10 * row as u32 + 3
+                ]
+            );
         }
     }
 

@@ -88,7 +88,8 @@ pub fn exchange_handles(model: &CostModel, ranks: u32, bytes_per_rank: u64) -> S
 
     // Mesh of channels: senders[from][to].
     let mut senders: Vec<Vec<channel::Sender<IpcHandle>>> = (0..n).map(|_| Vec::new()).collect();
-    let mut receivers: Vec<Vec<channel::Receiver<IpcHandle>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut receivers: Vec<Vec<channel::Receiver<IpcHandle>>> =
+        (0..n).map(|_| Vec::new()).collect();
     for _from in 0..n {
         for to in 0..n {
             let (tx, rx) = channel::bounded(1);

@@ -82,7 +82,11 @@ pub fn nccl_gather<T: Element>(
     spec: &DeviceSpec,
 ) -> NcclGatherStats {
     let width = wm.width();
-    assert_eq!(out.len(), indices.len() * width, "gather output buffer has wrong size");
+    assert_eq!(
+        out.len(),
+        indices.len() * width,
+        "gather output buffer has wrong size"
+    );
     let ranks = wm.ranks() as usize;
     let partition = wm.partition();
     let id_bytes = std::mem::size_of::<u64>() as u64;
@@ -226,7 +230,13 @@ mod tests {
         let indices: Vec<usize> = (0..40_000).collect();
         let mut out = vec![0.0f32; indices.len() * 128];
         let s = nccl_gather(&wm, &indices, &mut out, 0, &model, &spec);
-        for t in [s.bucket_time, s.id_exchange_time, s.local_gather_time, s.feature_exchange_time, s.reorder_time] {
+        for t in [
+            s.bucket_time,
+            s.id_exchange_time,
+            s.local_gather_time,
+            s.feature_exchange_time,
+            s.reorder_time,
+        ] {
             assert!(t > SimTime::ZERO);
         }
         // The ID-side steps are small next to the feature payload steps.

@@ -89,7 +89,11 @@ pub fn pointer_chase(
     let total = per_access * steps as f64;
     ChaseReport {
         steps,
-        avg_latency: if steps > 0 { total / steps as f64 } else { SimTime::ZERO },
+        avg_latency: if steps > 0 {
+            total / steps as f64
+        } else {
+            SimTime::ZERO
+        },
         total_time: total,
         checksum,
     }
@@ -124,10 +128,14 @@ pub fn random_gather_bandwidth(
     real_segments: usize,
     seed: u64,
 ) -> BandwidthPoint {
-    assert!(segment_bytes >= 4, "segments below one element are not addressable");
+    assert!(
+        segment_bytes >= 4,
+        "segments below one element are not addressable"
+    );
     let ranks = model.topology.num_gpus;
     let width = segment_bytes / 4; // f32 elements per segment
-    let mut wm = WholeMemory::<f32>::allocate(model, ranks, real_rows, width, AccessMode::PeerAccess);
+    let mut wm =
+        WholeMemory::<f32>::allocate(model, ranks, real_rows, width, AccessMode::PeerAccess);
     wm.set_logical_bytes(logical_total_bytes);
     wm.init_rows(|row, out| {
         for (j, v) in out.iter_mut().enumerate() {
@@ -137,7 +145,9 @@ pub fn random_gather_bandwidth(
 
     // Real scaled gather — exercises the actual kernel.
     let mut rng = SmallRng::seed_from_u64(seed);
-    let indices: Vec<usize> = (0..real_segments).map(|_| rng.gen_range(0..real_rows)).collect();
+    let indices: Vec<usize> = (0..real_segments)
+        .map(|_| rng.gen_range(0..real_rows))
+        .collect();
     let mut out = vec![0.0f32; real_segments * width];
     let _ = global_gather(&wm, &indices, &mut out, 0, model, spec);
 
@@ -193,7 +203,13 @@ mod tests {
     #[test]
     fn chase_reproduces_table1_p2p_column() {
         let model = CostModel::dgx_a100();
-        for (gb, us) in [(8u64, 1.35), (16, 1.37), (32, 1.43), (64, 1.51), (128, 1.56)] {
+        for (gb, us) in [
+            (8u64, 1.35),
+            (16, 1.37),
+            (32, 1.43),
+            (64, 1.51),
+            (128, 1.56),
+        ] {
             let r = pointer_chase(&model, AccessMode::PeerAccess, gb * GB, 1024, 2000, 1);
             assert!(
                 (r.avg_latency.as_micros() - us).abs() < 0.05,
@@ -206,7 +222,13 @@ mod tests {
     #[test]
     fn chase_reproduces_table1_um_column() {
         let model = CostModel::dgx_a100();
-        for (gb, us) in [(8u64, 20.8), (16, 29.6), (32, 32.5), (64, 35.3), (128, 35.8)] {
+        for (gb, us) in [
+            (8u64, 20.8),
+            (16, 29.6),
+            (32, 32.5),
+            (64, 35.3),
+            (128, 35.8),
+        ] {
             let r = pointer_chase(&model, AccessMode::UnifiedMemory, gb * GB, 1024, 2000, 1);
             assert!(
                 (r.avg_latency.as_micros() - us).abs() < 1.5,
@@ -222,18 +244,33 @@ mod tests {
         let spec = DeviceSpec::a100_40gb();
         let pts = bandwidth_sweep(&model, &spec);
         assert_eq!(pts.len(), 11); // 4..4096 doubling
-        // Monotone nondecreasing bus bandwidth.
+                                   // Monotone nondecreasing bus bandwidth.
         for w in pts.windows(2) {
             assert!(w[1].bus_gbps >= w[0].bus_gbps - 1e-9);
         }
         let at = |seg: usize| pts.iter().find(|p| p.segment_bytes == seg).unwrap();
         // ≈181 GB/s BusBW at 64 B (within model overheads).
-        assert!((at(64).bus_gbps - 181.0).abs() < 10.0, "{}", at(64).bus_gbps);
+        assert!(
+            (at(64).bus_gbps - 181.0).abs() < 10.0,
+            "{}",
+            at(64).bus_gbps
+        );
         // ≈230 GB/s from 128 B up; AlgoBW ≈ 260 GB/s.
-        assert!((at(512).bus_gbps - 230.0).abs() < 12.0, "{}", at(512).bus_gbps);
-        assert!((at(512).algo_gbps - 260.0).abs() < 15.0, "{}", at(512).algo_gbps);
+        assert!(
+            (at(512).bus_gbps - 230.0).abs() < 12.0,
+            "{}",
+            at(512).bus_gbps
+        );
+        assert!(
+            (at(512).algo_gbps - 260.0).abs() < 15.0,
+            "{}",
+            at(512).algo_gbps
+        );
         // Proportional regime below the knee.
         let ratio = at(32).bus_gbps / at(16).bus_gbps;
-        assert!((ratio - 2.0).abs() < 0.1, "sub-knee proportionality: {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.1,
+            "sub-knee proportionality: {ratio}"
+        );
     }
 }

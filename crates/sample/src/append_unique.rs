@@ -70,12 +70,13 @@ pub fn append_unique(targets: &[u64], neighbors: &[u64]) -> AppendUniqueResult {
     let table = GpuHashTable::with_capacity(num_targets + neighbors.len());
 
     // Phase 1: insert targets with their list index as value.
-    targets.par_iter().enumerate().for_each(|(idx, &key)| {
-        match table.insert(key) {
+    targets
+        .par_iter()
+        .enumerate()
+        .for_each(|(idx, &key)| match table.insert(key) {
             Insert::New(slot) => table.set_value(slot, idx as i64),
             Insert::Existing(_) => panic!("duplicate target node {key} passed to AppendUnique"),
-        }
-    });
+        });
 
     // Phase 2: insert neighbors; new ones keep value −1, duplicates only
     // bump the slot's duplicate counter.
@@ -93,7 +94,8 @@ pub fn append_unique(targets: &[u64], neighbors: &[u64]) -> AppendUniqueResult {
             let hi = (lo + BUCKET_SLOTS).min(slots);
             (lo..hi)
                 .filter(|&s| {
-                    table.key_at(s) != crate::hashtable::EMPTY_KEY && table.value_at(s) == UNASSIGNED
+                    table.key_at(s) != crate::hashtable::EMPTY_KEY
+                        && table.value_at(s) == UNASSIGNED
                 })
                 .count() as u32
         })
@@ -166,8 +168,11 @@ pub fn append_unique(targets: &[u64], neighbors: &[u64]) -> AppendUniqueResult {
 pub fn append_unique_sorted(targets: &[u64], neighbors: &[u64]) -> AppendUniqueResult {
     use std::collections::HashMap;
     let num_targets = targets.len();
-    let target_index: HashMap<u64, u32> =
-        targets.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+    let target_index: HashMap<u64, u32> = targets
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u32))
+        .collect();
     assert_eq!(target_index.len(), num_targets, "duplicate target nodes");
 
     let mut sorted: Vec<u64> = neighbors
@@ -232,7 +237,11 @@ mod tests {
             *hist.entry(n).or_insert(0) += 1;
         }
         for (i, &key) in r.unique.iter().enumerate() {
-            assert_eq!(r.dup_count[i], hist.get(&key).copied().unwrap_or(0), "dup count of {key}");
+            assert_eq!(
+                r.dup_count[i],
+                hist.get(&key).copied().unwrap_or(0),
+                "dup count of {key}"
+            );
         }
     }
 
@@ -249,7 +258,7 @@ mod tests {
         // Targets sampled as neighbors keep their target IDs.
         assert_eq!(r.neighbor_ids[1], 1); // 200 -> T1
         assert_eq!(r.neighbor_ids[4], 0); // 100 -> T0
-        // 700 was sampled three times.
+                                          // 700 was sampled three times.
         let id700 = r.neighbor_ids[5] as usize;
         assert_eq!(r.dup_count[id700], 3);
     }

@@ -36,7 +36,7 @@ pub mod wrs;
 pub use append_unique::{append_unique, append_unique_sorted, AppendUniqueResult};
 pub use neighbor::{
     sample_minibatch, GraphAccess, HostGraphAccess, MiniBatch, MultiGpuAccess, SampleBlock,
-    SamplerBackend, SamplerConfig, SampleStats,
+    SampleStats, SamplerBackend, SamplerConfig,
 };
 pub use weighted::weighted_sample_without_replacement;
 pub use wrs::{sample_without_replacement, PathDoublingSampler};

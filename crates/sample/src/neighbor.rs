@@ -59,7 +59,8 @@ impl GraphAccess for MultiGpuAccess<'_> {
         self.0.degree_of_global(GlobalId::from_raw(handle))
     }
     fn neighbors_into(&self, handle: u64, out: &mut Vec<u64>) {
-        self.0.with_neighbors(GlobalId::from_raw(handle), |raw| out.extend_from_slice(raw));
+        self.0
+            .with_neighbors(GlobalId::from_raw(handle), |raw| out.extend_from_slice(raw));
     }
     fn stable_id(&self, handle: u64) -> u64 {
         self.0.partition().node_of(GlobalId::from_raw(handle))
@@ -195,12 +196,12 @@ impl SamplerBackend {
                     + stats.edges_sampled as f64 / model.gpu_sample_edges_per_s
                     + stats.keys_inserted as f64 / model.gpu_unique_keys_per_s,
             ),
-            SamplerBackend::DglCpu => SimTime::from_secs(
-                stats.edges_sampled as f64 / model.cpu_sample_edges_per_s,
-            ),
-            SamplerBackend::PygCpu => SimTime::from_secs(
-                stats.edges_sampled as f64 / model.pyg_sample_edges_per_s,
-            ),
+            SamplerBackend::DglCpu => {
+                SimTime::from_secs(stats.edges_sampled as f64 / model.cpu_sample_edges_per_s)
+            }
+            SamplerBackend::PygCpu => {
+                SimTime::from_secs(stats.edges_sampled as f64 / model.pyg_sample_edges_per_s)
+            }
         }
     }
 }
@@ -209,7 +210,10 @@ impl SamplerBackend {
 #[inline]
 fn node_seed(base: u64, epoch: u64, batch: u64, layer: usize, stable: u64) -> u64 {
     wg_graph::partition::mix64(
-        base ^ epoch.rotate_left(17) ^ batch.rotate_left(31) ^ (layer as u64).rotate_left(47) ^ stable,
+        base ^ epoch.rotate_left(17)
+            ^ batch.rotate_left(31)
+            ^ (layer as u64).rotate_left(47)
+            ^ stable,
     )
 }
 
@@ -321,7 +325,10 @@ mod tests {
     fn blocks_have_consistent_shapes() {
         let (mg, _) = stores();
         let access = MultiGpuAccess(&mg);
-        let cfg = SamplerConfig { fanouts: vec![5, 3], seed: 7 };
+        let cfg = SamplerConfig {
+            fanouts: vec![5, 3],
+            seed: 7,
+        };
         let batch: Vec<u64> = (0..32u64).map(|v| access.handle_of(v)).collect();
         let (mb, stats) = sample_minibatch(&access, &batch, &cfg, 0, 0);
         assert_eq!(mb.blocks.len(), 2);
@@ -349,7 +356,10 @@ mod tests {
     fn fanout_caps_neighbor_count() {
         let (mg, _) = stores();
         let access = MultiGpuAccess(&mg);
-        let cfg = SamplerConfig { fanouts: vec![4], seed: 3 };
+        let cfg = SamplerConfig {
+            fanouts: vec![4],
+            seed: 3,
+        };
         let batch: Vec<u64> = (0..64u64).map(|v| access.handle_of(v)).collect();
         let (mb, _) = sample_minibatch(&access, &batch, &cfg, 0, 0);
         let b = &mb.blocks[0];
@@ -372,7 +382,10 @@ mod tests {
     fn sampled_neighbors_are_real_neighbors() {
         let (mg, _) = stores();
         let access = MultiGpuAccess(&mg);
-        let cfg = SamplerConfig { fanouts: vec![6], seed: 11 };
+        let cfg = SamplerConfig {
+            fanouts: vec![6],
+            seed: 11,
+        };
         let batch: Vec<u64> = (100..130u64).map(|v| access.handle_of(v)).collect();
         let (mb, _) = sample_minibatch(&access, &batch, &cfg, 1, 2);
         let b = &mb.blocks[0];
@@ -382,7 +395,10 @@ mod tests {
             let true_set: HashSet<u64> = true_nbrs.into_iter().collect();
             for &c in &b.indices[b.offsets[i] as usize..b.offsets[i + 1] as usize] {
                 let handle = mb.frontiers[1][c as usize];
-                assert!(true_set.contains(&handle), "dst {i}: {handle} not a neighbor");
+                assert!(
+                    true_set.contains(&handle),
+                    "dst {i}: {handle} not a neighbor"
+                );
             }
         }
     }
@@ -409,7 +425,10 @@ mod tests {
         let (mg, host) = stores();
         let a = MultiGpuAccess(&mg);
         let h = HostGraphAccess(&host);
-        let cfg = SamplerConfig { fanouts: vec![5, 4], seed: 77 };
+        let cfg = SamplerConfig {
+            fanouts: vec![5, 4],
+            seed: 77,
+        };
         let nodes: Vec<NodeId> = (0..40u64).collect();
         let batch_a: Vec<u64> = nodes.iter().map(|&v| a.handle_of(v)).collect();
         let batch_h: Vec<u64> = nodes.iter().map(|&v| h.handle_of(v)).collect();
@@ -434,7 +453,11 @@ mod tests {
     fn backend_costs_are_ordered_gpu_fastest() {
         let model = CostModel::dgx_a100();
         let gpu = DeviceSpec::a100_40gb();
-        let stats = SampleStats { edges_sampled: 10_000_000, keys_inserted: 11_000_000, kernels: 6 };
+        let stats = SampleStats {
+            edges_sampled: 10_000_000,
+            keys_inserted: 11_000_000,
+            kernels: 6,
+        };
         let wg = SamplerBackend::WholeGraphGpu.sample_time(&model, &gpu, stats);
         let dgl = SamplerBackend::DglCpu.sample_time(&model, &gpu, stats);
         let pyg = SamplerBackend::PygCpu.sample_time(&model, &gpu, stats);
@@ -454,7 +477,10 @@ mod tests {
         let acct = MemoryAccounting::new([(DeviceId::Cpu, 1 << 20)]);
         let host = HostGraph::build(g, features, 2, &acct).unwrap();
         let h = HostGraphAccess(&host);
-        let cfg = SamplerConfig { fanouts: vec![3], seed: 1 };
+        let cfg = SamplerConfig {
+            fanouts: vec![3],
+            seed: 1,
+        };
         let (mb, stats) = sample_minibatch(&h, &[5, 6, 7], &cfg, 0, 0);
         assert_eq!(stats.edges_sampled, 0);
         assert_eq!(mb.blocks[0].num_src, 3); // just the targets

@@ -74,7 +74,11 @@ mod tests {
         let w = vec![1.0f32; 10];
         valid(&weighted_sample_without_replacement(&w, 0, &mut rng), 0, 10);
         valid(&weighted_sample_without_replacement(&w, 3, &mut rng), 3, 10);
-        valid(&weighted_sample_without_replacement(&w, 10, &mut rng), 10, 10);
+        valid(
+            &weighted_sample_without_replacement(&w, 10, &mut rng),
+            10,
+            10,
+        );
     }
 
     #[test]
@@ -93,7 +97,10 @@ mod tests {
         let total = 30_000.0;
         for (i, expect) in [(0usize, 1.0 / 11.0), (1, 2.0 / 11.0), (2, 8.0 / 11.0)] {
             let got = counts[i] as f64 / total;
-            assert!((got - expect).abs() < 0.02, "item {i}: {got:.3} vs {expect:.3}");
+            assert!(
+                (got - expect).abs() < 0.02,
+                "item {i}: {got:.3} vs {expect:.3}"
+            );
         }
     }
 
@@ -121,7 +128,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         for _ in 0..200 {
             let s = weighted_sample_without_replacement(&w, 2, &mut rng);
-            assert_eq!(s, vec![1, 3], "zero-weight item sampled before positive ones");
+            assert_eq!(
+                s,
+                vec![1, 3],
+                "zero-weight item sampled before positive ones"
+            );
         }
         // When m forces their inclusion they do appear.
         let s = weighted_sample_without_replacement(&w, 4, &mut rng);

@@ -52,8 +52,13 @@ impl PathDoublingSampler {
             out.extend(0..n as u32);
             return;
         }
-        let (r, chain, chain_next, q, last) =
-            (&mut self.r, &mut self.chain, &mut self.chain_next, &mut self.q, &mut self.last);
+        let (r, chain, chain_next, q, last) = (
+            &mut self.r,
+            &mut self.chain,
+            &mut self.chain_next,
+            &mut self.q,
+            &mut self.last,
+        );
         r.clear();
         chain.clear();
         q.resize(m, 0);
@@ -174,7 +179,10 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), m, "sample contains duplicates: {sample:?}");
-        assert!(sample.iter().all(|&v| (v as usize) < n), "out of range: {sample:?}");
+        assert!(
+            sample.iter().all(|&v| (v as usize) < n),
+            "out of range: {sample:?}"
+        );
     }
 
     #[test]

@@ -55,12 +55,14 @@ impl DeviceClock {
 }
 
 /// Synchronize a set of clocks to their common maximum (a barrier), and
-/// return that barrier time.
+/// return that barrier time. An empty slice is a degenerate barrier —
+/// nothing to synchronize — and returns [`SimTime::ZERO`] rather than
+/// being an error: executors routinely barrier "whatever streams exist",
+/// which can be none on a machine with zero participants.
 pub fn barrier(clocks: &mut [DeviceClock]) -> SimTime {
-    let t = clocks
-        .iter()
-        .map(|c| c.now())
-        .fold(SimTime::ZERO, SimTime::max);
+    let Some(t) = clocks.iter().map(DeviceClock::now).reduce(SimTime::max) else {
+        return SimTime::ZERO;
+    };
     for c in clocks.iter_mut() {
         c.advance_to(t);
     }
@@ -108,6 +110,12 @@ mod tests {
         for c in &clocks {
             assert_eq!(c.now().as_secs(), 5.0);
         }
+    }
+
+    #[test]
+    fn barrier_on_empty_slice_is_time_zero() {
+        let mut clocks: Vec<DeviceClock> = Vec::new();
+        assert_eq!(barrier(&mut clocks), SimTime::ZERO);
     }
 
     #[test]

@@ -62,7 +62,12 @@ pub fn alltoallv_intra_node(model: &CostModel, bytes_per_rank: u64, ranks: u32) 
 /// Hierarchical AllReduce for multi-node data-parallel training (§III-D):
 /// intra-node ring reduce, inter-node ring over the node's aggregate IB
 /// bandwidth, intra-node broadcast.
-pub fn allreduce_multi_node(model: &CostModel, bytes: u64, nodes: u32, gpus_per_node: u32) -> SimTime {
+pub fn allreduce_multi_node(
+    model: &CostModel,
+    bytes: u64,
+    nodes: u32,
+    gpus_per_node: u32,
+) -> SimTime {
     let intra = allreduce_intra_node(model, bytes, gpus_per_node);
     if nodes <= 1 {
         return intra;

@@ -154,7 +154,8 @@ impl CostModel {
     pub fn um_access_latency(&self, dsm_bytes: u64) -> SimTime {
         let d = Self::doublings(dsm_bytes);
         SimTime::from_secs(
-            self.um_saturation_latency_s - self.um_amplitude_s * (-d / self.um_decay_doublings).exp(),
+            self.um_saturation_latency_s
+                - self.um_amplitude_s * (-d / self.um_decay_doublings).exp(),
         )
     }
 
@@ -223,7 +224,13 @@ impl CostModel {
 
     /// Time for `flops` floating-point operations of the given class on a
     /// device, including `kernels` launch overheads.
-    pub fn compute_time(&self, flops: f64, class: KernelClass, spec: &DeviceSpec, kernels: u32) -> SimTime {
+    pub fn compute_time(
+        &self,
+        flops: f64,
+        class: KernelClass,
+        spec: &DeviceSpec,
+        kernels: u32,
+    ) -> SimTime {
         let rate = match class {
             KernelClass::Dense => spec.dense_flops(),
             KernelClass::Sparse => spec.sparse_flops(),
@@ -348,9 +355,27 @@ mod tests {
         let m = CostModel::dgx_a100();
         let t = &m.topology;
         let bytes = GB;
-        let nv = m.transfer_time(bytes, Path { link: LinkKind::NvLink, bandwidth_share: 1.0 });
-        let pcie = m.transfer_time(bytes, Path { link: LinkKind::Pcie, bandwidth_share: 0.5 });
-        let local = m.transfer_time(bytes, Path { link: LinkKind::Local, bandwidth_share: 1.0 });
+        let nv = m.transfer_time(
+            bytes,
+            Path {
+                link: LinkKind::NvLink,
+                bandwidth_share: 1.0,
+            },
+        );
+        let pcie = m.transfer_time(
+            bytes,
+            Path {
+                link: LinkKind::Pcie,
+                bandwidth_share: 0.5,
+            },
+        );
+        let local = m.transfer_time(
+            bytes,
+            Path {
+                link: LinkKind::Local,
+                bandwidth_share: 1.0,
+            },
+        );
         assert!(local < nv && nv < pcie);
         // 1 GiB at 16 GB/s effective PCIe ≈ 67 ms.
         assert!((pcie.as_millis() - (bytes as f64 / (0.5 * t.pcie_bandwidth)) * 1e3).abs() < 1.0);
@@ -391,7 +416,10 @@ mod tests {
         assert!(zc > p2p * 5.0, "zero-copy {zc} vs p2p {p2p}");
         // Effective rate bounded by the shared PCIe uplink.
         let rate = (rows * row_bytes as u64) as f64 / zc.as_secs();
-        assert!(rate < 16.0e9, "zero-copy rate {rate:.2e} exceeds shared PCIe");
+        assert!(
+            rate < 16.0e9,
+            "zero-copy rate {rate:.2e} exceeds shared PCIe"
+        );
         assert!(rate > 4.0e9, "zero-copy rate {rate:.2e} implausibly low");
     }
 

@@ -17,6 +17,8 @@
 //! * [`cost`] — calibrated latency/bandwidth/compute cost models (every
 //!   constant cites the paper table or figure it is fitted against),
 //! * [`clock`] — per-device virtual clocks,
+//! * [`stream`] — CUDA-stream-like execution timelines and events layered
+//!   on the clocks (the substrate for sample/gather/train overlap),
 //! * [`memory`] — per-device memory capacity accounting (Table IV),
 //! * [`trace`] — busy/idle utilization traces (Figure 12),
 //! * [`collective`] — cost models for AllGather / AllReduce / AlltoAllV,
@@ -32,6 +34,7 @@ pub mod cost;
 pub mod device;
 pub mod machine;
 pub mod memory;
+pub mod stream;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -41,6 +44,7 @@ pub use cost::CostModel;
 pub use device::{DeviceId, DeviceKind, DeviceSpec};
 pub use machine::{Cluster, Machine, MachineConfig};
 pub use memory::{MemoryAccounting, MemoryPool};
+pub use stream::{Event, Stream};
 pub use time::SimTime;
 pub use topology::{LinkKind, Path, Topology};
 pub use trace::{Phase, TraceEvent, UtilizationTrace};

@@ -13,6 +13,7 @@ use crate::clock::{barrier, DeviceClock};
 use crate::cost::CostModel;
 use crate::device::{DeviceId, DeviceSpec};
 use crate::memory::MemoryAccounting;
+use crate::stream::Stream;
 use crate::time::SimTime;
 use crate::topology::Topology;
 use crate::trace::{Phase, TraceEvent, UtilizationTrace};
@@ -153,6 +154,46 @@ impl Machine {
         end
     }
 
+    /// Open a new [`Stream`] on `device`, positioned at the device's
+    /// current clock time so stream spans line up with work already
+    /// charged through [`Machine::run`]. The stream is an independent
+    /// timeline: advancing it does not move the device clock — use
+    /// [`Machine::record_span`] to charge its spans back to the device.
+    pub fn stream(&self, device: DeviceId) -> Stream {
+        assert!(self.clocks.contains_key(&device), "unknown device {device}");
+        Stream::new_at(&self.config.topology, device, self.now(device))
+    }
+
+    /// Record a span scheduled on a stream into `device`'s trace and move
+    /// the device clock to the span's end if it is later. This is how
+    /// stream-scheduled executors publish overlapping per-phase intervals:
+    /// several spans may cover the same simulated time, and
+    /// [`UtilizationTrace::busy_time`] counts the covered time once.
+    pub fn record_span(
+        &mut self,
+        device: DeviceId,
+        phase: Phase,
+        busy: bool,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        assert!(
+            end >= start,
+            "span on {device} ends before it starts ({start} > {end})"
+        );
+        self.traces
+            .get_mut(&device)
+            .unwrap_or_else(|| panic!("unknown device {device}"))
+            .record(TraceEvent {
+                device,
+                start,
+                end,
+                phase,
+                busy,
+            });
+        self.clocks.get_mut(&device).unwrap().advance_to(end);
+    }
+
     /// Barrier across all GPU clocks; returns the barrier time.
     pub fn barrier_gpus(&mut self) -> SimTime {
         let gpus = self.gpus();
@@ -224,8 +265,18 @@ mod tests {
     #[test]
     fn run_advances_clock_and_traces() {
         let mut m = Machine::dgx_a100();
-        m.run(DeviceId::Gpu(0), Phase::Training, true, SimTime::from_millis(5.0));
-        m.run(DeviceId::Gpu(0), Phase::Idle, false, SimTime::from_millis(5.0));
+        m.run(
+            DeviceId::Gpu(0),
+            Phase::Training,
+            true,
+            SimTime::from_millis(5.0),
+        );
+        m.run(
+            DeviceId::Gpu(0),
+            Phase::Idle,
+            false,
+            SimTime::from_millis(5.0),
+        );
         assert!((m.now(DeviceId::Gpu(0)).as_millis() - 10.0).abs() < 1e-9);
         let tr = m.trace(DeviceId::Gpu(0));
         assert_eq!(tr.events().len(), 2);
@@ -246,7 +297,12 @@ mod tests {
     #[test]
     fn barrier_aligns_gpu_clocks() {
         let mut m = Machine::new(MachineConfig::dgx_like(2));
-        m.run(DeviceId::Gpu(0), Phase::Training, true, SimTime::from_secs(1.0));
+        m.run(
+            DeviceId::Gpu(0),
+            Phase::Training,
+            true,
+            SimTime::from_secs(1.0),
+        );
         let t = m.barrier_gpus();
         assert_eq!(t.as_secs(), 1.0);
         assert_eq!(m.now(DeviceId::Gpu(1)).as_secs(), 1.0);
@@ -255,7 +311,12 @@ mod tests {
     #[test]
     fn reset_time_clears_clocks_and_traces() {
         let mut m = Machine::new(MachineConfig::dgx_like(2));
-        m.run(DeviceId::Gpu(0), Phase::Training, true, SimTime::from_secs(1.0));
+        m.run(
+            DeviceId::Gpu(0),
+            Phase::Training,
+            true,
+            SimTime::from_secs(1.0),
+        );
         m.reset_time();
         assert_eq!(m.now(DeviceId::Gpu(0)), SimTime::ZERO);
         assert!(m.trace(DeviceId::Gpu(0)).events().is_empty());

@@ -234,9 +234,12 @@ mod tests {
             (DeviceId::Gpu(1), 1000),
             (DeviceId::Cpu, 5000),
         ]);
-        acct.alloc(DeviceId::Gpu(0), AllocKind::GraphStructure, 300).unwrap();
-        acct.alloc(DeviceId::Gpu(1), AllocKind::GraphStructure, 310).unwrap();
-        acct.alloc(DeviceId::Cpu, AllocKind::Features, 4000).unwrap();
+        acct.alloc(DeviceId::Gpu(0), AllocKind::GraphStructure, 300)
+            .unwrap();
+        acct.alloc(DeviceId::Gpu(1), AllocKind::GraphStructure, 310)
+            .unwrap();
+        acct.alloc(DeviceId::Cpu, AllocKind::Features, 4000)
+            .unwrap();
         let rows = acct.gpu_usage_by(AllocKind::GraphStructure);
         assert_eq!(rows, vec![(DeviceId::Gpu(0), 300), (DeviceId::Gpu(1), 310)]);
         assert_eq!(acct.pool(DeviceId::Cpu).used_by(AllocKind::Features), 4000);

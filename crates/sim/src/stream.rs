@@ -1,0 +1,238 @@
+//! Streams and events: independent command timelines on one device.
+//!
+//! A real GPU overlaps work by enqueueing it on separate CUDA streams and
+//! expressing cross-stream dependencies with events (`cudaEventRecord` /
+//! `cudaStreamWaitEvent`). The simulated analogue: a [`Stream`] is a
+//! [`DeviceClock`] tagged with its device, an [`Event`] is a recorded
+//! instant on a stream, and waiting on an event fast-forwards the waiting
+//! stream to the event's completion time. One device can therefore carry
+//! several concurrent timelines (sample / gather / train) whose spans
+//! overlap in simulated time while still barriering correctly.
+
+use crate::clock::{barrier, DeviceClock};
+use crate::device::DeviceId;
+use crate::time::SimTime;
+use crate::topology::Topology;
+
+/// A recorded instant on a stream (the `cudaEvent_t` analogue). Events
+/// are plain values: copy them across streams to express dependencies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    device: DeviceId,
+    time: SimTime,
+}
+
+impl Event {
+    /// Device of the stream the event was recorded on.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// The simulated instant the event completes.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Simulated time elapsed since an earlier event (the
+    /// `cudaEventElapsedTime` analogue). Panics if `earlier` is in fact
+    /// later — elapsed time between ordered events cannot be negative.
+    pub fn elapsed_since(&self, earlier: &Event) -> SimTime {
+        assert!(
+            self.time >= earlier.time,
+            "event at {} is earlier than the reference event at {}",
+            self.time,
+            earlier.time
+        );
+        self.time - earlier.time
+    }
+}
+
+/// An independent work timeline on one device (the `cudaStream_t`
+/// analogue). Work enqueued on a stream runs back-to-back; work on
+/// *different* streams of the same device overlaps unless ordered through
+/// [`Stream::wait`] on an [`Event`].
+#[derive(Clone, Debug)]
+pub struct Stream {
+    device: DeviceId,
+    clock: DeviceClock,
+}
+
+impl Stream {
+    /// Create a stream on `device`, starting at time zero. The device id
+    /// is validated against the machine topology: creating a stream on a
+    /// GPU the node does not have is a programming error, caught here
+    /// rather than as a silent parallel timeline on a phantom device.
+    pub fn new(topology: &Topology, device: DeviceId) -> Self {
+        if let DeviceId::Gpu(i) = device {
+            assert!(
+                i < topology.num_gpus,
+                "stream on unknown device Gpu({i}): topology has {} GPUs",
+                topology.num_gpus
+            );
+        }
+        Stream {
+            device,
+            clock: DeviceClock::new(),
+        }
+    }
+
+    /// Create a stream starting at `at` (e.g. a device clock's current
+    /// time, so stream spans line up with work already charged).
+    pub fn new_at(topology: &Topology, device: DeviceId, at: SimTime) -> Self {
+        let mut s = Stream::new(topology, device);
+        s.clock.advance_to(at);
+        s
+    }
+
+    /// The device this stream runs on.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// The stream's current position in simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Enqueue `dt` of work; returns the `(start, end)` span it occupies
+    /// on this stream's timeline.
+    pub fn run(&mut self, dt: SimTime) -> (SimTime, SimTime) {
+        let start = self.clock.now();
+        let end = self.clock.advance(dt);
+        (start, end)
+    }
+
+    /// Record an event at the stream's current position
+    /// (`cudaEventRecord`).
+    pub fn record(&self) -> Event {
+        Event {
+            device: self.device,
+            time: self.clock.now(),
+        }
+    }
+
+    /// Stall this stream until `ev` has completed
+    /// (`cudaStreamWaitEvent`) — the inter-stream dependency primitive.
+    /// A wait on an already-completed event is free.
+    pub fn wait(&mut self, ev: Event) {
+        self.clock.advance_to(ev.time);
+    }
+}
+
+/// Synchronize a set of streams to their common maximum — the multi-stream
+/// analogue of [`crate::clock::barrier`] (`cudaDeviceSynchronize` across
+/// the timelines involved). Returns [`SimTime::ZERO`] for no streams.
+pub fn sync(streams: &mut [&mut Stream]) -> SimTime {
+    let mut clocks: Vec<DeviceClock> = streams.iter().map(|s| s.clock.clone()).collect();
+    let t = barrier(&mut clocks);
+    for (s, c) in streams.iter_mut().zip(clocks) {
+        s.clock = c;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::dgx_like(4)
+    }
+
+    #[test]
+    fn streams_on_one_device_overlap() {
+        let t = topo();
+        let mut a = Stream::new(&t, DeviceId::Gpu(0));
+        let mut b = Stream::new(&t, DeviceId::Gpu(0));
+        let (a0, a1) = a.run(SimTime::from_millis(10.0));
+        let (b0, b1) = b.run(SimTime::from_millis(4.0));
+        // Both spans start at zero: independent timelines.
+        assert_eq!(a0, SimTime::ZERO);
+        assert_eq!(b0, SimTime::ZERO);
+        assert!(b1 < a1);
+    }
+
+    #[test]
+    fn wait_orders_across_streams() {
+        let t = topo();
+        let mut producer = Stream::new(&t, DeviceId::Gpu(0));
+        let mut consumer = Stream::new(&t, DeviceId::Gpu(0));
+        producer.run(SimTime::from_millis(5.0));
+        let ready = producer.record();
+        consumer.run(SimTime::from_millis(1.0));
+        consumer.wait(ready);
+        let (start, _) = consumer.run(SimTime::from_millis(2.0));
+        // The dependent work cannot start before the producer finished.
+        assert_eq!(start, ready.time());
+        assert!((consumer.now().as_millis() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wait_on_past_event_is_free() {
+        let t = topo();
+        let mut a = Stream::new(&t, DeviceId::Gpu(1));
+        let mut b = Stream::new(&t, DeviceId::Gpu(1));
+        a.run(SimTime::from_millis(1.0));
+        let early = a.record();
+        b.run(SimTime::from_millis(9.0));
+        b.wait(early);
+        assert!((b.now().as_millis() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_elapsed() {
+        let t = topo();
+        let mut s = Stream::new(&t, DeviceId::Gpu(0));
+        let e0 = s.record();
+        s.run(SimTime::from_millis(3.0));
+        let e1 = s.record();
+        assert!((e1.elapsed_since(&e0).as_millis() - 3.0).abs() < 1e-9);
+        assert_eq!(e1.device(), DeviceId::Gpu(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier than")]
+    fn elapsed_since_later_event_panics() {
+        let t = topo();
+        let mut s = Stream::new(&t, DeviceId::Gpu(0));
+        let e0 = s.record();
+        s.run(SimTime::from_millis(3.0));
+        let e1 = s.record();
+        let _ = e0.elapsed_since(&e1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device")]
+    fn stream_on_phantom_gpu_rejected() {
+        let t = topo();
+        Stream::new(&t, DeviceId::Gpu(4));
+    }
+
+    #[test]
+    fn cpu_stream_is_always_valid() {
+        let t = topo();
+        let s = Stream::new(&t, DeviceId::Cpu);
+        assert_eq!(s.device(), DeviceId::Cpu);
+    }
+
+    #[test]
+    fn new_at_starts_at_offset() {
+        let t = topo();
+        let s = Stream::new_at(&t, DeviceId::Gpu(0), SimTime::from_secs(2.0));
+        assert_eq!(s.now().as_secs(), 2.0);
+    }
+
+    #[test]
+    fn sync_joins_streams_at_slowest() {
+        let t = topo();
+        let mut a = Stream::new(&t, DeviceId::Gpu(0));
+        let mut b = Stream::new(&t, DeviceId::Gpu(0));
+        a.run(SimTime::from_secs(1.0));
+        b.run(SimTime::from_secs(3.0));
+        let joined = sync(&mut [&mut a, &mut b]);
+        assert_eq!(joined.as_secs(), 3.0);
+        assert_eq!(a.now().as_secs(), 3.0);
+        assert_eq!(b.now().as_secs(), 3.0);
+        assert_eq!(sync(&mut []), SimTime::ZERO);
+    }
+}

@@ -187,7 +187,10 @@ mod tests {
             t.path(DeviceId::Gpu(2), DeviceId::Gpu(2), 8).link,
             LinkKind::Local
         );
-        assert_eq!(t.path(DeviceId::Cpu, DeviceId::Cpu, 0).link, LinkKind::Local);
+        assert_eq!(
+            t.path(DeviceId::Cpu, DeviceId::Cpu, 0).link,
+            LinkKind::Local
+        );
     }
 
     #[test]
@@ -216,7 +219,10 @@ mod tests {
     fn gpu_iterator() {
         let t = Topology::dgx_like(3);
         let gpus: Vec<_> = t.gpus().collect();
-        assert_eq!(gpus, vec![DeviceId::Gpu(0), DeviceId::Gpu(1), DeviceId::Gpu(2)]);
+        assert_eq!(
+            gpus,
+            vec![DeviceId::Gpu(0), DeviceId::Gpu(1), DeviceId::Gpu(2)]
+        );
     }
 
     #[test]

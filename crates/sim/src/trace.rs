@@ -94,12 +94,38 @@ impl UtilizationTrace {
     }
 
     /// Total busy time in `[from, to)`.
+    ///
+    /// Busy intervals are **unioned**, not summed: stream-scheduled
+    /// executors record overlapping busy spans on the same device (e.g.
+    /// gather on the input stream while training runs on the compute
+    /// stream), and a device that is doing two things at once is still
+    /// only busy once. For non-overlapping traces (everything the serial
+    /// executor records) union and sum agree exactly.
     pub fn busy_time(&self, from: SimTime, to: SimTime) -> SimTime {
-        self.events
+        let mut spans: Vec<(SimTime, SimTime)> = self
+            .events
             .iter()
             .filter(|e| e.busy)
-            .map(|e| overlap(e.start, e.end, from, to))
-            .sum()
+            .map(|e| (e.start.max(from), e.end.min(to)))
+            .filter(|(s, e)| e > s)
+            .collect();
+        spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("non-finite trace time"));
+        let mut total = SimTime::ZERO;
+        let mut current: Option<(SimTime, SimTime)> = None;
+        for (s, e) in spans {
+            match current {
+                Some((cs, ce)) if s <= ce => current = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    total += ce - cs;
+                    current = Some((s, e));
+                }
+                None => current = Some((s, e)),
+            }
+        }
+        if let Some((cs, ce)) = current {
+            total += ce - cs;
+        }
+        total
     }
 
     /// Utilization ratio (busy / span) over `[from, to)`.
@@ -168,17 +194,6 @@ impl UtilizationTrace {
     }
 }
 
-/// Length of the overlap of `[a0, a1)` and `[b0, b1)`.
-fn overlap(a0: SimTime, a1: SimTime, b0: SimTime, b1: SimTime) -> SimTime {
-    let lo = a0.max(b0);
-    let hi = a1.min(b1);
-    if hi > lo {
-        hi - lo
-    } else {
-        SimTime::ZERO
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,7 +216,25 @@ mod tests {
         t.record(ev(3.0, 4.0, Phase::Idle, false));
         let u = t.utilization(SimTime::ZERO, SimTime::from_secs(4.0));
         assert!((u - 0.5).abs() < 1e-12);
-        assert_eq!(t.busy_time(SimTime::ZERO, SimTime::from_secs(4.0)).as_secs(), 2.0);
+        assert_eq!(
+            t.busy_time(SimTime::ZERO, SimTime::from_secs(4.0))
+                .as_secs(),
+            2.0
+        );
+    }
+
+    #[test]
+    fn overlapping_busy_intervals_count_once() {
+        // Two streams of the same device busy over the same wall-clock
+        // span must not push utilization past 100%.
+        let mut t = UtilizationTrace::new();
+        t.record(ev(0.0, 3.0, Phase::Training, true));
+        t.record(ev(1.0, 4.0, Phase::Gather, true));
+        t.record(ev(6.0, 7.0, Phase::Sampling, true));
+        let busy = t.busy_time(SimTime::ZERO, SimTime::from_secs(8.0));
+        assert!((busy.as_secs() - 5.0).abs() < 1e-12, "busy {busy}");
+        let u = t.utilization(SimTime::ZERO, SimTime::from_secs(4.0));
+        assert!((u - 1.0).abs() < 1e-12);
     }
 
     #[test]

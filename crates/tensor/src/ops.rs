@@ -103,7 +103,11 @@ pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
 
 /// Elementwise sum `a + b`.
 pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "add shape mismatch");
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "add shape mismatch"
+    );
     let data = a
         .data()
         .par_iter()
@@ -151,11 +155,13 @@ pub fn leaky_relu(x: &mut [f32], slope: f32) {
 
 /// LeakyReLU backward.
 pub fn leaky_relu_backward(grad: &mut [f32], forward_input: &[f32], slope: f32) {
-    grad.par_iter_mut().zip(forward_input.par_iter()).for_each(|(g, &x)| {
-        if x < 0.0 {
-            *g *= slope;
-        }
-    });
+    grad.par_iter_mut()
+        .zip(forward_input.par_iter())
+        .for_each(|(g, &x)| {
+            if x < 0.0 {
+                *g *= slope;
+            }
+        });
 }
 
 /// ELU forward (GAT's inter-layer activation).
@@ -195,7 +201,8 @@ pub fn dropout(x: &mut Matrix, p: f32, seed: u64) -> Vec<f32> {
         .zip(x.data_mut().par_chunks_mut(n))
         .enumerate()
         .for_each(|(row, (mrow, xrow))| {
-            let mut rng = SmallRng::seed_from_u64(seed ^ (row as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            let mut rng =
+                SmallRng::seed_from_u64(seed ^ (row as u64).wrapping_mul(0x9e3779b97f4a7c15));
             for (m, v) in mrow.iter_mut().zip(xrow.iter_mut()) {
                 if rng.gen::<f32>() < p {
                     *m = 0.0;

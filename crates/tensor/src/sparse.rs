@@ -72,7 +72,10 @@ impl BlockCsr {
         assert!(self.offsets.windows(2).all(|w| w[0] <= w[1]));
         assert!(self.indices.iter().all(|&c| (c as usize) < self.num_src));
         assert_eq!(self.dup_count.len(), self.num_src);
-        assert!(self.num_dst <= self.num_src, "targets must be a prefix of the source space");
+        assert!(
+            self.num_dst <= self.num_src,
+            "targets must be a prefix of the source space"
+        );
     }
 }
 
@@ -105,7 +108,10 @@ pub fn spmm(
 ) -> Matrix {
     assert_eq!(src.rows(), block.num_src, "src feature rows != num_src");
     let channels = src.cols();
-    assert!(heads >= 1 && channels.is_multiple_of(heads), "heads must divide channels");
+    assert!(
+        heads >= 1 && channels.is_multiple_of(heads),
+        "heads must divide channels"
+    );
     if let Some(w) = edge_weights {
         assert_eq!(w.rows(), block.num_edges());
         assert_eq!(w.cols(), heads);
@@ -191,7 +197,10 @@ pub fn spmm_backward_src(
                         let v = scale * g;
                         if plain_store {
                             // dup_count == 1 ⇒ this edge is the only writer.
-                            slot.store((f32::from_bits(slot.load(Ordering::Relaxed)) + v).to_bits(), Ordering::Relaxed);
+                            slot.store(
+                                (f32::from_bits(slot.load(Ordering::Relaxed)) + v).to_bits(),
+                                Ordering::Relaxed,
+                            );
                         } else {
                             atomic_add_f32(slot, v);
                         }
@@ -206,7 +215,10 @@ pub fn spmm_backward_src(
                             let v = wh * grow[base + j];
                             if plain_store {
                                 let slot = &dst_slots[base + j];
-                                slot.store((f32::from_bits(slot.load(Ordering::Relaxed)) + v).to_bits(), Ordering::Relaxed);
+                                slot.store(
+                                    (f32::from_bits(slot.load(Ordering::Relaxed)) + v).to_bits(),
+                                    Ordering::Relaxed,
+                                );
                             } else {
                                 atomic_add_f32(&dst_slots[base + j], v);
                             }
@@ -419,7 +431,13 @@ mod tests {
 
     /// Dense reference: materialize the (scaled, weighted) adjacency and
     /// multiply.
-    fn dense_spmm(block: &BlockCsr, src: &Matrix, w: Option<&Matrix>, heads: usize, agg: Agg) -> Matrix {
+    fn dense_spmm(
+        block: &BlockCsr,
+        src: &Matrix,
+        w: Option<&Matrix>,
+        heads: usize,
+        agg: Agg,
+    ) -> Matrix {
         let channels = src.cols();
         let head_dim = channels / heads;
         let mut out = Matrix::zeros(block.num_dst, channels);
@@ -515,7 +533,11 @@ mod tests {
                     .sum()
             };
             let fd = (loss(&wp) - loss(&wm)) / (2.0 * eps);
-            assert!((fd - gw.get(e, 0)).abs() < 1e-2, "edge {e}: fd {fd} vs {}", gw.get(e, 0));
+            assert!(
+                (fd - gw.get(e, 0)).abs() < 1e-2,
+                "edge {e}: fd {fd} vs {}",
+                gw.get(e, 0)
+            );
         }
     }
 
@@ -623,7 +645,9 @@ mod tests {
     #[test]
     fn atomic_add_accumulates_under_contention() {
         let slot = AtomicU32::new(0f32.to_bits());
-        (0..10_000).into_par_iter().for_each(|_| atomic_add_f32(&slot, 0.5));
+        (0..10_000)
+            .into_par_iter()
+            .for_each(|_| atomic_add_f32(&slot, 0.5));
         let v = f32::from_bits(slot.into_inner());
         assert!((v - 5000.0).abs() < 1e-1, "{v}");
     }

@@ -12,7 +12,11 @@ use std::sync::Arc;
 use wholegraph::prelude::*;
 
 fn main() {
-    let dataset = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 800, 77));
+    let dataset = Arc::new(SyntheticDataset::generate(
+        DatasetKind::OgbnProducts,
+        800,
+        77,
+    ));
     let machine = Machine::dgx_a100();
     let cfg = PipelineConfig {
         batch_size: 128,
@@ -38,10 +42,23 @@ fn main() {
         .zip(&nodes)
         .filter(|(p, &v)| **p == pipe.dataset().labels[v as usize])
         .count();
-    println!("\ninference over {} nodes in {} batches:", report.nodes, report.batches);
-    println!("  sample {} | gather {} | forward {}", report.sample_time, report.gather_time, report.compute_time);
-    println!("  total {}  ({:.0} nodes/s simulated throughput)", report.total_time(), report.throughput());
-    println!("  accuracy on inferred nodes: {:.1}%", correct as f64 / nodes.len() as f64 * 100.0);
+    println!(
+        "\ninference over {} nodes in {} batches:",
+        report.nodes, report.batches
+    );
+    println!(
+        "  sample {} | gather {} | forward {}",
+        report.sample_time, report.gather_time, report.compute_time
+    );
+    println!(
+        "  total {}  ({:.0} nodes/s simulated throughput)",
+        report.total_time(),
+        report.throughput()
+    );
+    println!(
+        "  accuracy on inferred nodes: {:.1}%",
+        correct as f64 / nodes.len() as f64 * 100.0
+    );
     println!("\nNo gradient AllReduce appears anywhere above — inference");
     println!("scales embarrassingly across GPUs and nodes.");
 }

@@ -32,9 +32,19 @@ fn main() {
     );
 
     // Scatter it across the 8 simulated GPUs.
-    let store = MultiGpuGraph::build(model, machine.num_gpus(), &graph, &features, feat_dim, &machine.memory())
-        .expect("fits in GPU memory");
-    println!("multi-GPU store built; DSM setup {} (simulated)\n", store.setup_time());
+    let store = MultiGpuGraph::build(
+        model,
+        machine.num_gpus(),
+        &graph,
+        &features,
+        feat_dim,
+        &machine.memory(),
+    )
+    .expect("fits in GPU memory");
+    println!(
+        "multi-GPU store built; DSM setup {} (simulated)\n",
+        store.setup_time()
+    );
 
     // Sample a 3-hop, fanout-30 mini-batch for 512 random seeds — the
     // paper's training shape.
@@ -75,9 +85,16 @@ fn main() {
     let dsm = global_gather(store.features(), &rows, &mut dsm_out, 0, model, gpu_spec);
     let mut nccl_out = vec![0.0f32; rows.len() * feat_dim];
     let nccl = nccl_gather(store.features(), &rows, &mut nccl_out, 0, model, gpu_spec);
-    assert_eq!(dsm_out, nccl_out, "both gathers must return identical features");
+    assert_eq!(
+        dsm_out, nccl_out,
+        "both gathers must return identical features"
+    );
 
-    println!("\ngather of {} feature rows ({} bytes each):", rows.len(), feat_dim * 4);
+    println!(
+        "\ngather of {} feature rows ({} bytes each):",
+        rows.len(),
+        feat_dim * 4
+    );
     println!(
         "  one-kernel DSM gather : {}   ({:.0} GB/s algo bandwidth)",
         dsm.sim_time,

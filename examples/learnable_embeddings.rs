@@ -39,7 +39,11 @@ fn main() {
         &machine.memory(),
     )
     .unwrap();
-    println!("featureless SBM graph: {} nodes, {} edges, 8 classes", graph.num_nodes(), graph.num_edges());
+    println!(
+        "featureless SBM graph: {} nodes, {} edges, 8 classes",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
 
     // Trainable embeddings, one row per padded DSM slot.
     let emb_dim = 32;
@@ -92,10 +96,7 @@ fn main() {
             let mut tape = Tape::new();
             let x = Matrix::from_vec(rows.len(), emb_dim, feats);
             let out = model.forward(&mut tape, &blocks, x, true, epoch ^ bi as u64);
-            let batch_labels: Vec<u32> = batch
-                .iter()
-                .map(|&v| labels[v as usize])
-                .collect();
+            let batch_labels: Vec<u32> = batch.iter().map(|&v| labels[v as usize]).collect();
             let (loss, grad) = softmax_cross_entropy(tape.value(out), &batch_labels);
             model.params.zero_grads();
             tape.backward(out, grad, &mut model.params);
@@ -103,14 +104,18 @@ fn main() {
 
             // Sparse update of the touched embedding rows.
             let input_id = wholegraph_example_input_node(&tape);
-            let emb_grad = tape.grad(input_id).expect("embedding rows received gradient");
+            let emb_grad = tape
+                .grad(input_id)
+                .expect("embedding rows received gradient");
             table.apply_sparse_adagrad(&rows, emb_grad.data(), 0.1, 1e-8, machine.cost(), spec);
 
             loss_sum += loss;
             batches += 1;
         }
         if epoch % 5 == 0 || epoch == 29 {
-            let acc = evaluate(&model, &table, &store, &sampler, &eval, &labels, emb_dim, &machine);
+            let acc = evaluate(
+                &model, &table, &store, &sampler, &eval, &labels, emb_dim, &machine,
+            );
             println!(
                 "epoch {epoch:>2}: loss {:.4}  eval-acc {:.1}%",
                 loss_sum / batches as f32,

@@ -12,7 +12,11 @@ use wholegraph::multinode::scaling_sweep;
 use wholegraph::prelude::*;
 
 fn main() {
-    let dataset = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnPapers100M, 2000, 11));
+    let dataset = Arc::new(SyntheticDataset::generate(
+        DatasetKind::OgbnPapers100M,
+        2000,
+        11,
+    ));
     println!(
         "ogbn-papers100M stand-in (1/2000): {} nodes, {} edges, {} train nodes\n",
         dataset.num_nodes(),
@@ -34,7 +38,10 @@ fn main() {
     println!("measuring per-iteration times (2 real iterations)...");
     let points = scaling_sweep(&mut pipe, &[1, 2, 4, 8], 2);
 
-    println!("\n{:>6} {:>16} {:>10} {:>12}", "nodes", "epoch time", "speedup", "efficiency");
+    println!(
+        "\n{:>6} {:>16} {:>10} {:>12}",
+        "nodes", "epoch time", "speedup", "efficiency"
+    );
     for p in &points {
         println!(
             "{:>6} {:>16} {:>9.2}x {:>11.0}%",

@@ -12,7 +12,11 @@ use std::sync::Arc;
 use wholegraph::prelude::*;
 
 fn main() {
-    let dataset = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 1000, 7));
+    let dataset = Arc::new(SyntheticDataset::generate(
+        DatasetKind::OgbnProducts,
+        1000,
+        7,
+    ));
     println!(
         "ogbn-products stand-in (1/1000 scale): {} nodes, {} edges, {} classes\n",
         dataset.num_nodes(),

@@ -16,7 +16,11 @@ use wholegraph::prelude::*;
 fn main() {
     // 1. A learnable dataset: SBM graph + class-correlated features,
     //    scaled to 1/800 of ogbn-products.
-    let dataset = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 800, 42));
+    let dataset = Arc::new(SyntheticDataset::generate(
+        DatasetKind::OgbnProducts,
+        800,
+        42,
+    ));
     println!(
         "dataset: {} nodes, {} edges, {} features, {} classes, {} train nodes",
         dataset.num_nodes(),
@@ -40,7 +44,10 @@ fn main() {
     }
     .with_seed(42);
     let mut pipe = Pipeline::new(machine, dataset, cfg).expect("store fits in GPU memory");
-    println!("DSM setup took {} (simulated, paid once)", pipe.setup_time());
+    println!(
+        "DSM setup took {} (simulated, paid once)",
+        pipe.setup_time()
+    );
 
     // 4. Train.
     for epoch in 0..5 {

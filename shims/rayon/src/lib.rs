@@ -1,0 +1,129 @@
+//! Offline shim for the parts of `rayon` this workspace uses.
+//!
+//! The "parallel" adapters (`par_iter`, `par_chunks`, `into_par_iter`, …)
+//! return the corresponding **sequential** std iterators, so every
+//! combinator chain (`map`, `zip`, `enumerate`, `for_each`, `collect`,
+//! `sum`) compiles and runs unchanged — on one thread. The workspace's
+//! "kernels" are rayon loops whose *simulated* duration comes from cost
+//! models, so sequential execution changes wall-clock speed only, never
+//! results or simulated time.
+
+pub mod prelude {
+    //! Drop-in for `rayon::prelude::*`.
+
+    /// `into_par_iter()` for owned collections and ranges — sequential.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// The (sequential) iterator standing in for a parallel one.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// Adapters rayon's `IndexedParallelIterator` has but std's
+    /// `Iterator` lacks — here as a blanket extension so chains like
+    /// `into_par_iter().chunks(n)` compile against the sequential
+    /// stand-ins.
+    pub trait IndexedParallelIterator: Iterator + Sized {
+        /// Rayon's cheaper per-item `flat_map`; sequentially they are
+        /// the same thing.
+        fn flat_map_iter<U, F>(self, map_op: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(map_op)
+        }
+
+        /// Yield the items in `Vec` chunks of (at most) `chunk_size`.
+        fn chunks(self, chunk_size: usize) -> Chunks<Self> {
+            assert!(chunk_size > 0, "chunk_size must be positive");
+            Chunks {
+                inner: self,
+                chunk_size,
+            }
+        }
+    }
+
+    impl<I: Iterator + Sized> IndexedParallelIterator for I {}
+
+    /// Iterator returned by [`IndexedParallelIterator::chunks`].
+    pub struct Chunks<I: Iterator> {
+        inner: I,
+        chunk_size: usize,
+    }
+
+    impl<I: Iterator> Iterator for Chunks<I> {
+        type Item = Vec<I::Item>;
+
+        fn next(&mut self) -> Option<Vec<I::Item>> {
+            let chunk: Vec<I::Item> = self.inner.by_ref().take(self.chunk_size).collect();
+            if chunk.is_empty() {
+                None
+            } else {
+                Some(chunk)
+            }
+        }
+    }
+
+    /// `par_iter()` / `par_chunks()` on shared slices — sequential.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut()` / `par_chunks_mut()` on mutable slices — sequential.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_std() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sums: Vec<u32> = v.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 7]);
+        let mut w = v.clone();
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2, 3, 4, 5]);
+        w.par_chunks_mut(3)
+            .zip([10u32, 20].iter())
+            .for_each(|(c, &b)| c[0] += b);
+        assert_eq!(w[0], 12);
+        assert_eq!(w[3], 25);
+        let total: u32 = (0u32..5).into_par_iter().map(|x| x * x).sum();
+        assert_eq!(total, 30);
+    }
+}

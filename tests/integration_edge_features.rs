@@ -5,7 +5,6 @@
 
 use std::collections::HashMap;
 
-
 use wg_graph::{gen, MultiGpuGraph, NodeId};
 use wg_mem::gather::global_gather;
 use wg_sample::{sample_minibatch, GraphAccess, MultiGpuAccess, SamplerConfig};
@@ -25,9 +24,13 @@ struct Setup {
 fn setup() -> Setup {
     let graph = gen::erdos_renyi(300, 10.0, 17);
     let feature_dim = 4;
-    let features: Vec<f32> = (0..300 * feature_dim).map(|i| (i as f32 * 0.01).cos()).collect();
+    let features: Vec<f32> = (0..300 * feature_dim)
+        .map(|i| (i as f32 * 0.01).cos())
+        .collect();
     // One weight per stored (directed) edge, in CSR order.
-    let edge_weights: Vec<f32> = (0..graph.num_edges()).map(|e| 0.1 + (e % 7) as f32 * 0.3).collect();
+    let edge_weights: Vec<f32> = (0..graph.num_edges())
+        .map(|e| 0.1 + (e % 7) as f32 * 0.3)
+        .collect();
     let machine = Machine::dgx_a100();
     let store = MultiGpuGraph::build_full(
         machine.cost(),
@@ -107,16 +110,23 @@ fn sampled_edge_ids_address_the_right_weights() {
         // Map of neighbor -> multiset of weights in CSR order.
         let mut by_neighbor: HashMap<u64, Vec<f32>> = HashMap::new();
         for (k, &t) in s.graph.neighbors(v).iter().enumerate() {
-            by_neighbor.entry(t).or_default().push(host_weight(&s, v, k));
+            by_neighbor
+                .entry(t)
+                .or_default()
+                .push(host_weight(&s, v, k));
         }
-        for e in b.offsets[i] as usize..b.offsets[i + 1] as usize {
+        for (e, &w) in gathered
+            .iter()
+            .enumerate()
+            .take(b.offsets[i + 1] as usize)
+            .skip(b.offsets[i] as usize)
+        {
             let sampled_neighbor = access.stable_id(mb.frontiers[1][b.indices[e] as usize]);
-            let w = gathered[e];
             let candidates = by_neighbor
                 .get(&sampled_neighbor)
                 .unwrap_or_else(|| panic!("{sampled_neighbor} is not a neighbor of {v}"));
             assert!(
-                candidates.iter().any(|&c| c == w),
+                candidates.contains(&w),
                 "weight {w} is not one of {candidates:?} for edge {v}->{sampled_neighbor}"
             );
         }
@@ -143,7 +153,10 @@ fn edge_weighted_gcn_layer_over_sampled_block() {
     let rows: Vec<usize> = mb
         .input_nodes()
         .iter()
-        .map(|&h| s.store.feature_row_of_global(wg_graph::GlobalId::from_raw(h)))
+        .map(|&h| {
+            s.store
+                .feature_row_of_global(wg_graph::GlobalId::from_raw(h))
+        })
         .collect();
     let mut x = vec![0.0f32; rows.len() * feat_dim];
     global_gather(s.store.features(), &rows, &mut x, 0, s.machine.cost(), spec);
@@ -152,7 +165,14 @@ fn edge_weighted_gcn_layer_over_sampled_block() {
     // Edge weights of the sampled edges.
     let erows: Vec<usize> = b.edge_ids.iter().map(|&e| e as usize).collect();
     let mut w = vec![0.0f32; erows.len()];
-    global_gather(s.store.edge_features().unwrap(), &erows, &mut w, 0, s.machine.cost(), spec);
+    global_gather(
+        s.store.edge_features().unwrap(),
+        &erows,
+        &mut w,
+        0,
+        s.machine.cost(),
+        spec,
+    );
     let w = Matrix::from_vec(erows.len(), 1, w);
 
     let block = BlockCsr {
@@ -169,16 +189,15 @@ fn edge_weighted_gcn_layer_over_sampled_block() {
         let mut expect = vec![0.0f32; feat_dim];
         for e in b.offsets[i] as usize..b.offsets[i + 1] as usize {
             let src = access.stable_id(mb.frontiers[1][b.indices[e] as usize]) as usize;
-            for j in 0..feat_dim {
-                expect[j] += w.get(e, 0) * s.features[src * feat_dim + j];
+            for (j, ex) in expect.iter_mut().enumerate() {
+                *ex += w.get(e, 0) * s.features[src * feat_dim + j];
             }
         }
-        for j in 0..feat_dim {
+        for (j, &ex) in expect.iter().enumerate() {
             assert!(
-                (out.get(i, j) - expect[j]).abs() < 1e-4,
-                "dst {dst_handle} ({i},{j}): {} vs {}",
-                out.get(i, j),
-                expect[j]
+                (out.get(i, j) - ex).abs() < 1e-4,
+                "dst {dst_handle} ({i},{j}): {} vs {ex}",
+                out.get(i, j)
             );
         }
     }

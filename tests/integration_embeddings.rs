@@ -108,7 +108,13 @@ fn embeddings_plus_gnn_learn_a_featureless_graph() {
 fn embedding_gradients_reach_only_touched_rows() {
     let s = setup();
     let emb_dim = 8;
-    let table = EmbeddingTable::new(s.machine.cost(), 8, s.store.partition().padded_rows(), emb_dim, 5);
+    let table = EmbeddingTable::new(
+        s.machine.cost(),
+        8,
+        s.store.partition().padded_rows(),
+        emb_dim,
+        5,
+    );
     let spec = s.machine.spec(wg_sim::DeviceId::Gpu(0));
     // Snapshot two rows, update one of them, verify the other is intact.
     let touched = vec![3usize];
@@ -119,7 +125,14 @@ fn embedding_gradients_reach_only_touched_rows() {
         o
     };
     let before = read(&untouched);
-    table.apply_sparse_adagrad(&touched, &vec![1.0; emb_dim], 0.5, 1e-8, s.machine.cost(), spec);
+    table.apply_sparse_adagrad(
+        &touched,
+        &vec![1.0; emb_dim],
+        0.5,
+        1e-8,
+        s.machine.cost(),
+        spec,
+    );
     assert_eq!(read(&untouched), before, "untouched row changed");
     assert_ne!(read(&touched), vec![0.0; emb_dim]);
 }

@@ -11,7 +11,11 @@ use wholegraph::prelude::*;
 use wholegraph::Pipeline as P;
 
 fn dataset(seed: u64) -> Arc<SyntheticDataset> {
-    Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 1500, seed))
+    Arc::new(SyntheticDataset::generate(
+        DatasetKind::OgbnProducts,
+        1500,
+        seed,
+    ))
 }
 
 fn pipeline(fw: Framework, model: ModelKind, seed: u64) -> P {

@@ -7,7 +7,11 @@ use wholegraph::multinode::scaling_sweep;
 use wholegraph::prelude::*;
 
 fn pipeline() -> Pipeline {
-    let dataset = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnPapers100M, 2000, 31));
+    let dataset = Arc::new(SyntheticDataset::generate(
+        DatasetKind::OgbnPapers100M,
+        2000,
+        31,
+    ));
     let machine = Machine::dgx_a100();
     let mut cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage).with_seed(31);
     cfg.batch_size = 16;

@@ -1,0 +1,139 @@
+//! Serial vs overlapped executor equivalence, end to end.
+//!
+//! The stage/executor split guarantees that scheduling is timing-only:
+//! both executors run the same iterations with the same seeds, so every
+//! numeric output — losses, accuracy, trained parameters, predictions —
+//! must be *bit-identical*, while the overlapped schedule's epoch time is
+//! never longer and is strictly shorter whenever the epoch has several
+//! waves with nonzero input and compute phases.
+
+use std::sync::Arc;
+
+use wg_graph::NodeId;
+use wholegraph::pipeline::ExecMode;
+use wholegraph::prelude::*;
+
+fn dataset() -> Arc<SyntheticDataset> {
+    Arc::new(SyntheticDataset::generate(
+        DatasetKind::OgbnProducts,
+        1500,
+        5,
+    ))
+}
+
+/// Train one epoch under `exec` and return the report plus predictions
+/// over a fixed node set (from the post-epoch parameters).
+fn epoch_under(
+    fw: Framework,
+    model: ModelKind,
+    exec: ExecMode,
+    data: &Arc<SyntheticDataset>,
+) -> (EpochReport, Vec<u32>, usize) {
+    // 2 GPUs + a small batch give the tiny train split several waves, so
+    // the overlapped schedule has something to overlap.
+    let machine = Machine::new(MachineConfig::dgx_like(2));
+    let mut cfg = PipelineConfig::tiny(fw, model)
+        .with_seed(23)
+        .with_exec(exec);
+    cfg.batch_size = 32;
+    let mut pipe = Pipeline::new(machine, data.clone(), cfg).unwrap();
+    let waves = pipe
+        .iters_per_epoch()
+        .div_ceil(pipe.machine().num_gpus() as usize);
+    let report = pipe.train_epoch(0);
+    let nodes: Vec<NodeId> = (0..64u64).collect();
+    let (preds, _) = pipe.infer(&nodes);
+    (report, preds, waves)
+}
+
+#[test]
+fn executors_agree_numerically_for_every_framework_and_model() {
+    let data = dataset();
+    for fw in Framework::ALL {
+        for model in ModelKind::ALL {
+            let (serial, preds_s, waves) = epoch_under(fw, model, ExecMode::Serial, &data);
+            let (overlap, preds_o, _) = epoch_under(fw, model, ExecMode::Overlapped, &data);
+            let tag = format!("{fw:?}/{model:?}");
+
+            // Numerics: bit-identical across executors.
+            assert_eq!(serial.loss.to_bits(), overlap.loss.to_bits(), "{tag}: loss");
+            assert_eq!(
+                serial.train_accuracy, overlap.train_accuracy,
+                "{tag}: accuracy"
+            );
+            assert_eq!(preds_s, preds_o, "{tag}: predictions");
+
+            // Phase totals are the same work, differently scheduled.
+            assert_eq!(serial.sample_time, overlap.sample_time, "{tag}: sample");
+            assert_eq!(serial.gather_time, overlap.gather_time, "{tag}: gather");
+            assert_eq!(serial.train_time, overlap.train_time, "{tag}: train");
+            assert_eq!(serial.comm_time, overlap.comm_time, "{tag}: comm");
+
+            // Timing: overlap never loses, and with several waves of
+            // nonzero input + compute it must strictly win.
+            assert!(
+                overlap.epoch_time <= serial.epoch_time,
+                "{tag}: overlapped {} > serial {}",
+                overlap.epoch_time,
+                serial.epoch_time
+            );
+            assert!(
+                waves >= 2,
+                "{tag}: need >= 2 waves to exercise overlap, got {waves}"
+            );
+            assert!(
+                overlap.epoch_time < serial.epoch_time,
+                "{tag}: overlapped {} !< serial {}",
+                overlap.epoch_time,
+                serial.epoch_time
+            );
+        }
+    }
+}
+
+#[test]
+fn overlap_win_is_largest_for_host_pipelines() {
+    // DGL/PyG input phases dominate their epochs (Figure 9), so hiding
+    // them under training shrinks the epoch far more than for WholeGraph,
+    // whose input phases are already small.
+    let data = dataset();
+    let saving = |fw: Framework| -> f64 {
+        let (serial, _, _) = epoch_under(fw, ModelKind::GraphSage, ExecMode::Serial, &data);
+        let (overlap, _, _) = epoch_under(fw, ModelKind::GraphSage, ExecMode::Overlapped, &data);
+        1.0 - overlap.epoch_time / serial.epoch_time
+    };
+    let wg = saving(Framework::WholeGraph);
+    let dgl = saving(Framework::Dgl);
+    let pyg = saving(Framework::Pyg);
+    assert!(dgl > wg, "DGL saving {dgl:.3} !> WholeGraph saving {wg:.3}");
+    assert!(pyg > wg, "PyG saving {pyg:.3} !> WholeGraph saving {wg:.3}");
+}
+
+#[test]
+fn overlapped_occupancy_shows_input_hidden_under_training() {
+    // Under the overlapped executor the per-phase occupancy totals can
+    // exceed the epoch span (phases co-occupy time on two streams), while
+    // busy+idle still partition the span exactly.
+    let data = dataset();
+    let (r, _, _) = epoch_under(
+        Framework::Dgl,
+        ModelKind::GraphSage,
+        ExecMode::Overlapped,
+        &data,
+    );
+    let occ = r.occupancy;
+    let span = (occ.busy + occ.idle).as_secs();
+    assert!(
+        (span - r.epoch_time.as_secs()).abs() < 1e-9,
+        "span {span} vs epoch {}",
+        r.epoch_time
+    );
+    let phase_sum =
+        occ.sampling.total() + occ.gather.total() + occ.training.total() + occ.comm.total();
+    assert!(
+        phase_sum.as_secs() > r.epoch_time.as_secs() + 1e-12,
+        "phase totals {} should exceed the overlapped epoch span {}",
+        phase_sum,
+        r.epoch_time
+    );
+}

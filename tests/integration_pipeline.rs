@@ -6,7 +6,11 @@ use std::sync::Arc;
 use wholegraph::prelude::*;
 
 fn dataset() -> Arc<SyntheticDataset> {
-    Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 1200, 21))
+    Arc::new(SyntheticDataset::generate(
+        DatasetKind::OgbnProducts,
+        1200,
+        21,
+    ))
 }
 
 #[test]
@@ -55,7 +59,11 @@ fn epoch_speedup_ordering_holds_at_paper_shape() {
     // with meaningful gaps.
     let mut times = Vec::new();
     for fw in [Framework::WholeGraph, Framework::Dgl, Framework::Pyg] {
-        let d = Arc::new(SyntheticDataset::generate(DatasetKind::OgbnProducts, 300, 8));
+        let d = Arc::new(SyntheticDataset::generate(
+            DatasetKind::OgbnProducts,
+            300,
+            8,
+        ));
         let machine = Machine::dgx_a100();
         let cfg = PipelineConfig {
             batch_size: 256,
@@ -82,7 +90,10 @@ fn setup_cost_is_amortized() {
     let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::Gcn);
     let mut pipe = Pipeline::new(machine, dataset(), cfg).unwrap();
     let setup = pipe.setup_time();
-    assert!(setup.as_millis() > 0.1 && setup.as_millis() < 500.0, "setup {setup}");
+    assert!(
+        setup.as_millis() > 0.1 && setup.as_millis() < 500.0,
+        "setup {setup}"
+    );
     let _ = pipe.train_epoch(0);
 }
 
@@ -122,7 +133,10 @@ fn saved_dataset_trains_identically_to_generated() {
     };
     let a = run(d);
     let b = run(loaded);
-    assert!((a - b).abs() < 1e-3, "losses differ after IO roundtrip: {a} vs {b}");
+    assert!(
+        (a - b).abs() < 1e-3,
+        "losses differ after IO roundtrip: {a} vs {b}"
+    );
 }
 
 #[test]

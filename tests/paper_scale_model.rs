@@ -16,9 +16,21 @@ use wg_sim::{CostModel, DeviceSpec, SimTime};
 /// frontier sizes estimated with moderate dedup on a 2.4 M-node graph.
 fn products_shapes() -> Vec<BlockShape> {
     vec![
-        BlockShape { num_dst: 512, num_src: 14_500, num_edges: 15_360 },
-        BlockShape { num_dst: 14_500, num_src: 350_000, num_edges: 435_000 },
-        BlockShape { num_dst: 350_000, num_src: 1_400_000, num_edges: 10_500_000 },
+        BlockShape {
+            num_dst: 512,
+            num_src: 14_500,
+            num_edges: 15_360,
+        },
+        BlockShape {
+            num_dst: 14_500,
+            num_src: 350_000,
+            num_edges: 435_000,
+        },
+        BlockShape {
+            num_dst: 350_000,
+            num_src: 1_400_000,
+            num_edges: 10_500_000,
+        },
     ]
 }
 
@@ -66,7 +78,14 @@ impl PaperScale {
         );
         let gather = m.dsm_gather_time(self.gathered_rows(), self.feat_dim * 4, &self.spec);
         let cfg = GnnConfig::paper(kind, self.feat_dim, 47);
-        let train = train_step_time(&cfg, &self.shapes, LayerProvider::WholeGraphNative, m, &self.spec, 500_000);
+        let train = train_step_time(
+            &cfg,
+            &self.shapes,
+            LayerProvider::WholeGraphNative,
+            m,
+            &self.spec,
+            500_000,
+        );
         let comm = allreduce_intra_node(m, 2_000_000, self.gpus);
         (sample + gather + train + comm) * self.waves()
     }
@@ -75,15 +94,25 @@ impl PaperScale {
     /// (×gpus per wave), PCIe shares uplinks, third-party layers train.
     fn host_epoch(&self, kind: ModelKind, pyg: bool) -> SimTime {
         let m = &self.model;
-        let rate = if pyg { m.pyg_sample_edges_per_s } else { m.cpu_sample_edges_per_s };
+        let rate = if pyg {
+            m.pyg_sample_edges_per_s
+        } else {
+            m.cpu_sample_edges_per_s
+        };
         let sample = SimTime::from_secs(self.edges_sampled() as f64 / rate) * self.gpus as f64;
         let row_bytes = self.feat_dim * 4;
         let cpu_gather = m.host_gather_time(self.gathered_rows(), row_bytes) * self.gpus as f64;
         let bytes = self.gathered_rows() * row_bytes as u64;
-        let path = m.topology.path(wg_sim::DeviceId::Cpu, wg_sim::DeviceId::Gpu(0), self.gpus);
+        let path = m
+            .topology
+            .path(wg_sim::DeviceId::Cpu, wg_sim::DeviceId::Gpu(0), self.gpus);
         let pcie = m.transfer_time(bytes, path);
         let cfg = GnnConfig::paper(kind, self.feat_dim, 47);
-        let provider = if pyg { LayerProvider::PygLayers } else { LayerProvider::DglLayers };
+        let provider = if pyg {
+            LayerProvider::PygLayers
+        } else {
+            LayerProvider::DglLayers
+        };
         let train = train_step_time(&cfg, &self.shapes, provider, m, &self.spec, 500_000);
         let comm = allreduce_intra_node(m, 2_000_000, self.gpus);
         (sample + cpu_gather + pcie + train + comm) * self.waves()
@@ -98,9 +127,18 @@ fn products_epoch_magnitudes_match_table5() {
     let wg = p.wholegraph_epoch(ModelKind::GraphSage).as_secs();
     let dgl = p.host_epoch(ModelKind::GraphSage, false).as_secs();
     let pyg = p.host_epoch(ModelKind::GraphSage, true).as_secs();
-    assert!(wg > 0.99 / 2.5 && wg < 0.99 * 2.5, "WholeGraph epoch {wg:.2} s vs paper 0.99 s");
-    assert!(dgl > 30.8 / 2.5 && dgl < 30.8 * 2.5, "DGL epoch {dgl:.2} s vs paper 30.8 s");
-    assert!(pyg > 228.96 / 2.5 && pyg < 228.96 * 2.5, "PyG epoch {pyg:.2} s vs paper 228.96 s");
+    assert!(
+        wg > 0.99 / 2.5 && wg < 0.99 * 2.5,
+        "WholeGraph epoch {wg:.2} s vs paper 0.99 s"
+    );
+    assert!(
+        dgl > 30.8 / 2.5 && dgl < 30.8 * 2.5,
+        "DGL epoch {dgl:.2} s vs paper 30.8 s"
+    );
+    assert!(
+        pyg > 228.96 / 2.5 && pyg < 228.96 * 2.5,
+        "PyG epoch {pyg:.2} s vs paper 228.96 s"
+    );
 }
 
 #[test]
@@ -112,8 +150,14 @@ fn products_speedups_land_in_paper_bands() {
     let pyg = p.host_epoch(ModelKind::GraphSage, true);
     let s_dgl = dgl / wg;
     let s_pyg = pyg / wg;
-    assert!(s_dgl > 15.0 && s_dgl < 60.0, "vs DGL {s_dgl:.1}x (paper 31.1x)");
-    assert!(s_pyg > 100.0 && s_pyg < 450.0, "vs PyG {s_pyg:.1}x (paper 231.3x)");
+    assert!(
+        s_dgl > 15.0 && s_dgl < 60.0,
+        "vs DGL {s_dgl:.1}x (paper 31.1x)"
+    );
+    assert!(
+        s_pyg > 100.0 && s_pyg < 450.0,
+        "vs PyG {s_pyg:.1}x (paper 231.3x)"
+    );
 }
 
 #[test]
@@ -124,7 +168,10 @@ fn gat_dilutes_the_speedup_at_paper_scale() {
     let p = PaperScale::products();
     let sage = p.host_epoch(ModelKind::GraphSage, false) / p.wholegraph_epoch(ModelKind::GraphSage);
     let gat = p.host_epoch(ModelKind::Gat, false) / p.wholegraph_epoch(ModelKind::Gat);
-    assert!(gat < sage / 1.8, "GAT {gat:.1}x vs GraphSage {sage:.1}x — insufficient dilution");
+    assert!(
+        gat < sage / 1.8,
+        "GAT {gat:.1}x vs GraphSage {sage:.1}x — insufficient dilution"
+    );
     assert!(gat > 4.0, "GAT speedup {gat:.1}x collapsed entirely");
 }
 
@@ -156,6 +203,13 @@ fn paper_scale_gather_volume_is_nvlink_friendly() {
     let gather = p.model.dsm_gather_time(p.gathered_rows(), 400, &p.spec);
     assert!(gather.as_millis() < 5.0, "gather {gather}");
     let cfg = GnnConfig::paper(ModelKind::GraphSage, 100, 47);
-    let train = train_step_time(&cfg, &p.shapes, LayerProvider::WholeGraphNative, &p.model, &p.spec, 500_000);
+    let train = train_step_time(
+        &cfg,
+        &p.shapes,
+        LayerProvider::WholeGraphNative,
+        &p.model,
+        &p.spec,
+        500_000,
+    );
     assert!(train / gather > 4.0, "train {train} vs gather {gather}");
 }
