@@ -20,6 +20,7 @@ fn main() {
         "fig13_scaling",
         "ablation_storage",
         "sweep_hyperparams",
+        "wallclock",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

@@ -1,0 +1,284 @@
+//! Wall-clock harness for the work-stealing pool — the one harness that
+//! measures *host* time, not simulated device time. Each kernel family
+//! (sampling, gather, g-SpMM forward+backward, an end-to-end training
+//! epoch) runs twice: once pinned to the sequential reference schedule
+//! (`rayon::run_sequential`) and once on the pool at its configured
+//! width. Outputs must be bit-identical — the speedup is only reportable
+//! because the numerics provably did not move. Results are printed and
+//! written to `BENCH_wallclock.json`.
+//!
+//! On a single-core runner the speedups degenerate to ~1.0x; the JSON
+//! records `threads` and `cores` so readers can tell.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use wg_bench::{banner, bench_dataset, Table};
+use wg_graph::{DatasetKind, MultiGpuGraph};
+use wg_mem::gather::global_gather;
+use wg_sample::{sample_minibatch, GraphAccess, MultiGpuAccess, SamplerConfig};
+use wg_tensor::sparse::{spmm, spmm_backward_src};
+use wg_tensor::{Agg, BlockCsr, Matrix};
+use wholegraph::prelude::*;
+
+const REPEATS: usize = 3;
+
+/// FNV-1a over a word stream: the bit-exactness witness for each kernel.
+fn fnv1a(words: impl Iterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for w in words {
+        h = (h ^ w).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn checksum_f32(data: &[f32]) -> u64 {
+    fnv1a(data.iter().map(|v| v.to_bits() as u64))
+}
+
+struct Measurement {
+    name: &'static str,
+    t1: Duration,
+    tn: Duration,
+    checksum: u64,
+    /// Simulated device time for the same work, where one exists.
+    sim: Option<SimTime>,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.t1.as_secs_f64() / self.tn.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Run `work` `REPEATS` times under the sequential reference schedule and
+/// again on the pool; keep the best time of each and insist the checksums
+/// never differ between (or within) the two schedules.
+fn measure(
+    name: &'static str,
+    mut work: impl FnMut() -> (Duration, u64, Option<SimTime>),
+) -> Measurement {
+    let mut best = |sequential: bool| {
+        let mut t = Duration::MAX;
+        let mut sum = None;
+        let mut sim = None;
+        for _ in 0..REPEATS {
+            let (d, c, s) = if sequential {
+                rayon::run_sequential(&mut work)
+            } else {
+                work()
+            };
+            assert_eq!(*sum.get_or_insert(c), c, "{name}: run-to-run divergence");
+            t = t.min(d);
+            sim = s;
+        }
+        (t, sum.unwrap(), sim)
+    };
+    let (t1, c1, sim) = best(true);
+    let (tn, cn, _) = best(false);
+    assert_eq!(c1, cn, "{name}: parallel result differs from sequential");
+    Measurement {
+        name,
+        t1,
+        tn,
+        checksum: c1,
+        sim,
+    }
+}
+
+/// Mini-batch sampling (Algorithm 1 + AppendUnique) over the DSM store.
+fn bench_sample() -> Measurement {
+    let dataset = bench_dataset(DatasetKind::OgbnProducts, 11);
+    let machine = Machine::dgx_a100();
+    let store = MultiGpuGraph::build(
+        machine.cost(),
+        machine.num_gpus(),
+        &dataset.graph,
+        &dataset.features,
+        dataset.feature_dim,
+        &machine.memory(),
+    )
+    .unwrap();
+    let access = MultiGpuAccess(&store);
+    let batch: Vec<u64> = dataset
+        .train
+        .iter()
+        .take(1024)
+        .map(|&v| access.handle_of(v))
+        .collect();
+    let cfg = SamplerConfig {
+        fanouts: vec![30, 30, 30],
+        seed: 17,
+    };
+    measure("sample", move || {
+        let start = Instant::now();
+        let (mb, _) = sample_minibatch(&access, &batch, &cfg, 0, 0);
+        let elapsed = start.elapsed();
+        let words = mb.blocks.iter().flat_map(|b| {
+            (b.offsets.iter().map(|&x| x as u64))
+                .chain(b.indices.iter().map(|&x| x as u64))
+                .chain(b.dup_count.iter().map(|&x| x as u64))
+        });
+        let frontier_words = mb.frontiers.iter().flatten().copied();
+        (elapsed, fnv1a(words.chain(frontier_words)), None)
+    })
+}
+
+/// Training-shaped feature gather from the distributed store.
+fn bench_gather() -> Measurement {
+    let dataset = bench_dataset(DatasetKind::OgbnProducts, 5);
+    let machine = Machine::dgx_a100();
+    let store = MultiGpuGraph::build(
+        machine.cost(),
+        machine.num_gpus(),
+        &dataset.graph,
+        &dataset.features,
+        dataset.feature_dim,
+        &machine.memory(),
+    )
+    .unwrap();
+    let n = dataset.num_nodes();
+    let mut rng = SmallRng::seed_from_u64(9);
+    let rows: Vec<usize> = (0..(8 * n / 5))
+        .map(|_| store.feature_row(rng.gen_range(0..n as u64)))
+        .collect();
+    let width = dataset.feature_dim;
+    let spec = machine.spec(wg_sim::DeviceId::Gpu(0)).clone();
+    measure("gather", move || {
+        let mut out = vec![0.0f32; rows.len() * width];
+        let start = Instant::now();
+        let stats = global_gather(store.features(), &rows, &mut out, 0, machine.cost(), &spec);
+        (start.elapsed(), checksum_f32(&out), Some(stats.sim_time))
+    })
+}
+
+/// g-SpMM forward + deterministic backward on a synthetic sampled block.
+fn bench_spmm() -> Measurement {
+    let (num_dst, num_src, channels) = (2048usize, 4096usize, 64usize);
+    let mut rng = SmallRng::seed_from_u64(41);
+    let mut offsets = vec![0u32; num_dst + 1];
+    let mut indices = Vec::new();
+    for d in 0..num_dst {
+        for _ in 0..rng.gen_range(4..=24) {
+            indices.push(rng.gen_range(0..num_src as u32));
+        }
+        offsets[d + 1] = indices.len() as u32;
+    }
+    let mut dup_count = vec![0u32; num_src];
+    for &s in &indices {
+        dup_count[s as usize] += 1;
+    }
+    let block = BlockCsr {
+        num_dst,
+        num_src,
+        offsets,
+        indices,
+        dup_count,
+    };
+    let src = Matrix::from_vec(
+        num_src,
+        channels,
+        (0..num_src * channels)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+    );
+    measure("spmm", move || {
+        let start = Instant::now();
+        let y = spmm(&block, &src, None, 1, Agg::Mean);
+        let g = spmm_backward_src(&block, &y, None, 1, Agg::Mean);
+        let elapsed = start.elapsed();
+        let c = fnv1a(
+            (y.data().iter().map(|v| v.to_bits() as u64))
+                .chain(g.data().iter().map(|v| v.to_bits() as u64)),
+        );
+        (elapsed, c, None)
+    })
+}
+
+/// End-to-end training epoch through the full WholeGraph pipeline; the
+/// pipeline is rebuilt per run so every repetition starts from identical
+/// weights. Also reports the *simulated* device epoch time next to the
+/// measured host speedup.
+fn bench_epoch() -> Measurement {
+    let dataset = Arc::new(SyntheticDataset::generate(
+        DatasetKind::OgbnProducts,
+        300,
+        8,
+    ));
+    measure("epoch", move || {
+        let machine = Machine::new(MachineConfig::dgx_like(4));
+        let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage).with_seed(3);
+        let mut pipe = Pipeline::new(machine, dataset.clone(), cfg).unwrap();
+        let start = Instant::now();
+        let r = pipe.train_epoch(0);
+        let elapsed = start.elapsed();
+        let c = fnv1a(
+            [
+                r.loss.to_bits() as u64,
+                r.train_accuracy.to_bits(),
+                r.epoch_time.as_secs().to_bits(),
+            ]
+            .into_iter(),
+        );
+        (elapsed, c, Some(r.epoch_time))
+    })
+}
+
+fn main() {
+    banner("Wallclock", "host-side speedup of the work-stealing pool");
+    let threads = rayon::current_num_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("pool threads: {threads}   host cores: {cores}");
+    println!("(every kernel is checked bit-identical between schedules)\n");
+
+    let results = [bench_sample(), bench_gather(), bench_spmm(), bench_epoch()];
+
+    let tn_header = format!("{threads}-thread (ms)");
+    let mut t = Table::new(&[
+        "kernel",
+        "1-thread (ms)",
+        tn_header.as_str(),
+        "speedup",
+        "sim device time",
+    ]);
+    for m in &results {
+        t.row(&[
+            m.name.to_string(),
+            format!("{:.2}", m.t1.as_secs_f64() * 1e3),
+            format!("{:.2}", m.tn.as_secs_f64() * 1e3),
+            format!("{:.2}x", m.speedup()),
+            m.sim
+                .map_or_else(|| "-".to_string(), |s| format!("{:.3} ms", s.as_millis())),
+        ]);
+    }
+    t.print();
+
+    let benches: Vec<String> = results
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"name\": \"{}\", \"t1_ms\": {:.4}, \"tn_ms\": {:.4}, \
+                 \"speedup\": {:.4}, \"checksum\": \"{:016x}\"}}",
+                m.name,
+                m.t1.as_secs_f64() * 1e3,
+                m.tn.as_secs_f64() * 1e3,
+                m.speedup(),
+                m.checksum
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"cores\": {cores},\n  \
+         \"bit_identical\": true,\n  \"benches\": [\n{}\n  ]\n}}\n",
+        benches.join(",\n")
+    );
+    std::fs::write("BENCH_wallclock.json", &json).expect("write BENCH_wallclock.json");
+    println!("\nWrote BENCH_wallclock.json");
+    if threads > 1 && cores > 1 {
+        println!("Expect >=2x on the parallel kernels with {threads} threads.");
+    } else {
+        println!("Single-threaded environment: speedups are ~1.0x by construction.");
+    }
+}

@@ -11,9 +11,13 @@
 //!    sort other frameworks use) — targets are inserted with their list
 //!    index as value, neighbors with value −1;
 //! 3. assign the unique new neighbors **contiguous sub-graph IDs** after
-//!    the targets: the table's slots are cut into buckets, the −1 values
-//!    per bucket are counted, an exclusive prefix sum over the bucket table
-//!    yields each bucket's starting ID.
+//!    the targets via an exclusive prefix sum, exactly as in Figure 5 —
+//!    but keyed on each node's **first occurrence position** in the input
+//!    neighbor list rather than on its hash-table slot. Which slot a key
+//!    claims depends on CAS races under linear probing, so slot order
+//!    would make the unique list depend on thread scheduling; the smallest
+//!    input index that inserted a key (a `fetch_min` watermark per slot)
+//!    is schedule-free, so IDs are bit-identical at any thread count.
 //!
 //! The op also emits the per-node **duplicate count** that the g-SpMM
 //! backward of §III-C4 uses to replace atomic adds with plain stores for
@@ -79,31 +83,47 @@ pub fn append_unique(targets: &[u64], neighbors: &[u64]) -> AppendUniqueResult {
         });
 
     // Phase 2: insert neighbors; new ones keep value −1, duplicates only
-    // bump the slot's duplicate counter.
-    neighbors.par_iter().for_each(|&key| {
-        table.insert_counted(key);
-    });
+    // bump the slot's duplicate counter. Each insertion also lowers the
+    // slot's first-occurrence watermark — `fetch_min` is commutative, so
+    // the watermark is independent of scheduling even though slot choice
+    // under concurrent CAS probing is not.
+    neighbors
+        .par_iter()
+        .enumerate()
+        .for_each(|(idx, &key)| match table.insert_counted(key) {
+            Insert::New(slot) | Insert::Existing(slot) => {
+                table.note_min_index(slot, idx as u64);
+            }
+        });
 
-    // Phase 3: bucket-count the −1 slots and prefix-sum the bucket table.
+    // Phase 3: walk the −1 slots (bucketed, as the CUDA kernel cuts the
+    // table into warp-sized granules), mark each one's first-occurrence
+    // position in the input, and prefix-sum the marks: the exclusive sum
+    // at a node's first occurrence is its dense rank among new neighbors.
     let slots = table.num_slots();
     let num_buckets = slots.div_ceil(BUCKET_SLOTS);
-    let mut bucket_counts: Vec<u32> = (0..num_buckets)
+    let is_new = |s: usize| {
+        table.key_at(s) != crate::hashtable::EMPTY_KEY && table.value_at(s) == UNASSIGNED
+    };
+    let first_positions: Vec<usize> = (0..num_buckets)
         .into_par_iter()
-        .map(|b| {
+        .flat_map_iter(|b| {
             let lo = b * BUCKET_SLOTS;
             let hi = (lo + BUCKET_SLOTS).min(slots);
             (lo..hi)
-                .filter(|&s| {
-                    table.key_at(s) != crate::hashtable::EMPTY_KEY
-                        && table.value_at(s) == UNASSIGNED
-                })
-                .count() as u32
+                .filter(|&s| is_new(s))
+                .map(|s| table.min_index_at(s) as usize)
+                .collect::<Vec<_>>()
         })
         .collect();
-    let new_neighbors = parallel_exclusive_scan(&mut bucket_counts) as usize;
+    let mut first_marks = vec![0u32; neighbors.len()];
+    for &pos in &first_positions {
+        first_marks[pos] = 1;
+    }
+    let new_neighbors = parallel_exclusive_scan(&mut first_marks) as usize;
 
-    // Phase 4: assign sub-graph IDs (targets count + bucket start + offset
-    // within bucket) and collect the unique list + duplicate counts.
+    // Phase 4: assign sub-graph IDs (target count + first-occurrence rank)
+    // and collect the unique list + duplicate counts.
     let total_unique = num_targets + new_neighbors;
     let mut unique = vec![0u64; total_unique];
     let mut dup_count = vec![0u32; total_unique];
@@ -113,10 +133,6 @@ pub fn append_unique(targets: &[u64], neighbors: &[u64]) -> AppendUniqueResult {
         let (slot, _) = table.get(key).expect("target vanished from table");
         dup_count[idx] = table.count_at(slot) as u32;
     }
-    // Walk each bucket, handing out its ID range to its −1 slots.
-    // (Safe to parallelize over buckets: ranges are disjoint.)
-    let unique_cell = &mut unique[..];
-    let dup_cell = &mut dup_count[..];
     // Collect assignments first to avoid aliasing the output slices from
     // the parallel loop.
     let assignments: Vec<(usize, u64, u32)> = (0..num_buckets)
@@ -124,22 +140,20 @@ pub fn append_unique(targets: &[u64], neighbors: &[u64]) -> AppendUniqueResult {
         .flat_map_iter(|b| {
             let lo = b * BUCKET_SLOTS;
             let hi = (lo + BUCKET_SLOTS).min(slots);
-            let mut next = num_targets + bucket_counts[b] as usize;
-            let mut out = Vec::new();
-            for s in lo..hi {
-                if table.key_at(s) != crate::hashtable::EMPTY_KEY && table.value_at(s) == UNASSIGNED
-                {
-                    table.set_value(s, next as i64);
-                    out.push((next, table.key_at(s), table.count_at(s) as u32));
-                    next += 1;
-                }
-            }
-            out
+            (lo..hi)
+                .filter(|&s| is_new(s))
+                .map(|s| {
+                    let rank = first_marks[table.min_index_at(s) as usize] as usize;
+                    let id = num_targets + rank;
+                    table.set_value(s, id as i64);
+                    (id, table.key_at(s), table.count_at(s) as u32)
+                })
+                .collect::<Vec<_>>()
         })
         .collect();
     for (id, key, count) in assignments {
-        unique_cell[id] = key;
-        dup_cell[id] = count;
+        unique[id] = key;
+        dup_count[id] = count;
     }
 
     // Phase 5: remap every input neighbor through the table.
@@ -299,6 +313,37 @@ mod tests {
     #[should_panic(expected = "duplicate target")]
     fn duplicate_targets_rejected() {
         append_unique(&[1, 1], &[]);
+    }
+
+    /// The unique list, IDs, and counts must not depend on scheduling:
+    /// parallel runs must equal the forced-sequential run bit-for-bit, and
+    /// new neighbors must come out in first-occurrence order.
+    #[test]
+    fn parallel_output_is_deterministic_and_first_occurrence_ordered() {
+        rayon::init_threads(4);
+        let targets: Vec<u64> = (1000..1040).collect();
+        // Dense duplicates + overlap with the target range, scrambled.
+        let neighbors: Vec<u64> = (0..5000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 97 + 990)
+            .collect();
+        let seq = rayon::run_sequential(|| append_unique(&targets, &neighbors));
+        check_invariants(&targets, &neighbors, &seq);
+        for _ in 0..3 {
+            let par = append_unique(&targets, &neighbors);
+            assert_eq!(par.unique, seq.unique, "unique order depends on schedule");
+            assert_eq!(par.neighbor_ids, seq.neighbor_ids);
+            assert_eq!(par.dup_count, seq.dup_count);
+        }
+        // New neighbors appear in input first-occurrence order.
+        let target_set: HashSet<u64> = targets.iter().copied().collect();
+        let mut expect = Vec::new();
+        let mut seen = HashSet::new();
+        for &n in &neighbors {
+            if !target_set.contains(&n) && seen.insert(n) {
+                expect.push(n);
+            }
+        }
+        assert_eq!(&seq.unique[targets.len()..], &expect[..]);
     }
 
     proptest! {

@@ -27,6 +27,11 @@ pub struct GpuHashTable {
     /// node indicating how many times the node is sampled as a neighbor" —
     /// §III-C4).
     counts: Vec<AtomicU64>,
+    /// Per-slot minimum input index (`fetch_min`-maintained). Which *slot*
+    /// a key lands in depends on CAS races under linear probing, but the
+    /// smallest input position that inserted the key does not — AppendUnique
+    /// orders its unique list by it so sub-graph IDs are schedule-free.
+    min_idx: Vec<AtomicU64>,
     mask: usize,
 }
 
@@ -47,6 +52,7 @@ impl GpuHashTable {
             keys: (0..slots).map(|_| AtomicU64::new(EMPTY_KEY)).collect(),
             values: (0..slots).map(|_| AtomicI64::new(UNASSIGNED)).collect(),
             counts: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            min_idx: (0..slots).map(|_| AtomicU64::new(u64::MAX)).collect(),
             mask: slots - 1,
         }
     }
@@ -134,6 +140,18 @@ impl GpuHashTable {
     pub fn count_at(&self, slot: usize) -> u64 {
         self.counts[slot].load(Ordering::Relaxed)
     }
+
+    /// Lower a slot's minimum-input-index watermark to `idx` (no-op if a
+    /// smaller index was already noted). Thread-safe and commutative, so
+    /// the final value is independent of insertion interleaving.
+    pub fn note_min_index(&self, slot: usize, idx: u64) {
+        self.min_idx[slot].fetch_min(idx, Ordering::AcqRel);
+    }
+
+    /// Smallest index noted for a slot (`u64::MAX` if none).
+    pub fn min_index_at(&self, slot: usize) -> u64 {
+        self.min_idx[slot].load(Ordering::Acquire)
+    }
 }
 
 #[cfg(test)]
@@ -175,7 +193,7 @@ mod tests {
         let t = GpuHashTable::with_capacity(10_000);
         // 16 threads insert an overlapping key range; every key must be
         // claimed as New exactly once.
-        let news: usize = (0..16)
+        let news: usize = (0..16u32)
             .into_par_iter()
             .map(|_| {
                 (0..5000u64)
@@ -205,13 +223,82 @@ mod tests {
     #[test]
     fn concurrent_counts_are_exact() {
         let t = GpuHashTable::with_capacity(64);
-        (0..8).into_par_iter().for_each(|_| {
+        (0..8u32).into_par_iter().for_each(|_| {
             for _ in 0..1000 {
                 t.insert_counted(1);
             }
         });
         let (slot, _) = t.get(1).unwrap();
         assert_eq!(t.count_at(slot), 8000);
+    }
+
+    /// Fill *every* slot (100% occupancy — twice the nominal capacity)
+    /// from 8 OS threads with overlapping, differently-ordered key ranges.
+    /// Every key must be claimed `New` exactly once and land in its own
+    /// slot; uses `std::thread::scope` directly so the contention is real
+    /// even when the rayon pool runs single-threaded.
+    #[test]
+    fn concurrent_inserts_fill_every_slot() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let t = GpuHashTable::with_capacity(2048); // 4096 slots
+        let slots = t.num_slots() as u64;
+        let news = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for tid in 0..8u64 {
+                let t = &t;
+                let news = &news;
+                s.spawn(move || {
+                    for k in 0..slots {
+                        // Stride the range differently per thread so CAS
+                        // collisions happen all over the table.
+                        let key = (k * (2 * tid + 1)) % slots;
+                        if matches!(t.insert(key), Insert::New(_)) {
+                            news.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(news.load(Ordering::SeqCst), slots as usize);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..t.num_slots() {
+            let k = t.key_at(s);
+            assert_ne!(k, EMPTY_KEY, "slot {s} left empty at full occupancy");
+            assert!(seen.insert(k), "key {k} stored twice");
+        }
+        for k in 0..slots {
+            assert!(t.get(k).is_some(), "key {k} unfindable");
+        }
+    }
+
+    /// Hammer four keys from 8 OS threads: duplicate counts must be exact
+    /// and the min-input-index watermark must settle on the global minimum
+    /// regardless of interleaving.
+    #[test]
+    fn contended_duplicates_count_exactly_and_min_index_is_stable() {
+        let t = GpuHashTable::with_capacity(64);
+        const PER_THREAD: usize = 10_000;
+        std::thread::scope(|s| {
+            for tid in 0..8usize {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let key = (i % 4) as u64;
+                        match t.insert_counted(key) {
+                            Insert::New(slot) | Insert::Existing(slot) => {
+                                t.note_min_index(slot, (tid * PER_THREAD + i) as u64);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        for key in 0..4u64 {
+            let (slot, _) = t.get(key).unwrap();
+            assert_eq!(t.count_at(slot), (8 * PER_THREAD / 4) as u64);
+            // Smallest index ever noted for `key` is thread 0's `i == key`.
+            assert_eq!(t.min_index_at(slot), key);
+        }
     }
 
     #[test]

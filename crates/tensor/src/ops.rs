@@ -31,14 +31,15 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// `C = Aᵀ · B` for `A: [k,m]`, `B: [k,n]` (weight-gradient shape).
-/// Computed with a deterministic per-thread-partial reduction.
+/// Computed with a deterministic per-chunk-partial reduction.
 pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch");
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
-    // Chunk the k dimension; reduce partials pairwise (deterministic
-    // given the chunking, independent of thread scheduling).
+    // Chunk the k dimension; the chunk partials are then merged by a
+    // pairwise tree whose shape depends only on the partial count, so the
+    // result is bit-identical at any thread count.
     const CHUNK: usize = 512;
-    let partials: Vec<Vec<f32>> = (0..k)
+    let mut partials: Vec<Vec<f32>> = (0..k)
         .into_par_iter()
         .chunks(CHUNK)
         .map(|rows| {
@@ -59,13 +60,34 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
             acc
         })
         .collect();
-    let mut out = vec![0.0f32; m * n];
-    for p in partials {
-        for (o, v) in out.iter_mut().zip(p) {
-            *o += v;
+    let out = match partials.len() {
+        0 => vec![0.0f32; m * n],
+        _ => tree_reduce_partials(&mut partials),
+    };
+    Matrix::from_vec(m, n, out)
+}
+
+/// Merge chunk partials pairwise: split at the midpoint, reduce both
+/// halves (in parallel via `join`), then add right into left elementwise.
+/// The merge tree is a pure function of `partials.len()` — deterministic
+/// regardless of how the halves are scheduled.
+fn tree_reduce_partials(partials: &mut [Vec<f32>]) -> Vec<f32> {
+    match partials {
+        [] => unreachable!("caller handles the empty case"),
+        [only] => std::mem::take(only),
+        _ => {
+            let mid = partials.len() / 2;
+            let (left, right) = partials.split_at_mut(mid);
+            let (mut l, r) = rayon::join(
+                || tree_reduce_partials(left),
+                || tree_reduce_partials(right),
+            );
+            for (o, v) in l.iter_mut().zip(r) {
+                *o += v;
+            }
+            l
         }
     }
-    Matrix::from_vec(m, n, out)
 }
 
 /// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` (backward-through-weights shape).
@@ -350,6 +372,29 @@ mod tests {
         let b = randm(11, 6, 4);
         let at = Matrix::from_fn(4, 11, |i, j| a.get(j, i));
         assert!(matmul_tn(&a, &b).max_abs_diff(&naive_matmul(&at, &b)) < 1e-4);
+    }
+
+    /// `matmul_tn`'s chunked partials + pairwise tree reduce must produce
+    /// the same bits on the parallel pool as on the forced-sequential
+    /// schedule (which executes the identical reduction tree inline).
+    #[test]
+    fn matmul_tn_bits_are_pinned_across_thread_counts() {
+        rayon::init_threads(4);
+        // k = 2000 spans multiple 512-row chunks, so the tree reduce has
+        // real internal nodes.
+        let a = randm(2000, 5, 13);
+        let b = randm(2000, 7, 14);
+        let seq = rayon::run_sequential(|| matmul_tn(&a, &b));
+        for _ in 0..3 {
+            let par = matmul_tn(&a, &b);
+            assert!(
+                par.data()
+                    .iter()
+                    .zip(seq.data())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "matmul_tn bits depend on schedule"
+            );
+        }
     }
 
     #[test]

@@ -10,10 +10,16 @@
 //! duplicated one, whose atomic add can then be optimized to a simple
 //! assign operation."
 //!
-//! The kernels below follow that design literally: the backward w.r.t.
-//! source features walks the *forward* CSR in parallel and scatters with
-//! CAS-loop atomic f32 adds, downgraded to plain stores for sub-graph nodes
-//! whose AppendUnique duplicate count is 1.
+//! [`spmm_backward_src_atomic`] and [`spmm_max_backward_atomic`] follow
+//! that design literally: they walk the *forward* CSR in parallel and
+//! scatter with CAS-loop atomic f32 adds, downgraded to plain stores for
+//! sub-graph nodes whose AppendUnique duplicate count is 1. Atomic float
+//! adds commit in race order, though, so their results vary run-to-run
+//! under real parallelism. The default [`spmm_backward_src`] /
+//! [`spmm_max_backward`] instead gather over a transposed CSR (built with
+//! a stable counting sort), accumulating each source row's contributions
+//! in ascending edge order — bit-identical at any thread count. The atomic
+//! variants are kept for paper fidelity and as an ablation baseline.
 
 #![allow(clippy::needless_range_loop)] // kernel-style indexed loops mirror the CUDA code
 
@@ -164,10 +170,99 @@ fn atomic_add_f32(slot: &AtomicU32, add: f32) {
     }
 }
 
-/// g-SpMM backward w.r.t. source features: the transposed aggregation,
-/// executed on the **untransposed** CSR with atomic adds; source nodes with
-/// `dup_count == 1` take the plain-store fast path.
+/// The transposed adjacency of a [`BlockCsr`]: for every source node, its
+/// incoming edges (and their destinations) in **ascending edge order** —
+/// the deterministic gather order for the backward kernels.
+struct ReverseCsr {
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+    dsts: Vec<u32>,
+}
+
+/// Build the transpose with a stable counting sort over the edge list.
+/// O(E) and sequential: the fill is a trivial fraction of the channel-wide
+/// accumulation that follows, and stability is what buys determinism.
+fn reverse_csr(block: &BlockCsr) -> ReverseCsr {
+    let mut offsets = vec![0u32; block.num_src + 1];
+    for &c in &block.indices {
+        offsets[c as usize + 1] += 1;
+    }
+    for s in 0..block.num_src {
+        offsets[s + 1] += offsets[s];
+    }
+    let mut edges = vec![0u32; block.indices.len()];
+    let mut dsts = vec![0u32; block.indices.len()];
+    let mut next: Vec<u32> = offsets[..block.num_src].to_vec();
+    for d in 0..block.num_dst {
+        for e in block.offsets[d] as usize..block.offsets[d + 1] as usize {
+            let s = block.indices[e] as usize;
+            let pos = next[s] as usize;
+            next[s] += 1;
+            edges[pos] = e as u32;
+            dsts[pos] = d as u32;
+        }
+    }
+    ReverseCsr {
+        offsets,
+        edges,
+        dsts,
+    }
+}
+
+/// g-SpMM backward w.r.t. source features — deterministic variant: a
+/// gather over the transposed CSR, parallel across source rows, each row
+/// accumulating its incoming gradients in ascending edge order. Results
+/// are bit-identical at any thread count (the autograd tape uses this).
 pub fn spmm_backward_src(
+    block: &BlockCsr,
+    grad_dst: &Matrix,
+    edge_weights: Option<&Matrix>,
+    heads: usize,
+    agg: Agg,
+) -> Matrix {
+    assert_eq!(grad_dst.rows(), block.num_dst);
+    let channels = grad_dst.cols();
+    assert!(heads >= 1 && channels.is_multiple_of(heads));
+    let head_dim = channels / heads;
+    let rev = reverse_csr(block);
+    let mut out = Matrix::zeros(block.num_src, channels);
+    out.data_mut()
+        .par_chunks_mut(channels.max(1))
+        .enumerate()
+        .for_each(|(s, orow)| {
+            for i in rev.offsets[s] as usize..rev.offsets[s + 1] as usize {
+                let e = rev.edges[i] as usize;
+                let d = rev.dsts[i] as usize;
+                let scale = agg_scale(agg, block.degree(d));
+                let grow = grad_dst.row(d);
+                match edge_weights {
+                    None => {
+                        for (o, &g) in orow.iter_mut().zip(grow) {
+                            *o += scale * g;
+                        }
+                    }
+                    Some(w) => {
+                        let wrow = w.row(e);
+                        for h in 0..heads {
+                            let wh = scale * wrow[h];
+                            let base = h * head_dim;
+                            for j in 0..head_dim {
+                                orow[base + j] += wh * grow[base + j];
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    out
+}
+
+/// g-SpMM backward w.r.t. source features — the paper-literal atomic
+/// variant: the transposed aggregation executed on the **untransposed**
+/// CSR with atomic adds; source nodes with `dup_count == 1` take the
+/// plain-store fast path. Atomic f32 adds commit in race order, so outputs
+/// may differ in low bits between runs; kept for fidelity and ablation.
+pub fn spmm_backward_src_atomic(
     block: &BlockCsr,
     grad_dst: &Matrix,
     edge_weights: Option<&Matrix>,
@@ -272,8 +367,36 @@ pub fn spmm_max(block: &BlockCsr, src: &Matrix) -> (Matrix, Vec<u32>) {
 }
 
 /// Backward of [`spmm_max`]: each `(dst, channel)` gradient flows only to
-/// the source node of its winning edge.
+/// the source node of its winning edge. Deterministic variant — gathers
+/// over the transposed CSR, so each source row checks its incoming edges
+/// in ascending order against the argmax and accumulates schedule-free.
 pub fn spmm_max_backward(block: &BlockCsr, grad_dst: &Matrix, argmax: &[u32]) -> Matrix {
+    let channels = grad_dst.cols();
+    assert_eq!(argmax.len(), block.num_dst * channels);
+    let rev = reverse_csr(block);
+    let mut out = Matrix::zeros(block.num_src, channels);
+    out.data_mut()
+        .par_chunks_mut(channels.max(1))
+        .enumerate()
+        .for_each(|(s, orow)| {
+            for i in rev.offsets[s] as usize..rev.offsets[s + 1] as usize {
+                let e = rev.edges[i];
+                let d = rev.dsts[i] as usize;
+                let grow = grad_dst.row(d);
+                let arow = &argmax[d * channels..(d + 1) * channels];
+                for c in 0..channels {
+                    if arow[c] == e {
+                        orow[c] += grow[c];
+                    }
+                }
+            }
+        });
+    out
+}
+
+/// Backward of [`spmm_max`], paper-literal atomic-scatter variant (race-
+/// order float adds; kept for fidelity and ablation).
+pub fn spmm_max_backward_atomic(block: &BlockCsr, grad_dst: &Matrix, argmax: &[u32]) -> Matrix {
     let channels = grad_dst.cols();
     assert_eq!(argmax.len(), block.num_dst * channels);
     let grad_src: Vec<AtomicU32> = (0..block.num_src * channels)
@@ -642,10 +765,89 @@ mod tests {
         }
     }
 
+    /// Random block shared by the determinism tests: dense duplicate
+    /// structure so the atomic path really contends.
+    fn random_block(seed: u64, num_dst: usize, num_src: usize, max_deg: usize) -> BlockCsr {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut offsets = vec![0u32];
+        let mut indices = Vec::new();
+        for _ in 0..num_dst {
+            let deg = rng.gen_range(0..=max_deg);
+            for _ in 0..deg {
+                indices.push(rng.gen_range(0..num_src as u32));
+            }
+            offsets.push(indices.len() as u32);
+        }
+        let mut dup = vec![0u32; num_src];
+        for &c in &indices {
+            dup[c as usize] += 1;
+        }
+        let b = BlockCsr {
+            num_dst,
+            num_src,
+            offsets,
+            indices,
+            dup_count: dup,
+        };
+        b.validate();
+        b
+    }
+
+    #[test]
+    fn deterministic_backward_matches_atomic_variant() {
+        let b = random_block(60, 40, 64, 8);
+        let g = randm(40, 6, 61);
+        for agg in [Agg::Sum, Agg::Mean] {
+            let det = spmm_backward_src(&b, &g, None, 1, agg);
+            let atomic = spmm_backward_src_atomic(&b, &g, None, 1, agg);
+            assert!(det.max_abs_diff(&atomic) < 1e-4, "{agg:?}");
+        }
+        let heads = 2;
+        let w = randm(b.num_edges(), heads, 62);
+        let gw = randm(40, 6, 63);
+        let det = spmm_backward_src(&b, &gw, Some(&w), heads, Agg::Sum);
+        let atomic = spmm_backward_src_atomic(&b, &gw, Some(&w), heads, Agg::Sum);
+        assert!(det.max_abs_diff(&atomic) < 1e-4);
+
+        let src = randm(64, 6, 64);
+        let (_, argmax) = spmm_max(&b, &src);
+        let det = spmm_max_backward(&b, &g, &argmax);
+        let atomic = spmm_max_backward_atomic(&b, &g, &argmax);
+        assert!(det.max_abs_diff(&atomic) < 1e-5);
+    }
+
+    /// The default backwards must be bit-identical between the parallel
+    /// pool and the forced-sequential schedule (the atomic variants are
+    /// exactly the kernels that can NOT promise this).
+    #[test]
+    fn deterministic_backward_is_bit_identical_across_schedules() {
+        rayon::init_threads(4);
+        let b = random_block(70, 128, 160, 12);
+        let g = randm(128, 16, 71);
+        let src = randm(160, 16, 72);
+        let (_, argmax) = spmm_max(&b, &src);
+        let seq_src = rayon::run_sequential(|| spmm_backward_src(&b, &g, None, 1, Agg::Mean));
+        let seq_max = rayon::run_sequential(|| spmm_max_backward(&b, &g, &argmax));
+        for _ in 0..3 {
+            let par_src = spmm_backward_src(&b, &g, None, 1, Agg::Mean);
+            assert!(par_src
+                .data()
+                .iter()
+                .zip(seq_src.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            let par_max = spmm_max_backward(&b, &g, &argmax);
+            assert!(par_max
+                .data()
+                .iter()
+                .zip(seq_max.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
     #[test]
     fn atomic_add_accumulates_under_contention() {
         let slot = AtomicU32::new(0f32.to_bits());
-        (0..10_000)
+        (0..10_000u32)
             .into_par_iter()
             .for_each(|_| atomic_add_f32(&slot, 0.5));
         let v = f32::from_bits(slot.into_inner());

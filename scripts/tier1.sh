@@ -20,8 +20,15 @@ fi
 echo "tier1: cargo build --release"
 cargo build --release "${OFFLINE_FLAGS[@]}"
 
+# The suite runs twice: once on the work-stealing pool at its natural
+# width and once pinned to one worker (WG_THREADS=1). The rayon shim
+# guarantees bit-identical numerics at any thread count, so both passes
+# must agree with the same expectations.
 echo "tier1: cargo test -q"
 cargo test -q "${OFFLINE_FLAGS[@]}"
+
+echo "tier1: WG_THREADS=1 cargo test -q"
+WG_THREADS=1 cargo test -q "${OFFLINE_FLAGS[@]}"
 
 echo "tier1: cargo fmt --check"
 cargo fmt --check
