@@ -120,6 +120,17 @@ impl Tape {
         self.nodes[id.0].grad.as_ref()
     }
 
+    /// Move a node's value matrix out of the tape, leaving an empty matrix
+    /// behind. Lets callers reclaim a large buffer (e.g. the gathered input
+    /// features at [`NodeId::first`]) once the tape is done with it — after
+    /// `backward`, before the tape is dropped.
+    pub fn take_value(&mut self, id: NodeId) -> Matrix {
+        std::mem::replace(
+            &mut self.nodes[id.0].value,
+            Matrix::from_vec(0, 0, Vec::new()),
+        )
+    }
+
     /// Constant input (e.g. gathered features).
     pub fn input(&mut self, value: Matrix) -> NodeId {
         self.push(value, Op::Input)

@@ -1,10 +1,17 @@
 //! Ablation: Algorithm 1 (path-doubling sampling without replacement) vs
-//! the rejection-sampling and reservoir-style baselines (§III-C1).
+//! the rejection-sampling and reservoir-style baselines (§III-C1), plus
+//! the mini-batch hot path: the old-API shape (per-node neighbor copies,
+//! Vec-of-Vecs, serial flatten) vs the zero-copy scratch-arena path.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use wg_graph::gen;
 use wg_sample::wrs::{rejection_sample, sample_without_replacement, PathDoublingSampler};
+use wg_sample::{
+    sample_minibatch_into, sample_minibatch_reference, GraphAccess, HostGraphAccess, MiniBatch,
+    SampleScratch, SamplerConfig,
+};
 
 fn bench_samplers(c: &mut Criterion) {
     let mut group = c.benchmark_group("sample_without_replacement");
@@ -44,5 +51,43 @@ fn bench_samplers(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_samplers);
+fn bench_minibatch(c: &mut Criterion) {
+    let graph = gen::erdos_renyi(10_000, 15.0, 9);
+    let features = vec![0.0f32; graph.num_nodes()];
+    let machine = wg_sim::Machine::dgx_a100();
+    let host = wg_graph::HostGraph::build(graph, features, 1, &machine.memory()).unwrap();
+    let access = HostGraphAccess(&host);
+    let handles: Vec<u64> = (0..1024u64).map(|v| access.handle_of(v)).collect();
+    let cfg = SamplerConfig {
+        fanouts: vec![15, 10, 5],
+        seed: 7,
+    };
+    let mut group = c.benchmark_group("sample_minibatch");
+    group.sample_size(10);
+    group.bench_function("old_api_copy", |b| {
+        b.iter(|| {
+            let (mb, _) = sample_minibatch_reference(&access, black_box(&handles), &cfg, 0, 0);
+            black_box(mb.blocks.len())
+        })
+    });
+    group.bench_function("zero_copy_scratch", |b| {
+        let mut scratch = SampleScratch::default();
+        let mut mb = MiniBatch::empty();
+        b.iter(|| {
+            sample_minibatch_into(
+                &access,
+                black_box(&handles),
+                &cfg,
+                0,
+                0,
+                &mut scratch,
+                &mut mb,
+            );
+            black_box(mb.blocks.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers, bench_minibatch);
 criterion_main!(benches);

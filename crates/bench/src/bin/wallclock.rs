@@ -9,7 +9,15 @@
 //!
 //! On a single-core runner the speedups degenerate to ~1.0x; the JSON
 //! records `threads` and `cores` so readers can tell.
+//!
+//! The harness also runs under a counting global allocator and reports
+//! `allocs_per_batch` for every bench: the minimum number of heap
+//! allocations observed across the (already warm) pool-schedule repeats.
+//! For the sampling bench this must be **zero** — the scratch-arena hot
+//! path's contract — and the harness asserts it.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -18,10 +26,40 @@ use rand::rngs::SmallRng;
 use wg_bench::{banner, bench_dataset, Table};
 use wg_graph::{DatasetKind, MultiGpuGraph};
 use wg_mem::gather::global_gather;
-use wg_sample::{sample_minibatch, GraphAccess, MultiGpuAccess, SamplerConfig};
+use wg_sample::{
+    sample_minibatch_into, GraphAccess, MiniBatch, MultiGpuAccess, SampleScratch, SamplerConfig,
+};
 use wg_tensor::sparse::{spmm, spmm_backward_src};
 use wg_tensor::{Agg, BlockCsr, Matrix};
 use wholegraph::prelude::*;
+
+/// Global allocation counter (all threads, pool workers included).
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator with an allocation counter in front: the witness that
+/// the sampling hot path performs zero steady-state heap allocations.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 const REPEATS: usize = 3;
 
@@ -43,6 +81,8 @@ struct Measurement {
     t1: Duration,
     tn: Duration,
     checksum: u64,
+    /// Minimum heap allocations over the warm pool-schedule repeats.
+    allocs: u64,
     /// Simulated device time for the same work, where one exists.
     sim: Option<SimTime>,
 }
@@ -55,7 +95,9 @@ impl Measurement {
 
 /// Run `work` `REPEATS` times under the sequential reference schedule and
 /// again on the pool; keep the best time of each and insist the checksums
-/// never differ between (or within) the two schedules.
+/// never differ between (or within) the two schedules. The sequential
+/// repeats run first so closure-held scratch buffers are warm by the pool
+/// repeats, whose minimum allocation count is the steady-state figure.
 fn measure(
     name: &'static str,
     mut work: impl FnMut() -> (Duration, u64, Option<SimTime>),
@@ -64,26 +106,31 @@ fn measure(
         let mut t = Duration::MAX;
         let mut sum = None;
         let mut sim = None;
+        let mut allocs = u64::MAX;
         for _ in 0..REPEATS {
+            let a0 = ALLOCS.load(Ordering::Relaxed);
             let (d, c, s) = if sequential {
                 rayon::run_sequential(&mut work)
             } else {
                 work()
             };
+            let a = ALLOCS.load(Ordering::Relaxed) - a0;
             assert_eq!(*sum.get_or_insert(c), c, "{name}: run-to-run divergence");
             t = t.min(d);
+            allocs = allocs.min(a);
             sim = s;
         }
-        (t, sum.unwrap(), sim)
+        (t, sum.unwrap(), sim, allocs)
     };
-    let (t1, c1, sim) = best(true);
-    let (tn, cn, _) = best(false);
+    let (t1, c1, sim, _) = best(true);
+    let (tn, cn, _, allocs) = best(false);
     assert_eq!(c1, cn, "{name}: parallel result differs from sequential");
     Measurement {
         name,
         t1,
         tn,
         checksum: c1,
+        allocs,
         sim,
     }
 }
@@ -101,7 +148,7 @@ fn bench_sample() -> Measurement {
         &machine.memory(),
     )
     .unwrap();
-    let access = MultiGpuAccess(&store);
+    let access = MultiGpuAccess::new(&store);
     let batch: Vec<u64> = dataset
         .train
         .iter()
@@ -112,9 +159,11 @@ fn bench_sample() -> Measurement {
         fanouts: vec![30, 30, 30],
         seed: 17,
     };
+    let mut scratch = SampleScratch::default();
+    let mut mb = MiniBatch::empty();
     measure("sample", move || {
         let start = Instant::now();
-        let (mb, _) = sample_minibatch(&access, &batch, &cfg, 0, 0);
+        sample_minibatch_into(&access, &batch, &cfg, 0, 0, &mut scratch, &mut mb);
         let elapsed = start.elapsed();
         let words = mb.blocks.iter().flat_map(|b| {
             (b.offsets.iter().map(|&x| x as u64))
@@ -235,12 +284,23 @@ fn main() {
 
     let results = [bench_sample(), bench_gather(), bench_spmm(), bench_epoch()];
 
+    let sample = results
+        .iter()
+        .find(|m| m.name == "sample")
+        .expect("sample bench present");
+    assert_eq!(
+        sample.allocs, 0,
+        "sampling hot path allocated {} times per warm batch (must be 0)",
+        sample.allocs
+    );
+
     let tn_header = format!("{threads}-thread (ms)");
     let mut t = Table::new(&[
         "kernel",
         "1-thread (ms)",
         tn_header.as_str(),
         "speedup",
+        "allocs/batch",
         "sim device time",
     ]);
     for m in &results {
@@ -249,6 +309,7 @@ fn main() {
             format!("{:.2}", m.t1.as_secs_f64() * 1e3),
             format!("{:.2}", m.tn.as_secs_f64() * 1e3),
             format!("{:.2}x", m.speedup()),
+            m.allocs.to_string(),
             m.sim
                 .map_or_else(|| "-".to_string(), |s| format!("{:.3} ms", s.as_millis())),
         ]);
@@ -260,11 +321,12 @@ fn main() {
         .map(|m| {
             format!(
                 "    {{\"name\": \"{}\", \"t1_ms\": {:.4}, \"tn_ms\": {:.4}, \
-                 \"speedup\": {:.4}, \"checksum\": \"{:016x}\"}}",
+                 \"speedup\": {:.4}, \"allocs_per_batch\": {}, \"checksum\": \"{:016x}\"}}",
                 m.name,
                 m.t1.as_secs_f64() * 1e3,
                 m.tn.as_secs_f64() * 1e3,
                 m.speedup(),
+                m.allocs,
                 m.checksum
             )
         })

@@ -63,8 +63,8 @@ use wg_gnn::{GnnModel, LayerProvider};
 use wg_graph::{GlobalId, HostGraph, MultiGpuGraph, NodeId, SyntheticDataset};
 use wg_mem::gather::global_gather;
 use wg_sample::{
-    sample_minibatch, GraphAccess, HostGraphAccess, MiniBatch, MultiGpuAccess, SampleStats,
-    SamplerConfig,
+    sample_minibatch_into, GraphAccess, HostGraphAccess, MiniBatch, MultiGpuAccess, SampleScratch,
+    SampleStats, SamplerConfig,
 };
 use wg_sim::memory::OutOfMemory;
 use wg_sim::{Machine, SimTime};
@@ -79,6 +79,24 @@ enum StoreImpl {
     Host(HostGraph),
 }
 
+/// Recycled per-iteration buffers (DESIGN.md, "Hot-path memory
+/// discipline"): the sampler's scratch arena plus small pools of
+/// mini-batch, handle and feature buffers, so steady-state iterations
+/// reuse warm capacity instead of reallocating it every batch.
+#[derive(Default)]
+struct IterScratch {
+    sample: SampleScratch,
+    minibatches: Vec<MiniBatch>,
+    handles: Vec<Vec<u64>>,
+    gather_rows: Vec<usize>,
+    feature_buf: Vec<f32>,
+}
+
+/// Pool size for recycled mini-batch / handle buffers. Serial iteration
+/// holds at most one of each in flight; a little slack covers inference
+/// and evaluation interleaving with training.
+const ITER_POOL_CAP: usize = 4;
+
 /// An end-to-end training pipeline for one framework on one dataset.
 pub struct Pipeline {
     cfg: PipelineConfig,
@@ -90,6 +108,8 @@ pub struct Pipeline {
     opt: Adam,
     provider: LayerProvider,
     setup_time: SimTime,
+    sampler_cfg: SamplerConfig,
+    scratch: IterScratch,
 }
 
 impl Pipeline {
@@ -152,6 +172,10 @@ impl Pipeline {
         let provider = cfg
             .provider_override
             .unwrap_or(cfg.framework.default_provider());
+        let sampler_cfg = SamplerConfig {
+            fanouts: cfg.fanouts.clone(),
+            seed: cfg.seed,
+        };
         Ok(Pipeline {
             cfg,
             machine,
@@ -161,6 +185,8 @@ impl Pipeline {
             opt,
             provider,
             setup_time,
+            sampler_cfg,
+            scratch: IterScratch::default(),
         })
     }
 
@@ -205,45 +231,85 @@ impl Pipeline {
         &self.dataset
     }
 
-    fn handles_for(&self, nodes: &[NodeId]) -> Vec<u64> {
+    fn handles_for(&mut self, nodes: &[NodeId]) -> Vec<u64> {
+        let mut out = self.scratch.handles.pop().unwrap_or_default();
+        out.clear();
         match &self.store {
             StoreImpl::Dsm(s) => {
-                let a = MultiGpuAccess(s);
-                nodes.iter().map(|&v| a.handle_of(v)).collect()
+                let a = MultiGpuAccess::new(s);
+                out.extend(nodes.iter().map(|&v| a.handle_of(v)));
             }
             StoreImpl::Host(h) => {
                 let a = HostGraphAccess(h);
-                nodes.iter().map(|&v| a.handle_of(v)).collect()
+                out.extend(nodes.iter().map(|&v| a.handle_of(v)));
             }
+        }
+        out
+    }
+
+    fn sample(&mut self, handles: &[u64], epoch: u64, iter: u64) -> (MiniBatch, SampleStats) {
+        let mut mb = self
+            .scratch
+            .minibatches
+            .pop()
+            .unwrap_or_else(MiniBatch::empty);
+        let stats = match &self.store {
+            StoreImpl::Dsm(s) => sample_minibatch_into(
+                &MultiGpuAccess::new(s),
+                handles,
+                &self.sampler_cfg,
+                epoch,
+                iter,
+                &mut self.scratch.sample,
+                &mut mb,
+            ),
+            StoreImpl::Host(h) => sample_minibatch_into(
+                &HostGraphAccess(h),
+                handles,
+                &self.sampler_cfg,
+                epoch,
+                iter,
+                &mut self.scratch.sample,
+                &mut mb,
+            ),
+        };
+        (mb, stats)
+    }
+
+    /// Return an iteration's transient buffers to the recycle pools so the
+    /// next iteration starts with warm capacity.
+    pub(crate) fn recycle_iter_buffers(&mut self, mb: Option<MiniBatch>, handles: Vec<u64>) {
+        if let Some(mb) = mb {
+            if self.scratch.minibatches.len() < ITER_POOL_CAP {
+                self.scratch.minibatches.push(mb);
+            }
+        }
+        if handles.capacity() > 0 && self.scratch.handles.len() < ITER_POOL_CAP {
+            self.scratch.handles.push(handles);
         }
     }
 
-    fn sample(&self, handles: &[u64], epoch: u64, iter: u64) -> (MiniBatch, SampleStats) {
-        let sampler = SamplerConfig {
-            fanouts: self.cfg.fanouts.clone(),
-            seed: self.cfg.seed,
-        };
-        match &self.store {
-            StoreImpl::Dsm(s) => {
-                sample_minibatch(&MultiGpuAccess(s), handles, &sampler, epoch, iter)
-            }
-            StoreImpl::Host(h) => {
-                sample_minibatch(&HostGraphAccess(h), handles, &sampler, epoch, iter)
-            }
+    /// Hand a spent feature buffer (e.g. the gathered-input matrix the
+    /// train stage reclaims from the tape) back to the gather pool.
+    pub(crate) fn reclaim_feature_buf(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > self.scratch.feature_buf.capacity() {
+            self.scratch.feature_buf = buf;
         }
     }
 
     /// Gather the input features of a mini-batch. Returns the dense
     /// feature matrix (rows follow `mb.input_nodes()` order) and the
     /// simulated phase time.
-    fn gather(&self, mb: &MiniBatch, iter: u64) -> (Matrix, SimTime) {
+    fn gather(&mut self, mb: &MiniBatch, iter: u64) -> (Matrix, SimTime) {
         let feat_dim = self.dataset.feature_dim;
         let input = mb.input_nodes();
         match &self.store {
             StoreImpl::Dsm(s) if self.cfg.feature_placement == FeaturePlacement::HostMapped => {
                 // Zero-copy: the gather kernel reads host-pinned rows over
                 // PCIe directly (no CPU gather step, no staging buffer).
-                let mut out = Vec::with_capacity(input.len() * feat_dim);
+                let mut out = std::mem::take(&mut self.scratch.feature_buf);
+                out.clear();
+                out.reserve(input.len() * feat_dim);
                 for &h in input {
                     let v = s.partition().node_of(GlobalId::from_raw(h)) as usize;
                     out.extend_from_slice(&self.dataset.features[v * feat_dim..(v + 1) * feat_dim]);
@@ -257,11 +323,16 @@ impl Pipeline {
                 (Matrix::from_vec(input.len(), feat_dim, out), t)
             }
             StoreImpl::Dsm(s) => {
-                let rows: Vec<usize> = input
-                    .iter()
-                    .map(|&h| s.feature_row_of_global(GlobalId::from_raw(h)))
-                    .collect();
-                let mut out = vec![0.0f32; rows.len() * feat_dim];
+                let mut rows = std::mem::take(&mut self.scratch.gather_rows);
+                rows.clear();
+                rows.extend(
+                    input
+                        .iter()
+                        .map(|&h| s.feature_row_of_global(GlobalId::from_raw(h))),
+                );
+                let mut out = std::mem::take(&mut self.scratch.feature_buf);
+                out.clear();
+                out.resize(rows.len() * feat_dim, 0.0);
                 let rank = (iter % self.machine.num_gpus() as u64) as u32;
                 let stats = global_gather(
                     s.features(),
@@ -271,13 +342,15 @@ impl Pipeline {
                     self.machine.cost(),
                     self.machine.spec(wg_sim::DeviceId::Gpu(rank)),
                 );
-                (Matrix::from_vec(rows.len(), feat_dim, out), stats.sim_time)
+                let num_rows = rows.len();
+                self.scratch.gather_rows = rows;
+                (Matrix::from_vec(num_rows, feat_dim, out), stats.sim_time)
             }
             StoreImpl::Host(h) => {
                 // CPU-side gather, then the mini-batch (features +
                 // sub-graph structure) crosses PCIe; with all GPUs loading
                 // concurrently each gets a shared uplink (§III-B).
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch.feature_buf);
                 h.gather_features(input, &mut out);
                 let feat_bytes = (out.len() * 4) as u64;
                 let struct_bytes: u64 = mb
@@ -308,7 +381,7 @@ impl Pipeline {
     fn stable_ids(&self, handles: &[u64]) -> Vec<NodeId> {
         match &self.store {
             StoreImpl::Dsm(s) => {
-                let a = MultiGpuAccess(s);
+                let a = MultiGpuAccess::new(s);
                 handles.iter().map(|&h| a.stable_id(h)).collect()
             }
             StoreImpl::Host(_) => handles.to_vec(),
@@ -426,6 +499,8 @@ impl Pipeline {
             report.compute_time += t_eval;
             report.batches += 1;
             batch_times.push((t_sample + t_gather, t_eval));
+            self.reclaim_feature_buf(tape.take_value(wg_autograd::NodeId::first()).into_vec());
+            self.recycle_iter_buffers(Some(mb), handles);
         }
         report.nodes = nodes.len();
         report.wall_time = match self.cfg.exec {
@@ -457,6 +532,8 @@ impl Pipeline {
             for (p, v) in preds.iter().zip(ids.iter()) {
                 cm.record(self.dataset.labels[*v as usize], *p);
             }
+            self.reclaim_feature_buf(tape.take_value(wg_autograd::NodeId::first()).into_vec());
+            self.recycle_iter_buffers(Some(mb), handles);
         }
         cm
     }

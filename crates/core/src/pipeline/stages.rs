@@ -70,8 +70,13 @@ impl<'p> IterContext<'p> {
         }
     }
 
-    /// Assemble the iteration result from the completed stages' output.
-    pub(crate) fn into_result(self, times: IterTimes) -> IterationResult {
+    /// Assemble the iteration result from the completed stages' output,
+    /// returning the iteration's transient buffers to the pipeline's
+    /// recycle pools on the way out.
+    pub(crate) fn into_result(mut self, times: IterTimes) -> IterationResult {
+        let mb = self.minibatch.take();
+        let handles = std::mem::take(&mut self.handles);
+        self.pipeline.recycle_iter_buffers(mb, handles);
         IterationResult {
             times,
             loss: self.loss,
@@ -146,11 +151,14 @@ impl Stage for GatherStage {
     }
 
     fn run(&self, ctx: &mut IterContext<'_>) -> SimTime {
+        // Take the batch out so the pipeline can be borrowed mutably (its
+        // gather scratch buffers live behind the same `&mut`).
         let mb = ctx
             .minibatch
-            .as_ref()
+            .take()
             .expect("gather requires a sampled mini-batch");
-        let (features, t_gather) = ctx.pipeline.gather(mb, ctx.iter);
+        let (features, t_gather) = ctx.pipeline.gather(&mb, ctx.iter);
+        ctx.minibatch = Some(mb);
         ctx.features = Some(features);
         t_gather
     }
@@ -200,6 +208,9 @@ impl Stage for TrainStage {
             tape.backward(out, grad, &mut p.model.params);
             p.opt.step(&mut p.model.params);
         }
+        // The tape is done with the gathered-input matrix; reclaim its
+        // buffer for the next iteration's gather.
+        p.reclaim_feature_buf(tape.take_value(wg_autograd::NodeId::first()).into_vec());
         let gpu_spec = p.machine.spec(wg_sim::DeviceId::Gpu(0));
         let t_train = train_step_time(
             &p.cfg

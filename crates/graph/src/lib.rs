@@ -35,4 +35,4 @@ pub use csr::Csr;
 pub use datasets::{DatasetKind, SyntheticDataset};
 pub use global_id::GlobalId;
 pub use partition::HashPartition;
-pub use store::{HostGraph, MultiGpuGraph};
+pub use store::{AdjacencyView, HostGraph, MultiGpuGraph};

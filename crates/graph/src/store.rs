@@ -10,7 +10,7 @@
 //! feature matrix stay in host DRAM ("Graph Store Server" of Figure 1), and
 //! every mini-batch must be assembled on the CPU and shipped over PCIe.
 
-use wg_mem::WholeMemory;
+use wg_mem::{RegionView, WholeMemory};
 use wg_sim::cost::AccessMode;
 use wg_sim::memory::{AllocKind, MemoryAccounting, OutOfMemory};
 use wg_sim::{CostModel, DeviceId, SimTime};
@@ -346,6 +346,60 @@ impl MultiGpuGraph {
             &mut meta,
         );
         rank as u64 * self.edge_rows_per_rank as u64 + meta[0]
+    }
+
+    /// Pin the structure allocations (node metadata + edge lists) and
+    /// return a zero-copy [`AdjacencyView`]: degree / neighbor / edge-slot
+    /// lookups become plain indexed loads into the pinned regions, with no
+    /// per-call locking and no copying — the CPU analogue of a sampling
+    /// kernel dereferencing the DSM pointer table directly.
+    pub fn adjacency(&self) -> AdjacencyView<'_> {
+        AdjacencyView {
+            meta: self.node_meta.pin(),
+            edges: self.edges.pin(),
+            edge_rows_per_rank: self.edge_rows_per_rank,
+        }
+    }
+}
+
+/// Zero-copy adjacency access over a pinned [`MultiGpuGraph`], created by
+/// [`MultiGpuGraph::adjacency`]. Neighbor lists are borrowed straight out
+/// of the pinned edge regions — sampling `m ≤ fanout` of `deg` neighbors
+/// never materializes the `deg`-entry list.
+pub struct AdjacencyView<'a> {
+    meta: RegionView<'a, u64>,
+    edges: RegionView<'a, u64>,
+    edge_rows_per_rank: usize,
+}
+
+impl AdjacencyView<'_> {
+    /// `[edge_start_local, degree]` metadata of a node.
+    #[inline]
+    fn meta_of(&self, g: GlobalId) -> (usize, usize) {
+        let row = g.local() as usize * 2;
+        let meta = &self.meta.region(g.rank())[row..row + 2];
+        (meta[0] as usize, meta[1] as usize)
+    }
+
+    /// Out-degree of a node.
+    #[inline]
+    pub fn degree(&self, g: GlobalId) -> usize {
+        self.meta_of(g).1
+    }
+
+    /// Borrowed neighbor list (raw [`GlobalId`]s) of a node.
+    #[inline]
+    pub fn neighbors(&self, g: GlobalId) -> &[u64] {
+        let (start, deg) = self.meta_of(g);
+        &self.edges.region(g.rank())[start..start + deg]
+    }
+
+    /// Global edge slot of a node's first edge (see
+    /// [`MultiGpuGraph::edge_slot_base`]).
+    #[inline]
+    pub fn edge_slot_base(&self, g: GlobalId) -> u64 {
+        let (start, _) = self.meta_of(g);
+        g.rank() as u64 * self.edge_rows_per_rank as u64 + start as u64
     }
 }
 

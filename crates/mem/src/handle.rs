@@ -208,6 +208,18 @@ impl<T: Element> WholeMemory<T> {
         f(&self.regions[rank as usize].read())
     }
 
+    /// Pin every region under a read guard and return a [`RegionView`] that
+    /// hands out borrowed slices — the zero-copy analogue of a kernel
+    /// holding the DSM pointer table: one lock acquisition per region up
+    /// front, then plain indexed loads with no per-access locking or
+    /// copying. Writers block while a view is live, so callers should keep
+    /// views scoped to read-only phases (e.g. one sampling pass).
+    pub fn pin(&self) -> RegionView<'_, T> {
+        RegionView {
+            guards: self.regions.iter().map(|r| r.read()).collect(),
+        }
+    }
+
     /// Acquire read guards on all regions (a gather kernel's view of the
     /// whole address space through its pointer table).
     pub(crate) fn read_all(&self) -> Vec<parking_lot::RwLockReadGuard<'_, Vec<T>>> {
@@ -217,6 +229,21 @@ impl<T: Element> WholeMemory<T> {
     /// Acquire a write guard on one rank's region.
     pub(crate) fn region_write(&self, rank: u32) -> parking_lot::RwLockWriteGuard<'_, Vec<T>> {
         self.regions[rank as usize].write()
+    }
+}
+
+/// Read guards over every region of a [`WholeMemory`], created by
+/// [`WholeMemory::pin`]. Region slices are borrowed straight out of the
+/// guards, so reads through a view neither lock nor copy.
+pub struct RegionView<'a, T> {
+    guards: Vec<parking_lot::RwLockReadGuard<'a, Vec<T>>>,
+}
+
+impl<T: Element> RegionView<'_, T> {
+    /// The full memory region owned by `rank`.
+    #[inline]
+    pub fn region(&self, rank: u32) -> &[T] {
+        &self.guards[rank as usize]
     }
 }
 

@@ -40,6 +40,6 @@ pub mod probe;
 pub use access::Element;
 pub use embedding::EmbeddingTable;
 pub use gather::GatherStats;
-pub use handle::WholeMemory;
+pub use handle::{RegionView, WholeMemory};
 pub use ipc::{IpcHandle, MemoryPointerTable, SetupReport};
 pub use nccl::NcclGatherStats;

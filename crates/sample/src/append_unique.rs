@@ -26,10 +26,23 @@
 use rayon::prelude::*;
 
 use crate::hashtable::{GpuHashTable, Insert, UNASSIGNED};
-use crate::prefix::parallel_exclusive_scan;
+use crate::prefix::parallel_exclusive_scan_with;
+use crate::sync_slice::SyncSliceMut;
 
 /// Slots per counting bucket (a warp-sized granule in the CUDA kernel).
 const BUCKET_SLOTS: usize = 128;
+
+/// Reusable working storage for [`append_unique_into`]: the hash table and
+/// the first-occurrence mark buffer survive across invocations, so a warm
+/// scratch makes the whole op allocation-free. Results are independent of
+/// scratch history (the table may stay oversized — see
+/// [`GpuHashTable::reset`]).
+#[derive(Default)]
+pub struct AppendUniqueScratch {
+    table: GpuHashTable,
+    first_marks: Vec<u32>,
+    scan_totals: Vec<u32>,
+}
 
 /// Output of [`append_unique`].
 #[derive(Clone, Debug)]
@@ -70,8 +83,42 @@ impl AppendUniqueResult {
 /// assert_eq!(r.dup_count.iter().sum::<u32>(), 4);
 /// ```
 pub fn append_unique(targets: &[u64], neighbors: &[u64]) -> AppendUniqueResult {
+    let mut scratch = AppendUniqueScratch::default();
+    let mut unique = Vec::new();
+    let mut neighbor_ids = Vec::new();
+    let mut dup_count = Vec::new();
+    append_unique_into(
+        targets,
+        neighbors,
+        &mut scratch,
+        &mut unique,
+        &mut neighbor_ids,
+        &mut dup_count,
+    );
+    AppendUniqueResult {
+        unique,
+        num_targets: targets.len(),
+        neighbor_ids,
+        dup_count,
+    }
+}
+
+/// [`append_unique`] writing into caller-provided output buffers with a
+/// reusable [`AppendUniqueScratch`]: with warm buffers the op performs no
+/// heap allocation. `unique`, `neighbor_ids` and `dup_count` are cleared
+/// and refilled; output is bit-identical to [`append_unique`] regardless of
+/// the scratch's previous use.
+pub fn append_unique_into(
+    targets: &[u64],
+    neighbors: &[u64],
+    scratch: &mut AppendUniqueScratch,
+    unique: &mut Vec<u64>,
+    neighbor_ids: &mut Vec<u32>,
+    dup_count: &mut Vec<u32>,
+) {
     let num_targets = targets.len();
-    let table = GpuHashTable::with_capacity(num_targets + neighbors.len());
+    scratch.table.reset(num_targets + neighbors.len());
+    let table = &scratch.table;
 
     // Phase 1: insert targets with their list index as value.
     targets
@@ -101,77 +148,72 @@ pub fn append_unique(targets: &[u64], neighbors: &[u64]) -> AppendUniqueResult {
     // position in the input, and prefix-sum the marks: the exclusive sum
     // at a node's first occurrence is its dense rank among new neighbors.
     let slots = table.num_slots();
-    let num_buckets = slots.div_ceil(BUCKET_SLOTS);
     let is_new = |s: usize| {
         table.key_at(s) != crate::hashtable::EMPTY_KEY && table.value_at(s) == UNASSIGNED
     };
-    let first_positions: Vec<usize> = (0..num_buckets)
-        .into_par_iter()
-        .flat_map_iter(|b| {
-            let lo = b * BUCKET_SLOTS;
-            let hi = (lo + BUCKET_SLOTS).min(slots);
-            (lo..hi)
-                .filter(|&s| is_new(s))
-                .map(|s| table.min_index_at(s) as usize)
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    let mut first_marks = vec![0u32; neighbors.len()];
-    for &pos in &first_positions {
-        first_marks[pos] = 1;
+    scratch.first_marks.clear();
+    scratch.first_marks.resize(neighbors.len(), 0);
+    {
+        // Distinct new slots hold distinct keys, and each key's watermark
+        // is an input position that inserted that key — so the marked
+        // positions are pairwise distinct and the writes are disjoint.
+        let marks = SyncSliceMut::new(&mut scratch.first_marks);
+        (0..slots)
+            .into_par_iter()
+            .with_min_len(BUCKET_SLOTS)
+            .for_each(|s| {
+                if is_new(s) {
+                    unsafe { marks.write(table.min_index_at(s) as usize, 1) };
+                }
+            });
     }
-    let new_neighbors = parallel_exclusive_scan(&mut first_marks) as usize;
+    let new_neighbors =
+        parallel_exclusive_scan_with(&mut scratch.first_marks, &mut scratch.scan_totals) as usize;
+    let first_marks = &scratch.first_marks;
 
     // Phase 4: assign sub-graph IDs (target count + first-occurrence rank)
-    // and collect the unique list + duplicate counts.
+    // and write the unique list + duplicate counts positionally (ranks are
+    // distinct by construction of the exclusive scan).
     let total_unique = num_targets + new_neighbors;
-    let mut unique = vec![0u64; total_unique];
-    let mut dup_count = vec![0u32; total_unique];
+    unique.clear();
+    unique.resize(total_unique, 0);
+    dup_count.clear();
+    dup_count.resize(total_unique, 0);
     unique[..num_targets].copy_from_slice(targets);
     // Targets' duplicate counts come from their slots.
     for (idx, &key) in targets.iter().enumerate() {
         let (slot, _) = table.get(key).expect("target vanished from table");
         dup_count[idx] = table.count_at(slot) as u32;
     }
-    // Collect assignments first to avoid aliasing the output slices from
-    // the parallel loop.
-    let assignments: Vec<(usize, u64, u32)> = (0..num_buckets)
-        .into_par_iter()
-        .flat_map_iter(|b| {
-            let lo = b * BUCKET_SLOTS;
-            let hi = (lo + BUCKET_SLOTS).min(slots);
-            (lo..hi)
-                .filter(|&s| is_new(s))
-                .map(|s| {
+    {
+        let unique_new = SyncSliceMut::new(&mut unique[num_targets..]);
+        let dup_new = SyncSliceMut::new(&mut dup_count[num_targets..]);
+        (0..slots)
+            .into_par_iter()
+            .with_min_len(BUCKET_SLOTS)
+            .for_each(|s| {
+                if is_new(s) {
                     let rank = first_marks[table.min_index_at(s) as usize] as usize;
-                    let id = num_targets + rank;
-                    table.set_value(s, id as i64);
-                    (id, table.key_at(s), table.count_at(s) as u32)
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    for (id, key, count) in assignments {
-        unique[id] = key;
-        dup_count[id] = count;
+                    table.set_value(s, (num_targets + rank) as i64);
+                    unsafe {
+                        unique_new.write(rank, table.key_at(s));
+                        dup_new.write(rank, table.count_at(s) as u32);
+                    }
+                }
+            });
     }
 
     // Phase 5: remap every input neighbor through the table.
-    let neighbor_ids: Vec<u32> = neighbors
-        .par_iter()
-        .map(|&key| {
+    neighbor_ids.clear();
+    neighbor_ids.resize(neighbors.len(), 0);
+    neighbor_ids
+        .par_iter_mut()
+        .zip(neighbors.par_iter())
+        .for_each(|(out, &key)| {
             let (_, v) = table.get(key).expect("sampled neighbor missing from table");
             debug_assert!(v >= 0, "neighbor {key} was never assigned a sub-graph ID");
-            v as u32
-        })
-        .collect();
-
-    AppendUniqueResult {
-        unique,
-        num_targets,
-        neighbor_ids,
-        dup_count,
-    }
+            *out = v as u32;
+        });
 }
 
 /// Sort-based reference implementation ("the sort method used in other
@@ -344,6 +386,45 @@ mod tests {
             }
         }
         assert_eq!(&seq.unique[targets.len()..], &expect[..]);
+    }
+
+    /// A reused (oversized, dirty) scratch must produce bit-identical
+    /// output to a fresh one: IDs are keyed on first-occurrence watermarks,
+    /// never on slot positions, so table size cannot leak into results.
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh() {
+        let mut scratch = AppendUniqueScratch::default();
+        let (mut unique, mut ids, mut dups) = (Vec::new(), Vec::new(), Vec::new());
+        // Warm the scratch with a *large* input first so later runs see an
+        // oversized table.
+        let big_targets: Vec<u64> = (5000..5400).collect();
+        let big_neighbors: Vec<u64> = (0..20_000u64).map(|i| i % 1777).collect();
+        append_unique_into(
+            &big_targets,
+            &big_neighbors,
+            &mut scratch,
+            &mut unique,
+            &mut ids,
+            &mut dups,
+        );
+        for round in 0..3u64 {
+            let targets: Vec<u64> = (100 + round..140 + round).collect();
+            let neighbors: Vec<u64> = (0..3000u64)
+                .map(|i| (i * 2654435761 + round) % 211 + 90)
+                .collect();
+            let fresh = append_unique(&targets, &neighbors);
+            append_unique_into(
+                &targets,
+                &neighbors,
+                &mut scratch,
+                &mut unique,
+                &mut ids,
+                &mut dups,
+            );
+            assert_eq!(unique, fresh.unique, "round {round}");
+            assert_eq!(ids, fresh.neighbor_ids, "round {round}");
+            assert_eq!(dups, fresh.dup_count, "round {round}");
+        }
     }
 
     proptest! {

@@ -8,6 +8,7 @@
 //! `AtomicI64` values, inserted concurrently from rayon worker threads with
 //! exactly the CAS discipline of the CUDA kernel.
 
+use rayon::prelude::*;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Sentinel for an unoccupied slot. Keys equal to this value cannot be
@@ -20,6 +21,10 @@ pub const EMPTY_KEY: u64 = u64::MAX;
 pub const UNASSIGNED: i64 = -1;
 
 /// A fixed-capacity concurrent hash table with linear probing.
+///
+/// `Default` builds a minimal (2-slot) table; grow it with
+/// [`reset`](Self::reset) before use.
+#[derive(Default)]
 pub struct GpuHashTable {
     keys: Vec<AtomicU64>,
     values: Vec<AtomicI64>,
@@ -60,6 +65,37 @@ impl GpuHashTable {
     /// Number of slots.
     pub fn num_slots(&self) -> usize {
         self.keys.len()
+    }
+
+    /// Clear the table for reuse with at least `capacity` keys at ≤50% load
+    /// factor: grow (reallocate) only when the current storage is too
+    /// small, otherwise wipe the slot arrays in place. An oversized table
+    /// changes which slots keys probe to, but AppendUnique's outputs are
+    /// keyed on first-occurrence watermarks rather than slot order, so
+    /// results are identical at any table size.
+    pub fn reset(&mut self, capacity: usize) {
+        let needed = (capacity.max(1) * 2).next_power_of_two();
+        if needed > self.keys.len() {
+            *self = Self::with_capacity(capacity);
+            return;
+        }
+        const GRAIN: usize = 4096;
+        self.keys
+            .par_iter_mut()
+            .with_min_len(GRAIN)
+            .for_each(|k| *k.get_mut() = EMPTY_KEY);
+        self.values
+            .par_iter_mut()
+            .with_min_len(GRAIN)
+            .for_each(|v| *v.get_mut() = UNASSIGNED);
+        self.counts
+            .par_iter_mut()
+            .with_min_len(GRAIN)
+            .for_each(|c| *c.get_mut() = 0);
+        self.min_idx
+            .par_iter_mut()
+            .with_min_len(GRAIN)
+            .for_each(|m| *m.get_mut() = u64::MAX);
     }
 
     #[inline]
@@ -157,7 +193,6 @@ impl GpuHashTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rayon::prelude::*;
 
     #[test]
     fn insert_and_get() {
@@ -298,6 +333,30 @@ mod tests {
             assert_eq!(t.count_at(slot), (8 * PER_THREAD / 4) as u64);
             // Smallest index ever noted for `key` is thread 0's `i == key`.
             assert_eq!(t.min_index_at(slot), key);
+        }
+    }
+
+    #[test]
+    fn reset_clears_all_slot_state_in_place() {
+        let mut t = GpuHashTable::default();
+        t.reset(100); // grows from the minimal default table
+        let slots = t.num_slots();
+        for k in 0..50u64 {
+            t.insert_counted(k);
+            let (slot, _) = t.get(k).unwrap();
+            t.set_value(slot, k as i64);
+            t.note_min_index(slot, k);
+        }
+        t.reset(40); // smaller request: storage must be kept, not shrunk
+        assert_eq!(t.num_slots(), slots);
+        for s in 0..t.num_slots() {
+            assert_eq!(t.key_at(s), EMPTY_KEY);
+            assert_eq!(t.value_at(s), UNASSIGNED);
+            assert_eq!(t.count_at(s), 0);
+            assert_eq!(t.min_index_at(s), u64::MAX);
+        }
+        for k in 0..20u64 {
+            assert!(matches!(t.insert(k), Insert::New(_)));
         }
     }
 

@@ -30,13 +30,18 @@ pub mod hashtable;
 pub mod neighbor;
 pub mod prefix;
 pub mod radix;
+mod sync_slice;
 pub mod weighted;
 pub mod wrs;
 
-pub use append_unique::{append_unique, append_unique_sorted, AppendUniqueResult};
+pub use append_unique::{
+    append_unique, append_unique_into, append_unique_sorted, AppendUniqueResult,
+    AppendUniqueScratch,
+};
 pub use neighbor::{
-    sample_minibatch, GraphAccess, HostGraphAccess, MiniBatch, MultiGpuAccess, SampleBlock,
-    SampleStats, SamplerBackend, SamplerConfig,
+    sample_minibatch, sample_minibatch_into, sample_minibatch_reference, GraphAccess,
+    HostGraphAccess, MiniBatch, MultiGpuAccess, SampleBlock, SampleScratch, SampleStats,
+    SamplerBackend, SamplerConfig,
 };
 pub use weighted::weighted_sample_without_replacement;
-pub use wrs::{sample_without_replacement, PathDoublingSampler};
+pub use wrs::{sample_small, sample_without_replacement, PathDoublingSampler, STACK_FANOUT_MAX};

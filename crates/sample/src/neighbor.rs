@@ -26,19 +26,28 @@
 
 use rayon::prelude::*;
 
-use wg_graph::{GlobalId, HostGraph, MultiGpuGraph, NodeId};
+use wg_graph::{AdjacencyView, GlobalId, HostGraph, MultiGpuGraph, NodeId};
 use wg_sim::device::DeviceSpec;
 use wg_sim::{CostModel, SimTime};
 
-use crate::append_unique::append_unique;
-use crate::wrs::PathDoublingSampler;
+use crate::append_unique::{
+    append_unique, append_unique_into, AppendUniqueResult, AppendUniqueScratch,
+};
+use crate::sync_slice::SyncSliceMut;
+use crate::wrs::{sample_small, PathDoublingSampler, STACK_FANOUT_MAX};
 
 /// Uniform view of a graph store for the sampler.
 pub trait GraphAccess: Sync {
     /// Out-degree of the node behind `handle`.
     fn degree(&self, handle: u64) -> usize;
-    /// Append the node's neighbor handles to `out` (in storage order).
-    fn neighbors_into(&self, handle: u64, out: &mut Vec<u64>);
+    /// Borrowed neighbor handles of the node (in storage order). Zero-copy:
+    /// the slice aliases the store's CSR, so sampling `m` of `deg`
+    /// neighbors never materializes the `deg`-entry list.
+    fn neighbors(&self, handle: u64) -> &[u64];
+    /// Append the node's neighbor handles to `out` (copying convenience).
+    fn neighbors_into(&self, handle: u64, out: &mut Vec<u64>) {
+        out.extend_from_slice(self.neighbors(handle));
+    }
     /// A store-independent id (the original dataset node id) used to seed
     /// per-node RNG streams identically across stores.
     fn stable_id(&self, handle: u64) -> u64;
@@ -51,25 +60,39 @@ pub trait GraphAccess: Sync {
     fn edge_slot_base(&self, handle: u64) -> u64;
 }
 
-/// Sampler view of [`MultiGpuGraph`]: handles are raw GlobalIds.
-pub struct MultiGpuAccess<'a>(pub &'a MultiGpuGraph);
+/// Sampler view of [`MultiGpuGraph`]: handles are raw GlobalIds. Holds a
+/// pinned [`AdjacencyView`], so degree/neighbor/edge-slot lookups are plain
+/// indexed loads with no locking or copying.
+pub struct MultiGpuAccess<'a> {
+    graph: &'a MultiGpuGraph,
+    adj: AdjacencyView<'a>,
+}
+
+impl<'a> MultiGpuAccess<'a> {
+    /// Pin the store's structure allocations and build the access view.
+    pub fn new(graph: &'a MultiGpuGraph) -> Self {
+        MultiGpuAccess {
+            graph,
+            adj: graph.adjacency(),
+        }
+    }
+}
 
 impl GraphAccess for MultiGpuAccess<'_> {
     fn degree(&self, handle: u64) -> usize {
-        self.0.degree_of_global(GlobalId::from_raw(handle))
+        self.adj.degree(GlobalId::from_raw(handle))
     }
-    fn neighbors_into(&self, handle: u64, out: &mut Vec<u64>) {
-        self.0
-            .with_neighbors(GlobalId::from_raw(handle), |raw| out.extend_from_slice(raw));
+    fn neighbors(&self, handle: u64) -> &[u64] {
+        self.adj.neighbors(GlobalId::from_raw(handle))
     }
     fn stable_id(&self, handle: u64) -> u64 {
-        self.0.partition().node_of(GlobalId::from_raw(handle))
+        self.graph.partition().node_of(GlobalId::from_raw(handle))
     }
     fn handle_of(&self, v: NodeId) -> u64 {
-        self.0.partition().global_id(v).raw()
+        self.graph.partition().global_id(v).raw()
     }
     fn edge_slot_base(&self, handle: u64) -> u64 {
-        self.0.edge_slot_base(GlobalId::from_raw(handle))
+        self.adj.edge_slot_base(GlobalId::from_raw(handle))
     }
 }
 
@@ -80,8 +103,8 @@ impl GraphAccess for HostGraphAccess<'_> {
     fn degree(&self, handle: u64) -> usize {
         self.0.csr().degree(handle)
     }
-    fn neighbors_into(&self, handle: u64, out: &mut Vec<u64>) {
-        out.extend_from_slice(self.0.csr().neighbors(handle));
+    fn neighbors(&self, handle: u64) -> &[u64] {
+        self.0.csr().neighbors(handle)
     }
     fn stable_id(&self, handle: u64) -> u64 {
         handle
@@ -138,6 +161,16 @@ pub struct MiniBatch {
 }
 
 impl MiniBatch {
+    /// An empty mini-batch shell for [`sample_minibatch_into`] to fill
+    /// (and refill: recycled shells keep their buffer capacities).
+    pub fn empty() -> Self {
+        MiniBatch {
+            blocks: Vec::new(),
+            frontiers: Vec::new(),
+            batch_size: 0,
+        }
+    }
+
     /// Node handles whose features must be gathered: the source space of
     /// the deepest block.
     pub fn input_nodes(&self) -> &[u64] {
@@ -217,9 +250,194 @@ fn node_seed(base: u64, epoch: u64, batch: u64, layer: usize, stable: u64) -> u6
     )
 }
 
+/// Reusable working storage for [`sample_minibatch_into`]: the flat
+/// pre-dedup neighbor buffer plus the AppendUnique scratch. With warm
+/// buffers (and fanouts within [`STACK_FANOUT_MAX`]) a whole mini-batch
+/// samples without a single heap allocation.
+#[derive(Default)]
+pub struct SampleScratch {
+    /// Concatenated sampled neighbor handles, pre-dedup (CSR over the
+    /// frontier via the block's offsets).
+    flat: Vec<u64>,
+    au: AppendUniqueScratch,
+}
+
+/// Per-node grain for the cheap degree/count pass.
+const COUNT_GRAIN: usize = 64;
+/// Per-node grain for the sampling pass (~`fanout` RNG draws + writes per
+/// node; a handful of nodes amortizes the fork overhead without starving
+/// the pool on kilonode frontiers).
+const SAMPLE_GRAIN: usize = 8;
+
 /// Sample a mini-batch: one [`SampleBlock`] per fanout, each built by
 /// parallel per-node Algorithm-1 sampling plus AppendUnique.
+///
+/// Convenience wrapper over [`sample_minibatch_into`] with fresh buffers;
+/// hot paths should hold a [`SampleScratch`] + recycled [`MiniBatch`] and
+/// call the `_into` form directly.
 pub fn sample_minibatch<G: GraphAccess>(
+    graph: &G,
+    batch_handles: &[u64],
+    cfg: &SamplerConfig,
+    epoch: u64,
+    batch_idx: u64,
+) -> (MiniBatch, SampleStats) {
+    let mut scratch = SampleScratch::default();
+    let mut mb = MiniBatch::empty();
+    let stats = sample_minibatch_into(
+        graph,
+        batch_handles,
+        cfg,
+        epoch,
+        batch_idx,
+        &mut scratch,
+        &mut mb,
+    );
+    (mb, stats)
+}
+
+/// Allocation-free mini-batch sampling into recycled buffers.
+///
+/// Two passes per layer replace the old collect-and-flatten scheme: a
+/// parallel count pass computes exact CSR offsets from per-node degrees,
+/// then a parallel pass samples each node straight into the flat
+/// neighbor/edge-id buffers through disjoint `[offsets[i], offsets[i+1])`
+/// ranges. Neighbor lists are borrowed from the store ([`GraphAccess::
+/// neighbors`]), per-node index sets come from the stack sampler, and
+/// dedup runs through [`append_unique_into`] — so once `scratch` and `out`
+/// are warm (steady state: batch shapes repeat), no heap allocation occurs.
+/// Output is bit-identical to [`sample_minibatch_reference`]: RNG streams
+/// are seeded per node from stable ids, and every write is positional.
+pub fn sample_minibatch_into<G: GraphAccess>(
+    graph: &G,
+    batch_handles: &[u64],
+    cfg: &SamplerConfig,
+    epoch: u64,
+    batch_idx: u64,
+    scratch: &mut SampleScratch,
+    out: &mut MiniBatch,
+) -> SampleStats {
+    use rand::SeedableRng;
+    let mut stats = SampleStats::default();
+    let num_layers = cfg.fanouts.len();
+    out.batch_size = batch_handles.len();
+    out.blocks.truncate(num_layers);
+    out.blocks.resize_with(num_layers, || SampleBlock {
+        num_dst: 0,
+        num_src: 0,
+        offsets: Vec::new(),
+        indices: Vec::new(),
+        edge_ids: Vec::new(),
+        dup_count: Vec::new(),
+    });
+    out.frontiers.truncate(num_layers + 1);
+    out.frontiers.resize_with(num_layers + 1, Vec::new);
+    out.frontiers[0].clear();
+    out.frontiers[0].extend_from_slice(batch_handles);
+
+    for (layer, &fanout) in cfg.fanouts.iter().enumerate() {
+        // Split so the current frontier stays readable while the next one
+        // is written (the layer's AppendUnique output).
+        let (done, rest) = out.frontiers.split_at_mut(layer + 1);
+        let frontier: &[u64] = &done[layer];
+        let next = &mut rest[0];
+        let block = &mut out.blocks[layer];
+        let n = frontier.len();
+
+        // Pass 1: exact per-node sample counts, scanned into CSR offsets.
+        block.offsets.clear();
+        block.offsets.resize(n + 1, 0);
+        block.offsets[1..]
+            .par_iter_mut()
+            .zip(frontier.par_iter())
+            .with_min_len(COUNT_GRAIN)
+            .for_each(|(c, &t)| *c = fanout.min(graph.degree(t)) as u32);
+        let mut acc = 0u32;
+        for c in block.offsets[1..].iter_mut() {
+            acc += *c;
+            *c = acc;
+        }
+        let total = acc as usize;
+
+        // Pass 2: per-node sampling ("M threads in the thread block ...
+        // grouped together to generate the sampled neighbors for one
+        // target node"), writing straight into the flat buffers.
+        scratch.flat.clear();
+        scratch.flat.resize(total, 0);
+        block.edge_ids.clear();
+        block.edge_ids.resize(total, 0);
+        {
+            let offsets = &block.offsets;
+            let flat_out = SyncSliceMut::new(&mut scratch.flat);
+            let eid_out = SyncSliceMut::new(&mut block.edge_ids);
+            frontier
+                .par_iter()
+                .enumerate()
+                .with_min_len(SAMPLE_GRAIN)
+                .for_each(|(i, &t)| {
+                    let lo = offsets[i] as usize;
+                    let m = offsets[i + 1] as usize - lo;
+                    if m == 0 {
+                        return;
+                    }
+                    let nbrs = graph.neighbors(t);
+                    let deg = nbrs.len();
+                    let mut rng = rand::rngs::SmallRng::seed_from_u64(node_seed(
+                        cfg.seed,
+                        epoch,
+                        batch_idx,
+                        layer,
+                        graph.stable_id(t),
+                    ));
+                    let base = graph.edge_slot_base(t);
+                    let write_at = |k: usize, j: u32| {
+                        // SAFETY: this node owns [lo, offsets[i+1]) and
+                        // k < m; CSR ranges of distinct nodes are disjoint.
+                        unsafe {
+                            flat_out.write(lo + k, nbrs[j as usize]);
+                            eid_out.write(lo + k, base + j as u64);
+                        }
+                    };
+                    if m <= STACK_FANOUT_MAX {
+                        let mut idx = [0u32; STACK_FANOUT_MAX];
+                        sample_small(m, deg, &mut rng, &mut idx[..m]);
+                        for (k, &j) in idx[..m].iter().enumerate() {
+                            write_at(k, j);
+                        }
+                    } else {
+                        // Fanouts beyond the stack bound fall back to the
+                        // heap sampler (allocates; off the paper's
+                        // fanout-30 hot path). Same draws, same output.
+                        let mut idx = Vec::with_capacity(m);
+                        PathDoublingSampler::new().sample(m, deg, &mut rng, &mut idx);
+                        for (k, &j) in idx.iter().enumerate() {
+                            write_at(k, j);
+                        }
+                    }
+                });
+        }
+        stats.edges_sampled += total as u64;
+        stats.keys_inserted += (n + total) as u64;
+        stats.kernels += 2; // sample kernel + append-unique kernel
+
+        append_unique_into(
+            frontier,
+            &scratch.flat,
+            &mut scratch.au,
+            next,
+            &mut block.indices,
+            &mut block.dup_count,
+        );
+        block.num_dst = n;
+        block.num_src = next.len();
+    }
+    stats
+}
+
+/// The pre-refactor sampling path, kept as the equivalence oracle for
+/// [`sample_minibatch_into`] (and as the old-API shape — per-node neighbor
+/// copies, Vec-of-Vecs, serial flatten — that the benches compare against).
+pub fn sample_minibatch_reference<G: GraphAccess>(
     graph: &G,
     batch_handles: &[u64],
     cfg: &SamplerConfig,
@@ -228,14 +446,11 @@ pub fn sample_minibatch<G: GraphAccess>(
 ) -> (MiniBatch, SampleStats) {
     use rand::SeedableRng;
     let mut stats = SampleStats::default();
-    let mut frontier: Vec<u64> = batch_handles.to_vec();
-    let mut frontiers = vec![frontier.clone()];
+    let mut frontiers = vec![batch_handles.to_vec()];
     let mut blocks = Vec::with_capacity(cfg.fanouts.len());
 
     for (layer, &fanout) in cfg.fanouts.iter().enumerate() {
-        // Per-frontier-node sampling ("M threads in the thread block ...
-        // grouped together to generate the sampled neighbors for one target
-        // node") — one rayon task per target.
+        let frontier = frontiers.last().expect("frontier exists");
         let sampled: Vec<Vec<(u64, u64)>> = frontier
             .par_iter()
             .map(|&t| {
@@ -278,17 +493,22 @@ pub fn sample_minibatch<G: GraphAccess>(
         stats.keys_inserted += (frontier.len() + flat.len()) as u64;
         stats.kernels += 2; // sample kernel + append-unique kernel
 
-        let au = append_unique(&frontier, &flat);
+        let au = append_unique(frontier, &flat);
+        let AppendUniqueResult {
+            unique,
+            num_targets: _,
+            neighbor_ids,
+            dup_count,
+        } = au;
         blocks.push(SampleBlock {
             num_dst: frontier.len(),
-            num_src: au.num_unique(),
+            num_src: unique.len(),
             offsets,
-            indices: au.neighbor_ids.clone(),
+            indices: neighbor_ids,
             edge_ids,
-            dup_count: au.dup_count.clone(),
+            dup_count,
         });
-        frontier = au.unique;
-        frontiers.push(frontier.clone());
+        frontiers.push(unique);
     }
 
     (
@@ -324,7 +544,7 @@ mod tests {
     #[test]
     fn blocks_have_consistent_shapes() {
         let (mg, _) = stores();
-        let access = MultiGpuAccess(&mg);
+        let access = MultiGpuAccess::new(&mg);
         let cfg = SamplerConfig {
             fanouts: vec![5, 3],
             seed: 7,
@@ -355,7 +575,7 @@ mod tests {
     #[test]
     fn fanout_caps_neighbor_count() {
         let (mg, _) = stores();
-        let access = MultiGpuAccess(&mg);
+        let access = MultiGpuAccess::new(&mg);
         let cfg = SamplerConfig {
             fanouts: vec![4],
             seed: 3,
@@ -381,7 +601,7 @@ mod tests {
     #[test]
     fn sampled_neighbors_are_real_neighbors() {
         let (mg, _) = stores();
-        let access = MultiGpuAccess(&mg);
+        let access = MultiGpuAccess::new(&mg);
         let cfg = SamplerConfig {
             fanouts: vec![6],
             seed: 11,
@@ -423,7 +643,7 @@ mod tests {
     #[test]
     fn both_stores_sample_identical_subgraphs() {
         let (mg, host) = stores();
-        let a = MultiGpuAccess(&mg);
+        let a = MultiGpuAccess::new(&mg);
         let h = HostGraphAccess(&host);
         let cfg = SamplerConfig {
             fanouts: vec![5, 4],

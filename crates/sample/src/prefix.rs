@@ -21,19 +21,31 @@ pub fn exclusive_scan(values: &mut [u32]) -> u32 {
 /// Parallel exclusive prefix sum (two-pass, chunked); returns the total.
 /// Produces exactly the same output as [`exclusive_scan`].
 pub fn parallel_exclusive_scan(values: &mut [u32]) -> u32 {
+    parallel_exclusive_scan_with(values, &mut Vec::new())
+}
+
+/// [`parallel_exclusive_scan`] with a caller-provided buffer for the
+/// per-chunk totals, so repeated scans over same-shaped inputs allocate
+/// nothing. Output is identical to both other scans (same chunking, same
+/// combine order).
+pub fn parallel_exclusive_scan_with(values: &mut [u32], totals: &mut Vec<u32>) -> u32 {
     const CHUNK: usize = 4096;
     if values.len() <= CHUNK {
         return exclusive_scan(values);
     }
     // Pass 1: per-chunk totals.
-    let totals: Vec<u32> = values.par_chunks(CHUNK).map(|c| c.iter().sum()).collect();
+    totals.clear();
+    totals.resize(values.len().div_ceil(CHUNK), 0);
+    totals
+        .par_iter_mut()
+        .zip(values.par_chunks(CHUNK))
+        .for_each(|(t, c)| *t = c.iter().sum());
     // Scan of totals (small, sequential).
-    let mut offsets = totals;
-    let grand = exclusive_scan(&mut offsets);
+    let grand = exclusive_scan(totals);
     // Pass 2: scan each chunk seeded with its offset.
     values
         .par_chunks_mut(CHUNK)
-        .zip(offsets.par_iter())
+        .zip(totals.par_iter())
         .for_each(|(chunk, &seed)| {
             let mut acc = seed;
             for v in chunk.iter_mut() {
@@ -63,6 +75,20 @@ mod tests {
         let mut v: Vec<u32> = vec![];
         assert_eq!(exclusive_scan(&mut v), 0);
         assert_eq!(parallel_exclusive_scan(&mut v), 0);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh() {
+        let base: Vec<u32> = (0..30_000u32).map(|i| i % 7).collect();
+        let mut scratch = Vec::new();
+        for len in [30_000usize, 9_000, 17_000] {
+            let mut a = base[..len].to_vec();
+            let mut b = base[..len].to_vec();
+            let ta = exclusive_scan(&mut a);
+            let tb = parallel_exclusive_scan_with(&mut b, &mut scratch);
+            assert_eq!(ta, tb);
+            assert_eq!(a, b);
+        }
     }
 
     proptest! {

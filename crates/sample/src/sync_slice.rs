@@ -1,0 +1,45 @@
+//! Shared-slice positional writes for the two-pass sampling scheme.
+//!
+//! The flatten pass writes each frontier node's sampled neighbors into a
+//! *variable-length* CSR range of one flat buffer. `par_chunks_mut` can
+//! only split at uniform boundaries, so the parallel loop instead shares
+//! the whole buffer and every task writes only its own `[offsets[i],
+//! offsets[i+1])` range — the same disjointness argument the positional
+//! `collect` in the rayon shim relies on.
+
+use std::marker::PhantomData;
+
+/// A mutable slice shareable across rayon tasks for disjoint positional
+/// writes.
+pub(crate) struct SyncSliceMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: tasks only write through `write`, and every caller guarantees
+// distinct tasks touch distinct indices (CSR ranges / exclusive-scan ranks
+// are disjoint by construction).
+unsafe impl<T: Send> Send for SyncSliceMut<'_, T> {}
+unsafe impl<T: Send> Sync for SyncSliceMut<'_, T> {}
+
+impl<'a, T> SyncSliceMut<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        SyncSliceMut {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Write `value` at `index`.
+    ///
+    /// # Safety
+    /// `index` must be in bounds and no other task may read or write it
+    /// concurrently.
+    #[inline]
+    pub(crate) unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        *self.ptr.add(index) = value;
+    }
+}

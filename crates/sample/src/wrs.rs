@@ -115,6 +115,94 @@ impl PathDoublingSampler {
     }
 }
 
+/// Largest `m` the allocation-free [`sample_small`] handles. Covers the
+/// paper's fanouts (30) with headroom; larger fanouts fall back to
+/// [`PathDoublingSampler`].
+pub const STACK_FANOUT_MAX: usize = 64;
+
+/// Allocation-free Algorithm 1 for `m ≤ STACK_FANOUT_MAX`: identical
+/// structure to [`PathDoublingSampler::sample`], but every intermediate
+/// lives in a fixed stack array, and the parallel sort of line 5 becomes an
+/// insertion sort over `pack(value, index)` keys. Packed keys are distinct
+/// (the index bits break ties), so *any* comparison sort produces the same
+/// total order as the radix sort — outputs are bit-identical to the heap
+/// sampler for the same draws. Writes the `m` sampled indices into `out`.
+pub fn sample_small(m: usize, n: usize, rng: &mut SmallRng, out: &mut [u32]) {
+    assert!(m <= n, "cannot sample {m} of {n} without replacement");
+    assert!(m <= STACK_FANOUT_MAX);
+    assert_eq!(out.len(), m);
+    if m == 0 {
+        return;
+    }
+    if m == n {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = i as u32;
+        }
+        return;
+    }
+    let mut r = [0u32; STACK_FANOUT_MAX];
+    let mut chain = [0u32; STACK_FANOUT_MAX];
+    let mut chain_next = [0u32; STACK_FANOUT_MAX];
+    let mut q = [0u32; STACK_FANOUT_MAX];
+    let mut last = [0u32; STACK_FANOUT_MAX];
+    let mut keys = [0u64; STACK_FANOUT_MAX];
+
+    // Lines 1–4: r[i] ← random(N-1-i); chain[i] ← i. Same draw order as the
+    // heap sampler, so the same RNG state yields the same sample.
+    for i in 0..m {
+        r[i] = rng.gen_range(0..(n - i) as u32);
+        chain[i] = i as u32;
+        keys[i] = crate::radix::pack(r[i], i as u32);
+    }
+
+    // Line 5: stable sort by value (stability via the packed index bits).
+    for i in 1..m {
+        let k = keys[i];
+        let mut j = i;
+        while j > 0 && keys[j - 1] > k {
+            keys[j] = keys[j - 1];
+            j -= 1;
+        }
+        keys[j] = k;
+    }
+    let s = |i: usize| (keys[i] >> 32) as u32;
+    let p = |i: usize| keys[i] as u32;
+
+    // Lines 6–11.
+    for i in 0..m {
+        q[p(i) as usize] = i as u32;
+        let is_last_of_group = i == m - 1 || s(i) != s(i + 1);
+        if is_last_of_group && s(i) as usize >= n - m {
+            chain[n - s(i) as usize - 1] = p(i);
+        }
+    }
+
+    // Line 12: pointer jumping.
+    let rounds = usize::BITS - m.leading_zeros();
+    for _ in 0..rounds {
+        for i in 0..m {
+            chain_next[i] = chain[chain[i] as usize];
+        }
+        chain[..m].copy_from_slice(&chain_next[..m]);
+    }
+
+    // Lines 13–15.
+    for i in 0..m {
+        last[i] = (n - chain[i] as usize - 1) as u32;
+    }
+
+    // Lines 16–22.
+    for (i, o) in out.iter_mut().enumerate() {
+        let qi = q[i] as usize;
+        let first_of_group = qi == 0 || s(qi) != s(qi - 1);
+        *o = if first_of_group {
+            r[i]
+        } else {
+            last[p(qi - 1) as usize]
+        };
+    }
+}
+
 /// One-shot convenience wrapper around [`PathDoublingSampler::sample`].
 ///
 /// ```
@@ -281,6 +369,24 @@ mod tests {
             let expect = fisher_yates_reference(&r, n);
             let got = run_algorithm1_with_draws(&r, n);
             prop_assert_eq!(got, expect);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn stack_sampler_is_bit_identical_to_heap_sampler(
+            n in 1usize..500,
+            frac in 0.0f64..1.0,
+            seed in any::<u64>(),
+        ) {
+            let m = (((n.min(STACK_FANOUT_MAX)) as f64) * frac) as usize;
+            let mut rng_a = SmallRng::seed_from_u64(seed);
+            let mut rng_b = SmallRng::seed_from_u64(seed);
+            let heap = sample_without_replacement(m, n, &mut rng_a);
+            let mut stack = [0u32; STACK_FANOUT_MAX];
+            sample_small(m, n, &mut rng_b, &mut stack[..m]);
+            prop_assert_eq!(&heap[..], &stack[..m]);
         }
     }
 

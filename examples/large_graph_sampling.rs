@@ -48,7 +48,7 @@ fn main() {
 
     // Sample a 3-hop, fanout-30 mini-batch for 512 random seeds — the
     // paper's training shape.
-    let access = MultiGpuAccess(&store);
+    let access = MultiGpuAccess::new(&store);
     let mut rng = SmallRng::seed_from_u64(3);
     let batch: Vec<u64> = (0..512)
         .map(|_| access.handle_of(rng.gen_range(0..graph.num_nodes() as NodeId)))

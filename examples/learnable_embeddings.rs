@@ -70,7 +70,7 @@ fn main() {
         fanouts: vec![10, 10],
         seed: 7,
     };
-    let access = MultiGpuAccess(&store);
+    let access = MultiGpuAccess::new(&store);
     let spec = machine.spec(wg_sim::DeviceId::Gpu(0));
     let train: Vec<NodeId> = (0..320u64).collect();
     let eval: Vec<NodeId> = (320..960u64).collect();
@@ -143,7 +143,7 @@ fn evaluate(
     emb_dim: usize,
     machine: &Machine,
 ) -> f64 {
-    let access = MultiGpuAccess(store);
+    let access = MultiGpuAccess::new(store);
     let spec = machine.spec(wg_sim::DeviceId::Gpu(0));
     let mut correct = 0usize;
     for (bi, batch) in nodes.chunks(128).enumerate() {

@@ -36,4 +36,34 @@ cargo fmt --check
 echo "tier1: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace "${OFFLINE_FLAGS[@]}" -- -D warnings
 
+# The wallclock harness is a correctness gate as much as a benchmark: every
+# kernel's FNV-1a checksum must stay pinned to the committed value (the
+# numerics may never move), and the sampling hot path must stay
+# allocation-free in steady state (the harness itself asserts
+# allocs_per_batch == 0 for "sample" under its counting allocator).
+echo "tier1: wallclock bench (checksum + allocation gate)"
+cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin wallclock
+
+declare -A EXPECTED=(
+    [sample]=f0d397b0ce92dc84
+    [gather]=2b272988158bae37
+    [spmm]=9ca0fe519fc2bdf1
+    [epoch]=08f1c9d74e8dc560
+)
+for name in "${!EXPECTED[@]}"; do
+    got=$(grep -o "\"name\": \"$name\"[^}]*" BENCH_wallclock.json \
+        | grep -o '"checksum": "[0-9a-f]*"' | grep -o '[0-9a-f]\{16\}')
+    if [ "$got" != "${EXPECTED[$name]}" ]; then
+        echo "tier1: FAIL — $name checksum $got != ${EXPECTED[$name]}"
+        exit 1
+    fi
+done
+sample_allocs=$(grep -o '"name": "sample"[^}]*' BENCH_wallclock.json \
+    | grep -o '"allocs_per_batch": [0-9]*' | grep -o '[0-9]*$')
+if [ "$sample_allocs" != "0" ]; then
+    echo "tier1: FAIL — sample allocs_per_batch = $sample_allocs (must be 0)"
+    exit 1
+fi
+echo "tier1: wallclock checksums pinned, sample allocs/batch = 0"
+
 echo "tier1: OK"

@@ -4,9 +4,12 @@
 //!
 //! - N worker threads (`WG_THREADS` > `RAYON_NUM_THREADS` >
 //!   `available_parallelism()`), each owning a LIFO deque
-//!   ([`crossbeam::deque::Worker`]) plus one global FIFO
-//!   [`crossbeam::deque::Injector`] for jobs arriving from non-pool
-//!   threads.
+//!   ([`crossbeam::deque::Worker`]) plus one global FIFO queue for jobs
+//!   arriving from non-pool threads. The global queue is a mutex-guarded
+//!   `VecDeque` rather than a segmented injector: root injections are rare
+//!   (one per parallel op entered off-pool), and a `VecDeque` retains its
+//!   capacity, so steady-state injection performs no heap allocation —
+//!   which the wallclock harness's allocation gate relies on.
 //! - [`join`] is the only fork primitive: it pushes the right half onto the
 //!   caller's deque (stealable from the FIFO end by idle workers), runs the
 //!   left half inline, then pops the right half back — or, if it was
@@ -23,11 +26,12 @@
 //! it is bit-identical at every thread count, including 1.
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use crossbeam::deque::{Steal, Stealer, Worker};
 
 /// Environment variable naming the thread count (checked first).
 pub const THREADS_ENV: &str = "WG_THREADS";
@@ -198,8 +202,35 @@ struct Sleep {
     sleepers: AtomicUsize,
 }
 
+/// Global FIFO for jobs injected from outside the pool. A `VecDeque` under
+/// a mutex keeps its allocation across pushes (unlike a segmented
+/// lock-free injector, which allocates blocks as entries flow through);
+/// the atomic length lets idle workers skip the lock when it is empty.
+struct GlobalQueue {
+    len: AtomicUsize,
+    jobs: Mutex<VecDeque<JobRef>>,
+}
+
+impl GlobalQueue {
+    fn push(&self, job: JobRef) {
+        let mut jobs = self.jobs.lock().unwrap();
+        jobs.push_back(job);
+        self.len.store(jobs.len(), Ordering::Release);
+    }
+
+    fn pop(&self) -> Option<JobRef> {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut jobs = self.jobs.lock().unwrap();
+        let job = jobs.pop_front();
+        self.len.store(jobs.len(), Ordering::Release);
+        job
+    }
+}
+
 struct Registry {
-    injector: Injector<JobRef>,
+    injector: GlobalQueue,
     stealers: Vec<Stealer<JobRef>>,
     n_threads: usize,
     sleep: Sleep,
@@ -240,7 +271,10 @@ fn build_registry(n_threads: usize) -> &'static Registry {
     let workers: Vec<Worker<JobRef>> = (0..n_threads).map(|_| Worker::new_lifo()).collect();
     let stealers = workers.iter().map(Worker::stealer).collect();
     let reg: &'static Registry = Box::leak(Box::new(Registry {
-        injector: Injector::new(),
+        injector: GlobalQueue {
+            len: AtomicUsize::new(0),
+            jobs: Mutex::new(VecDeque::new()),
+        },
         stealers,
         n_threads,
         sleep: Sleep {
@@ -310,7 +344,7 @@ fn find_work(reg: &Registry, local: Option<&WorkerLocal>) -> Option<JobRef> {
             return Some(job);
         }
     }
-    if let Steal::Success(job) = reg.injector.steal() {
+    if let Some(job) = reg.injector.pop() {
         return Some(job);
     }
     let n = reg.stealers.len();

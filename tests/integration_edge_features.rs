@@ -80,7 +80,7 @@ fn edge_features_roundtrip_through_the_store() {
 #[test]
 fn sampled_edge_ids_address_the_right_weights() {
     let s = setup();
-    let access = MultiGpuAccess(&s.store);
+    let access = MultiGpuAccess::new(&s.store);
     let batch: Vec<u64> = (0..64u64).map(|v| access.handle_of(v)).collect();
     let cfg = SamplerConfig {
         fanouts: vec![6],
@@ -138,7 +138,7 @@ fn edge_weighted_gcn_layer_over_sampled_block() {
     // End to end: sample → gather node features + edge weights → weighted
     // g-SpMM, checked against a dense host-side reference.
     let s = setup();
-    let access = MultiGpuAccess(&s.store);
+    let access = MultiGpuAccess::new(&s.store);
     let batch: Vec<u64> = (100..140u64).map(|v| access.handle_of(v)).collect();
     let cfg = SamplerConfig {
         fanouts: vec![5],

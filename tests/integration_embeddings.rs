@@ -56,7 +56,7 @@ fn embeddings_plus_gnn_learn_a_featureless_graph() {
         fanouts: vec![8, 8],
         seed: 3,
     };
-    let access = MultiGpuAccess(&s.store);
+    let access = MultiGpuAccess::new(&s.store);
     let spec = s.machine.spec(wg_sim::DeviceId::Gpu(0));
 
     let run_batch = |model: &mut GnnModel,
