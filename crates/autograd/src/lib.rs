@@ -19,8 +19,10 @@ pub mod checkpoint;
 pub mod optim;
 pub mod params;
 pub mod tape;
+pub mod workspace;
 
 pub use checkpoint::{load_params, save_params};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{average_gradients, ParamId, Params};
 pub use tape::{NodeId, Tape};
+pub use workspace::Workspace;

@@ -2,13 +2,18 @@
 
 use wg_tensor::Matrix;
 
-use crate::params::Params;
+use crate::params::{ParamId, Params};
 
 /// A gradient-based parameter updater.
 pub trait Optimizer {
     /// Apply one update step from the gradients currently stored in
     /// `params` (does not zero them).
     fn step(&mut self, params: &mut Params);
+
+    /// Zero any optimizer state in place (capacity kept), restoring the
+    /// just-constructed behaviour — used to replay training runs from the
+    /// same starting point without reallocating the state buffers.
+    fn reset(&mut self) {}
 }
 
 /// Plain SGD with optional momentum.
@@ -33,29 +38,32 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut Params) {
-        let ids: Vec<_> = params.ids().collect();
         if self.velocity.is_empty() {
-            self.velocity = ids
-                .iter()
-                .map(|&id| Matrix::zeros(params.value(id).rows(), params.value(id).cols()))
+            self.velocity = params
+                .ids()
+                .map(|id| Matrix::zeros(params.value(id).rows(), params.value(id).cols()))
                 .collect();
         }
-        for (k, &id) in ids.iter().enumerate() {
-            let g = params.grad(id).clone();
+        // Two borrow phases per parameter — velocity update reads the
+        // gradient, then the weight update reads the velocity — so no
+        // clones are needed and steady-state steps allocate nothing.
+        for k in 0..params.len() {
+            let id = ParamId(k);
             let v = &mut self.velocity[k];
-            for (vv, gv) in v.data_mut().iter_mut().zip(g.data()) {
+            for (vv, gv) in v.data_mut().iter_mut().zip(params.grad(id).data()) {
                 *vv = self.momentum * *vv + gv;
             }
             let lr = self.lr;
-            let vclone = v.clone();
-            for (p, vv) in params
-                .value_mut(id)
-                .data_mut()
-                .iter_mut()
-                .zip(vclone.data())
-            {
+            let v = &self.velocity[k];
+            for (p, vv) in params.value_mut(id).data_mut().iter_mut().zip(v.data()) {
                 *p -= lr * vv;
             }
+        }
+    }
+
+    fn reset(&mut self) {
+        for v in &mut self.velocity {
+            v.data_mut().fill(0.0);
         }
     }
 }
@@ -92,43 +100,54 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut Params) {
-        let ids: Vec<_> = params.ids().collect();
         if self.m.is_empty() {
-            self.m = ids
-                .iter()
-                .map(|&id| Matrix::zeros(params.value(id).rows(), params.value(id).cols()))
+            self.m = params
+                .ids()
+                .map(|id| Matrix::zeros(params.value(id).rows(), params.value(id).cols()))
                 .collect();
             self.v = self.m.clone();
         }
         self.step += 1;
         let bc1 = 1.0 - self.beta1.powi(self.step as i32);
         let bc2 = 1.0 - self.beta2.powi(self.step as i32);
-        for (k, &id) in ids.iter().enumerate() {
-            let g = params.grad(id).clone();
+        // Same two-phase borrow discipline as SGD: moment update reads the
+        // gradient, weight update reads the moments — clone-free, so
+        // steady-state steps allocate nothing.
+        for k in 0..params.len() {
+            let id = ParamId(k);
             let (m, v) = (&mut self.m[k], &mut self.v[k]);
             for ((mm, vv), gv) in m
                 .data_mut()
                 .iter_mut()
                 .zip(v.data_mut().iter_mut())
-                .zip(g.data())
+                .zip(params.grad(id).data())
             {
                 *mm = self.beta1 * *mm + (1.0 - self.beta1) * gv;
                 *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
             }
             let (lr, eps) = (self.lr, self.eps);
-            let mc = m.clone();
-            let vc = v.clone();
+            let (m, v) = (&self.m[k], &self.v[k]);
             for ((p, mm), vv) in params
                 .value_mut(id)
                 .data_mut()
                 .iter_mut()
-                .zip(mc.data())
-                .zip(vc.data())
+                .zip(m.data())
+                .zip(v.data())
             {
                 let mhat = mm / bc1;
                 let vhat = vv / bc2;
                 *p -= lr * mhat / (vhat.sqrt() + eps);
             }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.step = 0;
+        for m in &mut self.m {
+            m.data_mut().fill(0.0);
+        }
+        for v in &mut self.v {
+            v.data_mut().fill(0.0);
         }
     }
 }

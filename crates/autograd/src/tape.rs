@@ -16,6 +16,7 @@ use wg_tensor::ops;
 use wg_tensor::sparse::{self, Agg, BlockCsr};
 
 use crate::params::{ParamId, Params};
+use crate::workspace::Workspace;
 
 /// Handle to a tape node.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -89,16 +90,51 @@ struct Node {
     op: Op,
 }
 
-/// A single-use autograd tape (one per forward pass).
+/// An autograd tape (one forward pass at a time). Owns a [`Workspace`]
+/// buffer pool: [`Tape::reset`] recycles every node's value, gradient and
+/// saved op state back into the pool, so a long-lived tape that is reset
+/// between batches records subsequent passes without heap allocation.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    ws: Workspace,
 }
 
 impl Tape {
     /// Fresh empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clear the tape for the next forward pass, recycling every node's
+    /// buffers into the workspace pool. The node list keeps its capacity,
+    /// so a reset tape records the same op sequence allocation-free.
+    pub fn reset(&mut self) {
+        let Tape { nodes, ws } = self;
+        for node in nodes.drain(..) {
+            ws.recycle_matrix(node.value);
+            if let Some(g) = node.grad {
+                ws.recycle_matrix(g);
+            }
+            match node.op {
+                Op::Dropout(_, mask) => ws.recycle_f32(mask),
+                Op::SpmmMax { argmax, .. } => ws.recycle_u32(argmax),
+                _ => {}
+            }
+        }
+    }
+
+    /// A pooled zero matrix from the tape's workspace — the generalized
+    /// counterpart of [`Tape::take_value`] for callers (loss gradients,
+    /// scratch) that want to participate in the tape's buffer recycling.
+    pub fn alloc(&mut self, rows: usize, cols: usize) -> Matrix {
+        self.ws.matrix_zeros(rows, cols)
+    }
+
+    /// Return a matrix taken via [`Tape::alloc`]/[`Tape::take_value`] to
+    /// the workspace pool.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.ws.recycle_matrix(m);
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> NodeId {
@@ -138,72 +174,84 @@ impl Tape {
 
     /// Parameter leaf: snapshots the current value from `params`.
     pub fn param(&mut self, params: &Params, id: ParamId) -> NodeId {
-        self.push(params.value(id).clone(), Op::Param(id))
+        let v = self.ws.matrix_from(params.value(id));
+        self.push(v, Op::Param(id))
     }
 
     /// `a · b`.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = ops::matmul(self.value(a), self.value(b));
+        let mut v = self
+            .ws
+            .matrix_with_capacity(self.nodes[a.0].value.rows() * self.nodes[b.0].value.cols());
+        ops::matmul_into(&self.nodes[a.0].value, &self.nodes[b.0].value, &mut v);
         self.push(v, Op::Matmul(a, b))
     }
 
     /// `a + b`.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = ops::add(self.value(a), self.value(b));
+        let mut v = self.ws.matrix_with_capacity(self.nodes[a.0].value.len());
+        ops::add_into(&self.nodes[a.0].value, &self.nodes[b.0].value, &mut v);
         self.push(v, Op::Add(a, b))
     }
 
     /// Broadcast-add a `[1, n]` bias node to every row of `x`.
     pub fn bias(&mut self, x: NodeId, b: NodeId) -> NodeId {
-        assert_eq!(self.value(b).rows(), 1, "bias must be a row vector");
-        let mut v = self.value(x).clone();
+        assert_eq!(self.nodes[b.0].value.rows(), 1, "bias must be a row vector");
+        let mut v = self.ws.matrix_from(&self.nodes[x.0].value);
         ops::add_bias(&mut v, self.nodes[b.0].value.row(0));
         self.push(v, Op::Bias(x, b))
     }
 
     /// ReLU.
     pub fn relu(&mut self, x: NodeId) -> NodeId {
-        let mut v = self.value(x).clone();
+        let mut v = self.ws.matrix_from(&self.nodes[x.0].value);
         ops::relu(&mut v);
         self.push(v, Op::Relu(x))
     }
 
     /// ELU (GAT's activation).
     pub fn elu(&mut self, x: NodeId, alpha: f32) -> NodeId {
-        let mut v = self.value(x).clone();
+        let mut v = self.ws.matrix_from(&self.nodes[x.0].value);
         ops::elu(&mut v, alpha);
         self.push(v, Op::Elu(x, alpha))
     }
 
     /// LeakyReLU (GAT attention logits).
     pub fn leaky_relu(&mut self, x: NodeId, slope: f32) -> NodeId {
-        let mut v = self.value(x).clone();
+        let mut v = self.ws.matrix_from(&self.nodes[x.0].value);
         ops::leaky_relu(v.data_mut(), slope);
         self.push(v, Op::LeakyRelu(x, slope))
     }
 
     /// Inverted dropout (training mode; pass `p = 0` to disable).
     pub fn dropout(&mut self, x: NodeId, p: f32, seed: u64) -> NodeId {
-        let mut v = self.value(x).clone();
-        let mask = ops::dropout(&mut v, p, seed);
+        let mut v = self.ws.matrix_from(&self.nodes[x.0].value);
+        let mut mask = self.ws.take_f32(if p == 0.0 { 0 } else { v.len() });
+        ops::dropout_into(&mut v, p, seed, &mut mask);
         self.push(v, Op::Dropout(x, mask))
     }
 
     /// `[a | b]`.
     pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = ops::concat_cols(self.value(a), self.value(b));
+        let mut v = self
+            .ws
+            .matrix_with_capacity(self.nodes[a.0].value.len() + self.nodes[b.0].value.len());
+        ops::concat_cols_into(&self.nodes[a.0].value, &self.nodes[b.0].value, &mut v);
         self.push(v, Op::ConcatCols(a, b))
     }
 
     /// First `n` rows of `x`.
     pub fn top_rows(&mut self, x: NodeId, n: usize) -> NodeId {
-        let v = self.value(x).top_rows(n);
+        let cols = self.nodes[x.0].value.cols();
+        let mut buf = self.ws.take_f32(n * cols);
+        buf.extend_from_slice(&self.nodes[x.0].value.data()[..n * cols]);
+        let v = Matrix::from_vec(n, cols, buf);
         self.push(v, Op::TopRows(x, n))
     }
 
     /// `x · s`.
     pub fn scale(&mut self, x: NodeId, s: f32) -> NodeId {
-        let mut v = self.value(x).clone();
+        let mut v = self.ws.matrix_from(&self.nodes[x.0].value);
         ops::scale(&mut v, s);
         self.push(v, Op::Scale(x, s))
     }
@@ -218,8 +266,13 @@ impl Tape {
         heads: usize,
         agg: Agg,
     ) -> NodeId {
-        let w = weights.map(|w| self.nodes[w.0].value.clone());
-        let v = sparse::spmm(&block, self.value(src), w.as_ref(), heads, agg);
+        let mut v = self
+            .ws
+            .matrix_with_capacity(block.num_dst * self.nodes[src.0].value.cols());
+        {
+            let w = weights.map(|w| &self.nodes[w.0].value);
+            sparse::spmm_into(&block, &self.nodes[src.0].value, w, heads, agg, &mut v);
+        }
         self.push(
             v,
             Op::Spmm {
@@ -253,7 +306,9 @@ impl Tape {
         assert_eq!(s.rows(), block.num_src);
         assert_eq!(d.cols(), s.cols());
         let heads = d.cols();
-        let mut v = Matrix::zeros(block.num_edges(), heads);
+        let mut v = self.ws.matrix_zeros(block.num_edges(), heads);
+        let d = &self.nodes[dst.0].value;
+        let s = &self.nodes[src.0].value;
         for dd in 0..block.num_dst {
             for e in block.offsets[dd] as usize..block.offsets[dd + 1] as usize {
                 let ss = block.indices[e] as usize;
@@ -295,6 +350,8 @@ impl Tape {
                 for (a, b) in acc.data_mut().iter_mut().zip(g.data()) {
                     *a += b;
                 }
+                // The merged contribution goes straight back to the pool.
+                self.ws.recycle_matrix(g);
             }
         }
     }
@@ -304,50 +361,66 @@ impl Tape {
         // checker: ops never alias the node's own grad slot.
         let op = std::ptr::addr_of!(self.nodes[i].op);
         // SAFETY: `accumulate` only touches *other* nodes' grad slots and
-        // never resizes `self.nodes`; the op enum itself is not mutated.
+        // the workspace pool, and never resizes `self.nodes`; the op enum
+        // itself is not mutated.
         let op: &Op = unsafe { &*op };
         match op {
             Op::Input => {}
             Op::Param(pid) => params.accumulate_grad(*pid, grad),
             Op::Matmul(a, b) => {
                 let (a, b) = (*a, *b);
-                let ga = ops::matmul_nt(grad, &self.nodes[b.0].value);
-                let gb = ops::matmul_tn(&self.nodes[a.0].value, grad);
+                let mut ga = self
+                    .ws
+                    .matrix_with_capacity(grad.rows() * self.nodes[b.0].value.rows());
+                ops::matmul_nt_into(grad, &self.nodes[b.0].value, &mut ga);
+                let mut gb = self
+                    .ws
+                    .matrix_with_capacity(self.nodes[a.0].value.cols() * grad.cols());
+                ops::matmul_tn_into(
+                    &self.nodes[a.0].value,
+                    grad,
+                    &mut gb,
+                    &mut self.ws.tn_scratch,
+                );
                 self.accumulate(a, ga);
                 self.accumulate(b, gb);
             }
             Op::Add(a, b) => {
                 let (a, b) = (*a, *b);
-                self.accumulate(a, grad.clone());
-                self.accumulate(b, grad.clone());
+                let ga = self.ws.matrix_from(grad);
+                self.accumulate(a, ga);
+                let gb = self.ws.matrix_from(grad);
+                self.accumulate(b, gb);
             }
             Op::Bias(x, b) => {
                 let (x, b) = (*x, *b);
-                self.accumulate(x, grad.clone());
-                let gb = Matrix::from_vec(1, grad.cols(), ops::sum_rows(grad));
+                let gx = self.ws.matrix_from(grad);
+                self.accumulate(x, gx);
+                let mut gb = self.ws.matrix_zeros(1, grad.cols());
+                ops::sum_rows_into(grad, gb.data_mut());
                 self.accumulate(b, gb);
             }
             Op::Relu(x) => {
                 let x = *x;
-                let mut g = grad.clone();
+                let mut g = self.ws.matrix_from(grad);
                 ops::relu_backward(&mut g, &self.nodes[x.0].value);
                 self.accumulate(x, g);
             }
             Op::Elu(x, alpha) => {
                 let (x, alpha) = (*x, *alpha);
-                let mut g = grad.clone();
+                let mut g = self.ws.matrix_from(grad);
                 ops::elu_backward(&mut g, &self.nodes[i].value, alpha);
                 self.accumulate(x, g);
             }
             Op::LeakyRelu(x, slope) => {
                 let (x, slope) = (*x, *slope);
-                let mut g = grad.clone();
+                let mut g = self.ws.matrix_from(grad);
                 ops::leaky_relu_backward(g.data_mut(), self.nodes[x.0].value.data(), slope);
                 self.accumulate(x, g);
             }
             Op::Dropout(x, mask) => {
                 let x = *x;
-                let mut g = grad.clone();
+                let mut g = self.ws.matrix_from(grad);
                 if !mask.is_empty() {
                     for (v, m) in g.data_mut().iter_mut().zip(mask.iter()) {
                         *v *= m;
@@ -358,20 +431,27 @@ impl Tape {
             Op::ConcatCols(a, b) => {
                 let (a, b) = (*a, *b);
                 let na = self.nodes[a.0].value.cols();
-                let (ga, gb) = ops::split_cols(grad, na);
+                let mut ga = self.ws.matrix_with_capacity(grad.rows() * na);
+                let mut gb = self
+                    .ws
+                    .matrix_with_capacity(grad.rows() * (grad.cols() - na));
+                ops::split_cols_into(grad, na, &mut ga, &mut gb);
                 self.accumulate(a, ga);
                 self.accumulate(b, gb);
             }
             Op::TopRows(x, n) => {
                 let (x, n) = (*x, *n);
-                let src = &self.nodes[x.0].value;
-                let mut g = Matrix::zeros(src.rows(), src.cols());
-                g.data_mut()[..n * src.cols()].copy_from_slice(grad.data());
+                let (rows, cols) = {
+                    let src = &self.nodes[x.0].value;
+                    (src.rows(), src.cols())
+                };
+                let mut g = self.ws.matrix_zeros(rows, cols);
+                g.data_mut()[..n * cols].copy_from_slice(grad.data());
                 self.accumulate(x, g);
             }
             Op::Scale(x, s) => {
                 let (x, s) = (*x, *s);
-                let mut g = grad.clone();
+                let mut g = self.ws.matrix_from(grad);
                 ops::scale(&mut g, s);
                 self.accumulate(x, g);
             }
@@ -384,8 +464,19 @@ impl Tape {
             } => {
                 let (src, weights, heads, agg) = (*src, *weights, *heads, *agg);
                 let block = Arc::clone(block);
-                let w_mat = weights.map(|w| self.nodes[w.0].value.clone());
-                let gsrc = sparse::spmm_backward_src(&block, grad, w_mat.as_ref(), heads, agg);
+                let mut gsrc = self.ws.matrix_with_capacity(block.num_src * grad.cols());
+                {
+                    let w = weights.map(|w| &self.nodes[w.0].value);
+                    sparse::spmm_backward_src_into(
+                        &block,
+                        grad,
+                        w,
+                        heads,
+                        agg,
+                        &mut gsrc,
+                        &mut self.ws.rev,
+                    );
+                }
                 self.accumulate(src, gsrc);
                 if let Some(w) = weights {
                     // dL/dw = g-SDDMM(grad_dst, src) with the forward scale.
@@ -396,10 +487,11 @@ impl Tape {
             Op::SpmmMax { src, block, argmax } => {
                 let src = *src;
                 let block = Arc::clone(block);
-                // Clone of argmax is cheap relative to the matrices and
-                // sidesteps the self-borrow.
-                let argmax = argmax.clone();
-                let g = sparse::spmm_max_backward(&block, grad, &argmax);
+                // Pooled copy of argmax sidesteps the self-borrow.
+                let mut am = self.ws.take_u32(argmax.len());
+                am.extend_from_slice(argmax);
+                let g = sparse::spmm_max_backward(&block, grad, &am);
+                self.ws.recycle_u32(am);
                 self.accumulate(src, g);
             }
             Op::EdgeSoftmax { logits, block } => {
@@ -412,8 +504,8 @@ impl Tape {
                 let (dst, src) = (*dst, *src);
                 let block = Arc::clone(block);
                 let heads = grad.cols();
-                let mut gd = Matrix::zeros(block.num_dst, heads);
-                let mut gs = Matrix::zeros(block.num_src, heads);
+                let mut gd = self.ws.matrix_zeros(block.num_dst, heads);
+                let mut gs = self.ws.matrix_zeros(block.num_src, heads);
                 for d in 0..block.num_dst {
                     for e in block.offsets[d] as usize..block.offsets[d + 1] as usize {
                         let s = block.indices[e] as usize;
@@ -662,6 +754,70 @@ mod tests {
         }
         let (loss1, _) = run(&params);
         assert!(loss1 < loss0, "loss did not decrease: {loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn reset_tape_reuse_is_bit_identical_to_fresh_tapes() {
+        // The same three-step training loop run (a) with one long-lived
+        // tape reset between steps and (b) with a fresh tape per step must
+        // produce bit-identical parameter values: pooling recycles
+        // buffers, never changes the math.
+        let block = tiny_block();
+        let x = randm(4, 4, 40);
+        let labels: Vec<u32> = vec![0, 2, 1, 0][..2].to_vec();
+
+        let train = |fresh_tapes: bool| -> Vec<f32> {
+            let mut rng = SmallRng::seed_from_u64(41);
+            let mut params = Params::new();
+            let w = params.add_xavier("w", 4, 3, &mut rng);
+            let b = params.add_bias("b", 3);
+            let mut tape = Tape::new();
+            for step in 0..3 {
+                if fresh_tapes {
+                    tape = Tape::new();
+                } else {
+                    tape.reset();
+                }
+                let xi = tape.input(x.clone());
+                let wi = tape.param(&params, w);
+                let bi = tape.param(&params, b);
+                let h = tape.matmul(xi, wi);
+                let h = tape.spmm(Arc::clone(&block), h, None, 1, Agg::Mean);
+                let h = tape.bias(h, bi);
+                let h = tape.relu(h);
+                let out = tape.dropout(h, 0.25, 7 + step);
+                let (_, grad) = softmax_cross_entropy(tape.value(out), &labels);
+                params.zero_grads();
+                tape.backward(out, grad, &mut params);
+                let g = params.grad(w).clone();
+                for (v, gv) in params.value_mut(w).data_mut().iter_mut().zip(g.data()) {
+                    *v -= 0.1 * gv;
+                }
+            }
+            let mut flat = params.value(w).data().to_vec();
+            flat.extend_from_slice(params.value(b).data());
+            flat
+        };
+
+        let pooled = train(false);
+        let fresh = train(true);
+        assert_eq!(
+            pooled.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn alloc_and_recycle_round_trip_through_reset() {
+        let mut tape = Tape::new();
+        let m = tape.alloc(4, 4);
+        assert_eq!(m.data(), &[0.0; 16]);
+        tape.recycle(m);
+        // A reset tape hands pooled buffers back out without allocating a
+        // larger one for a smaller request.
+        tape.reset();
+        let m2 = tape.alloc(2, 2);
+        assert!(m2.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Dense matmul: the cache-blocked kernel vs the naive reference it is
+//! bit-identical to. Two shapes bracket the training path: a tall-skinny
+//! batch × hidden product (the per-layer forward shape) and a squarer
+//! hidden × hidden product (the backward weight-gradient shape).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use wg_tensor::ops::{matmul_into, matmul_reference};
+use wg_tensor::Matrix;
+
+fn mats(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0..1.0));
+    let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-1.0..1.0));
+    (a, b)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let shapes = [
+        ("batch2048x128x256", 2048usize, 128usize, 256usize),
+        ("hidden512x512x512", 512, 512, 512),
+    ];
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(15);
+    for (label, m, k, n) in shapes {
+        let (a, b) = mats(m, k, n, 7);
+        let mut out = Matrix::empty();
+        group.bench_with_input(BenchmarkId::new("blocked", label), &(), |bch, _| {
+            bch.iter(|| {
+                matmul_into(black_box(&a), black_box(&b), &mut out);
+                black_box(out.rows())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reference", label), &(), |bch, _| {
+            bch.iter(|| black_box(matmul_reference(black_box(&a), black_box(&b))).rows());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

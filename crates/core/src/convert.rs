@@ -22,12 +22,46 @@ pub fn to_block_csr(b: &SampleBlock) -> BlockCsr {
     csr
 }
 
+/// [`to_block_csr`] into an existing CSR, reusing its buffer capacity.
+pub fn to_block_csr_into(b: &SampleBlock, csr: &mut BlockCsr) {
+    csr.num_dst = b.num_dst;
+    csr.num_src = b.num_src;
+    csr.offsets.clone_from(&b.offsets);
+    csr.indices.clone_from(&b.indices);
+    csr.dup_count.clone_from(&b.dup_count);
+    debug_assert!({
+        csr.validate();
+        true
+    });
+}
+
 /// Convert a whole mini-batch (outermost-first order preserved).
 pub fn minibatch_blocks(mb: &MiniBatch) -> Vec<Arc<BlockCsr>> {
     mb.blocks
         .iter()
         .map(|b| Arc::new(to_block_csr(b)))
         .collect()
+}
+
+/// [`minibatch_blocks`] into a pooled block list. When a slot's `Arc` is
+/// unshared (the tape's op-held clones were dropped by `Tape::reset`),
+/// the CSR is rebuilt in place via `clone_from` — steady-state iterations
+/// convert without heap allocation. Shared or missing slots fall back to
+/// a fresh `Arc`.
+pub fn minibatch_blocks_into(mb: &MiniBatch, out: &mut Vec<Arc<BlockCsr>>) {
+    out.truncate(mb.blocks.len());
+    for (i, b) in mb.blocks.iter().enumerate() {
+        if i < out.len() {
+            let slot = &mut out[i];
+            if let Some(csr) = Arc::get_mut(slot) {
+                to_block_csr_into(b, csr);
+            } else {
+                *slot = Arc::new(to_block_csr(b));
+            }
+        } else {
+            out.push(Arc::new(to_block_csr(b)));
+        }
+    }
 }
 
 /// Shape summaries for the compute cost model.

@@ -54,24 +54,25 @@ pub use report::{
 pub use stages::{GatherStage, IterContext, SampleStage, Stage, TrainStage};
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rand::prelude::*;
 use rand::rngs::SmallRng;
 
-use wg_autograd::{Adam, Tape};
+use wg_autograd::{Adam, Optimizer, Tape};
 use wg_gnn::{GnnModel, LayerProvider};
 use wg_graph::{GlobalId, HostGraph, MultiGpuGraph, NodeId, SyntheticDataset};
-use wg_mem::gather::global_gather;
+use wg_mem::gather::{global_gather_planned, plan_gather, RowPlan};
 use wg_sample::{
     sample_minibatch_into, GraphAccess, HostGraphAccess, MiniBatch, MultiGpuAccess, SampleScratch,
     SampleStats, SamplerConfig,
 };
 use wg_sim::memory::OutOfMemory;
 use wg_sim::{Machine, SimTime};
-use wg_tensor::ops::argmax_rows;
-use wg_tensor::Matrix;
+use wg_tensor::ops::argmax_rows_into;
+use wg_tensor::{BlockCsr, Matrix};
 
-use crate::convert::minibatch_blocks;
+use crate::convert::minibatch_blocks_into;
 
 #[allow(clippy::large_enum_variant)] // one store per pipeline; boxing buys nothing
 enum StoreImpl {
@@ -90,6 +91,26 @@ struct IterScratch {
     handles: Vec<Vec<u64>>,
     gather_rows: Vec<usize>,
     feature_buf: Vec<f32>,
+    /// The persistent autograd tape. Its [`wg_autograd::Workspace`] pool
+    /// recycles every activation, gradient, and kernel scratch buffer
+    /// across batches — `Tape::reset` between iterations returns all node
+    /// matrices to the pool instead of freeing them.
+    tape: Tape,
+    /// Pooled CSR block list: `Arc::get_mut` succeeds in steady state
+    /// (the tape's op-held clones are dropped by the reset above), so the
+    /// conversion rebuilds the CSRs in place.
+    blocks: Vec<Arc<BlockCsr>>,
+    labels: Vec<u32>,
+    preds: Vec<u32>,
+    batch_ids: Vec<NodeId>,
+    ce_losses: Vec<f32>,
+    /// Reused gather plan: row locations and per-rank counts, with the
+    /// division-free [`wg_mem::ChunkLocator`] rebuilt only when the
+    /// feature partition changes.
+    plan: RowPlan,
+    /// Pooled epoch shuffle order and per-iteration result list.
+    epoch_order: Vec<NodeId>,
+    results: Vec<IterationResult>,
 }
 
 /// Pool size for recycled mini-batch / handle buffers. Serial iteration
@@ -110,6 +131,11 @@ pub struct Pipeline {
     setup_time: SimTime,
     sampler_cfg: SamplerConfig,
     scratch: IterScratch,
+    /// Snapshot of the freshly initialized parameters, so
+    /// [`reset_training_state`](Self::reset_training_state) can replay
+    /// training from the same starting point without rebuilding the
+    /// pipeline (and losing its warm buffer pools).
+    init_params: Vec<Matrix>,
 }
 
 impl Pipeline {
@@ -176,6 +202,11 @@ impl Pipeline {
             fanouts: cfg.fanouts.clone(),
             seed: cfg.seed,
         };
+        let init_params = model
+            .params
+            .ids()
+            .map(|id| model.params.value(id).clone())
+            .collect();
         Ok(Pipeline {
             cfg,
             machine,
@@ -187,7 +218,26 @@ impl Pipeline {
             setup_time,
             sampler_cfg,
             scratch: IterScratch::default(),
+            init_params,
         })
+    }
+
+    /// Restore parameters, optimizer moments, and the machine's clocks and
+    /// traces to their just-constructed state — *without* dropping any
+    /// pooled scratch buffers. Benches use this to replay bit-identical
+    /// epochs against warm pools instead of rebuilding the pipeline.
+    pub fn reset_training_state(&mut self) {
+        let ids: Vec<_> = self.model.params.ids().collect();
+        for (id, init) in ids.into_iter().zip(&self.init_params) {
+            self.model
+                .params
+                .value_mut(id)
+                .data_mut()
+                .copy_from_slice(init.data());
+        }
+        self.model.params.zero_grads();
+        self.opt.reset();
+        self.machine.reset_time();
     }
 
     /// The pipeline configuration.
@@ -334,15 +384,22 @@ impl Pipeline {
                 out.clear();
                 out.resize(rows.len() * feat_dim, 0.0);
                 let rank = (iter % self.machine.num_gpus() as u64) as u32;
-                let stats = global_gather(
+                // Planned gather: row locations are resolved once into the
+                // pooled plan (division-free locator, guards hoisted out of
+                // the copy loop), then the copy kernel runs straight off
+                // the plan's slots.
+                let mut plan = std::mem::take(&mut self.scratch.plan);
+                plan_gather(s.features(), &rows, &mut plan);
+                let stats = global_gather_planned(
                     s.features(),
-                    &rows,
+                    &plan,
                     &mut out,
                     rank,
                     self.machine.cost(),
                     self.machine.spec(wg_sim::DeviceId::Gpu(rank)),
                 );
                 let num_rows = rows.len();
+                self.scratch.plan = plan;
                 self.scratch.gather_rows = rows;
                 (Matrix::from_vec(num_rows, feat_dim, out), stats.sim_time)
             }
@@ -377,14 +434,16 @@ impl Pipeline {
         }
     }
 
-    /// Map mini-batch handles back to dataset node ids (for labels).
-    fn stable_ids(&self, handles: &[u64]) -> Vec<NodeId> {
+    /// Map mini-batch handles back to dataset node ids (for labels),
+    /// writing into a caller-provided (pooled) buffer.
+    pub(crate) fn stable_ids_into(&self, handles: &[u64], out: &mut Vec<NodeId>) {
+        out.clear();
         match &self.store {
             StoreImpl::Dsm(s) => {
                 let a = MultiGpuAccess::new(s);
-                handles.iter().map(|&h| a.stable_id(h)).collect()
+                out.extend(handles.iter().map(|&h| a.stable_id(h)));
             }
-            StoreImpl::Host(_) => handles.to_vec(),
+            StoreImpl::Host(_) => out.extend_from_slice(handles),
         }
     }
 
@@ -398,10 +457,33 @@ impl Pipeline {
         batch_nodes: &[NodeId],
         update: bool,
     ) -> IterationResult {
+        let mut wall = [Duration::ZERO; 3];
+        self.run_iteration_timed(epoch, iter, batch_nodes, update, &mut wall)
+    }
+
+    /// [`run_iteration`](Self::run_iteration), additionally accumulating
+    /// the *host* wall-clock time each stage spends into `wall` (sample,
+    /// gather, train) — the wallclock bench uses this to report where the
+    /// real time goes. Numerics are identical.
+    pub fn run_iteration_timed(
+        &mut self,
+        epoch: u64,
+        iter: u64,
+        batch_nodes: &[NodeId],
+        update: bool,
+        wall: &mut [Duration; 3],
+    ) -> IterationResult {
         let mut ctx = IterContext::new(self, epoch, iter, batch_nodes, update);
+        let t0 = Instant::now();
         let sample = SampleStage.run(&mut ctx);
+        let t1 = Instant::now();
         let gather = GatherStage.run(&mut ctx);
+        let t2 = Instant::now();
         let train = TrainStage.run(&mut ctx);
+        let t3 = Instant::now();
+        wall[0] += t1 - t0;
+        wall[1] += t2 - t1;
+        wall[2] += t3 - t2;
         let comm = ctx.comm;
         ctx.into_result(IterTimes {
             sample,
@@ -425,12 +507,36 @@ impl Pipeline {
 
     /// Train a full epoch, executing every iteration.
     pub fn train_epoch(&mut self, epoch: u64) -> EpochReport {
-        let batches = self.epoch_batches(epoch);
-        let mut results = Vec::with_capacity(batches.len());
-        for (i, batch) in batches.iter().enumerate() {
-            results.push(self.run_iteration(epoch, i as u64, batch, true));
+        self.train_epoch_timed(epoch).0
+    }
+
+    /// [`train_epoch`](Self::train_epoch) plus the host wall-clock split
+    /// across the three stages. The shuffle order and result list come
+    /// from the iteration scratch, so steady-state epochs reuse warm
+    /// capacity; batch order is identical to [`epoch_batches`].
+    ///
+    /// [`epoch_batches`]: Self::epoch_batches
+    pub fn train_epoch_timed(&mut self, epoch: u64) -> (EpochReport, [Duration; 3]) {
+        let mut order = std::mem::take(&mut self.scratch.epoch_order);
+        order.clear();
+        order.extend_from_slice(&self.dataset.train);
+        order.shuffle(&mut SmallRng::seed_from_u64(
+            self.cfg.seed ^ epoch.wrapping_mul(0x9e37),
+        ));
+        let mut results = std::mem::take(&mut self.scratch.results);
+        results.clear();
+        let bs = self.cfg.batch_size;
+        let iters = order.len().div_ceil(bs);
+        let mut wall = [Duration::ZERO; 3];
+        for i in 0..iters {
+            let batch = &order[i * bs..((i + 1) * bs).min(order.len())];
+            let r = self.run_iteration_timed(epoch, i as u64, batch, true, &mut wall);
+            results.push(r);
         }
-        self.finish_epoch(&results, batches.len())
+        let report = self.finish_epoch(&results, iters);
+        self.scratch.epoch_order = order;
+        self.scratch.results = results;
+        (report, wall)
     }
 
     /// Measure an epoch by executing only `real_iters` iterations and
@@ -482,11 +588,16 @@ impl Pipeline {
             report.sample_time += t_sample;
             let (features, t_gather) = self.gather(&mb, i as u64);
             report.gather_time += t_gather;
-            let blocks = minibatch_blocks(&mb);
+            let mut blocks = std::mem::take(&mut self.scratch.blocks);
+            minibatch_blocks_into(&mb, &mut blocks);
             let shapes = crate::convert::minibatch_shapes(&mb);
-            let mut tape = Tape::new();
+            let mut tape = std::mem::take(&mut self.scratch.tape);
+            tape.reset();
             let out = self.model.forward(&mut tape, &blocks, features, false, 0);
-            preds.extend(argmax_rows(tape.value(out)));
+            let mut batch_preds = std::mem::take(&mut self.scratch.preds);
+            argmax_rows_into(tape.value(out), &mut batch_preds);
+            preds.extend_from_slice(&batch_preds);
+            self.scratch.preds = batch_preds;
             let t_eval = wg_gnn::cost::eval_step_time(
                 &self
                     .cfg
@@ -500,6 +611,8 @@ impl Pipeline {
             report.batches += 1;
             batch_times.push((t_sample + t_gather, t_eval));
             self.reclaim_feature_buf(tape.take_value(wg_autograd::NodeId::first()).into_vec());
+            self.scratch.tape = tape;
+            self.scratch.blocks = blocks;
             self.recycle_iter_buffers(Some(mb), handles);
         }
         report.nodes = nodes.len();
@@ -524,15 +637,23 @@ impl Pipeline {
             let handles = self.handles_for(batch);
             let (mb, _) = self.sample(&handles, u64::MAX, i as u64);
             let (features, _) = self.gather(&mb, i as u64);
-            let blocks = minibatch_blocks(&mb);
-            let mut tape = Tape::new();
+            let mut blocks = std::mem::take(&mut self.scratch.blocks);
+            minibatch_blocks_into(&mb, &mut blocks);
+            let mut tape = std::mem::take(&mut self.scratch.tape);
+            tape.reset();
             let out = self.model.forward(&mut tape, &blocks, features, false, 0);
-            let preds = argmax_rows(tape.value(out));
-            let ids = self.stable_ids(&handles);
+            let mut preds = std::mem::take(&mut self.scratch.preds);
+            argmax_rows_into(tape.value(out), &mut preds);
+            let mut ids = std::mem::take(&mut self.scratch.batch_ids);
+            self.stable_ids_into(&handles, &mut ids);
             for (p, v) in preds.iter().zip(ids.iter()) {
                 cm.record(self.dataset.labels[*v as usize], *p);
             }
             self.reclaim_feature_buf(tape.take_value(wg_autograd::NodeId::first()).into_vec());
+            self.scratch.tape = tape;
+            self.scratch.blocks = blocks;
+            self.scratch.preds = preds;
+            self.scratch.batch_ids = ids;
             self.recycle_iter_buffers(Some(mb), handles);
         }
         cm

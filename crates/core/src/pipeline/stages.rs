@@ -9,16 +9,16 @@
 //! what lets the serial and overlapped executors schedule the same
 //! stages differently while producing bit-identical numerics.
 
-use wg_autograd::{Optimizer, Tape};
+use wg_autograd::Optimizer;
 use wg_gnn::cost::train_step_time;
 use wg_sample::SampleStats;
 use wg_sim::collective::allreduce_intra_node;
 use wg_sim::trace::Phase;
 use wg_sim::SimTime;
-use wg_tensor::ops::{argmax_rows, softmax_cross_entropy};
+use wg_tensor::ops::{argmax_rows_into, softmax_cross_entropy_into};
 use wg_tensor::Matrix;
 
-use crate::convert::{minibatch_blocks, minibatch_shapes};
+use crate::convert::{minibatch_blocks_into, minibatch_shapes};
 use crate::pipeline::report::{IterTimes, IterationResult};
 use crate::pipeline::Pipeline;
 use wg_graph::NodeId;
@@ -184,9 +184,17 @@ impl Stage for TrainStage {
             .features
             .take()
             .expect("train requires gathered features");
-        let blocks = minibatch_blocks(mb);
+        // Everything transient below comes out of the iteration scratch:
+        // the persistent tape (whose workspace pool recycles all forward
+        // activations and backward gradients), the CSR block list, and the
+        // label/prediction/loss buffers. Taken out so the pipeline can
+        // still be borrowed while they are in use, and put back at the
+        // end — steady-state iterations allocate nothing here.
+        let mut tape = std::mem::take(&mut p.scratch.tape);
+        tape.reset();
+        let mut blocks = std::mem::take(&mut p.scratch.blocks);
+        minibatch_blocks_into(mb, &mut blocks);
         let shapes = minibatch_shapes(mb);
-        let mut tape = Tape::new();
         let out = p.model.forward(
             &mut tape,
             &blocks,
@@ -194,23 +202,38 @@ impl Stage for TrainStage {
             ctx.update,
             p.cfg.seed ^ ctx.epoch.rotate_left(13) ^ ctx.iter,
         );
-        let batch_ids = p.stable_ids(&ctx.handles);
-        let labels: Vec<u32> = batch_ids
-            .iter()
-            .map(|&v| p.dataset.labels[v as usize])
-            .collect();
-        let (loss, grad) = softmax_cross_entropy(tape.value(out), &labels);
-        let preds = argmax_rows(tape.value(out));
+        let mut batch_ids = std::mem::take(&mut p.scratch.batch_ids);
+        p.stable_ids_into(&ctx.handles, &mut batch_ids);
+        let mut labels = std::mem::take(&mut p.scratch.labels);
+        labels.clear();
+        labels.extend(batch_ids.iter().map(|&v| p.dataset.labels[v as usize]));
+        let (rows, cols) = {
+            let logits = tape.value(out);
+            (logits.rows(), logits.cols())
+        };
+        let mut grad = tape.alloc(rows, cols);
+        let mut ce_losses = std::mem::take(&mut p.scratch.ce_losses);
+        let loss = softmax_cross_entropy_into(tape.value(out), &labels, &mut grad, &mut ce_losses);
+        let mut preds = std::mem::take(&mut p.scratch.preds);
+        argmax_rows_into(tape.value(out), &mut preds);
         ctx.correct = preds.iter().zip(&labels).filter(|(pr, l)| pr == l).count();
         ctx.loss = loss;
         if ctx.update {
             p.model.params.zero_grads();
             tape.backward(out, grad, &mut p.model.params);
             p.opt.step(&mut p.model.params);
+        } else {
+            tape.recycle(grad);
         }
         // The tape is done with the gathered-input matrix; reclaim its
         // buffer for the next iteration's gather.
         p.reclaim_feature_buf(tape.take_value(wg_autograd::NodeId::first()).into_vec());
+        p.scratch.tape = tape;
+        p.scratch.blocks = blocks;
+        p.scratch.batch_ids = batch_ids;
+        p.scratch.labels = labels;
+        p.scratch.ce_losses = ce_losses;
+        p.scratch.preds = preds;
         let gpu_spec = p.machine.spec(wg_sim::DeviceId::Gpu(0));
         let t_train = train_step_time(
             &p.cfg

@@ -236,6 +236,13 @@ impl GnnModel {
     /// model consumes them in reverse. `input` holds the gathered features
     /// of the deepest frontier (`blocks.last().num_src` rows). Returns the
     /// tape and the logits node (`blocks[0].num_dst` rows).
+    ///
+    /// Every intermediate activation (and, in `backward`, every gradient)
+    /// is drawn from the tape's [`wg_autograd::Workspace`] pool, so a
+    /// caller that keeps one tape across batches — calling `Tape::reset`
+    /// between them — runs steady-state forward/backward passes without
+    /// heap allocation, bit-identically to fresh tapes (see the
+    /// `persistent_workspace_training_is_bit_identical` test).
     pub fn forward(
         &self,
         tape: &mut Tape,
@@ -419,6 +426,53 @@ mod tests {
             }
             let loss1 = loss_of(&model);
             assert!(loss1 < loss0, "{kind:?}: loss {loss0} -> {loss1}");
+        }
+    }
+
+    #[test]
+    fn persistent_workspace_training_is_bit_identical() {
+        // The tentpole guarantee of the allocation-free training path:
+        // recycling every activation/gradient buffer through one shared
+        // workspace across steps changes nothing — weights and losses are
+        // bit-for-bit those of fresh per-step tapes, for every model
+        // (dropout on, so the pooled mask path is exercised too).
+        use wg_autograd::{Adam, Optimizer};
+        use wg_tensor::ops::softmax_cross_entropy_into;
+        for kind in ModelKind::EXTENDED {
+            let labels = [1u32, 3];
+            let train = |persistent: bool| -> Vec<u32> {
+                let mut cfg = GnnConfig::tiny(kind, 6, 4);
+                cfg.dropout = 0.3;
+                let mut model = GnnModel::new(cfg, 9);
+                let mut opt = Adam::new(0.05);
+                let mut tape = Tape::new();
+                let mut bits = Vec::new();
+                for step in 0..4u64 {
+                    if persistent {
+                        tape.reset();
+                    } else {
+                        tape = Tape::new();
+                    }
+                    let out = model.forward(&mut tape, &blocks(), input(), true, step);
+                    let mut grad = tape.alloc(0, 0);
+                    let mut losses = Vec::new();
+                    let loss = softmax_cross_entropy_into(
+                        tape.value(out),
+                        &labels,
+                        &mut grad,
+                        &mut losses,
+                    );
+                    bits.push(loss.to_bits());
+                    model.params.zero_grads();
+                    tape.backward(out, grad, &mut model.params);
+                    opt.step(&mut model.params);
+                }
+                for id in model.params.ids().collect::<Vec<_>>() {
+                    bits.extend(model.params.value(id).data().iter().map(|x| x.to_bits()));
+                }
+                bits
+            };
+            assert_eq!(train(true), train(false), "{kind:?}");
         }
     }
 

@@ -79,6 +79,66 @@ impl ChunkedPartition {
     }
 }
 
+/// Division-free locator for a [`ChunkedPartition`].
+///
+/// [`ChunkedPartition::locate`] costs an integer division per row, which
+/// dominates the address-translation side of a multi-million-row gather.
+/// `ChunkLocator` precomputes a chunk base table (`bases[r] = r ·
+/// rows_per_rank`) and a multiply-high magic reciprocal of
+/// `rows_per_rank`: locating a row is then one widening multiply, a table
+/// walk of at most a couple of steps to absorb the reciprocal's rounding,
+/// and one subtract for the local row. Bit-exact against the dividing
+/// oracle (see the proptest below).
+#[derive(Clone, Debug)]
+pub struct ChunkLocator {
+    partition: ChunkedPartition,
+    /// `⌊(2⁶⁴ − 1) / rows_per_rank⌋` — multiply-high by this
+    /// underestimates `row / rows_per_rank` by at most 2.
+    magic: u64,
+    /// `bases[r] = r · rows_per_rank`, one entry per rank plus a sentinel.
+    bases: Vec<usize>,
+}
+
+impl ChunkLocator {
+    /// Precompute the locator tables for `partition`.
+    pub fn new(partition: ChunkedPartition) -> Self {
+        let d = partition.rows_per_rank as u64;
+        let magic = u64::MAX / d;
+        let bases = (0..=partition.ranks as usize)
+            .map(|r| r.saturating_mul(partition.rows_per_rank))
+            .collect();
+        ChunkLocator {
+            partition,
+            magic,
+            bases,
+        }
+    }
+
+    /// The partition this locator was built for.
+    pub fn partition(&self) -> ChunkedPartition {
+        self.partition
+    }
+
+    /// Locate a global row — same result as
+    /// [`ChunkedPartition::locate`], no division.
+    #[inline]
+    pub fn locate(&self, row: usize) -> RowLocation {
+        debug_assert!(row < self.partition.rows, "row {row} out of bounds");
+        let est = ((row as u128 * self.magic as u128) >> 64) as usize;
+        let mut r = est.min(self.partition.ranks as usize - 1);
+        while r + 1 < self.bases.len() && self.bases[r + 1] <= row {
+            r += 1;
+        }
+        while self.bases[r] > row {
+            r -= 1;
+        }
+        RowLocation {
+            device_rank: r as u32,
+            local_row: row - self.bases[r],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,7 +192,39 @@ mod tests {
         assert_eq!(p.rows_on_rank(7), 0);
     }
 
+    #[test]
+    fn chunk_locator_handles_rows_per_rank_one() {
+        // rows_per_rank == 1 exercises the magic-reciprocal edge case.
+        let p = ChunkedPartition::new(8, 8);
+        assert_eq!(p.rows_per_rank, 1);
+        let loc = ChunkLocator::new(p);
+        for row in 0..8 {
+            assert_eq!(loc.locate(row), p.locate(row));
+        }
+    }
+
     proptest! {
+        #[test]
+        fn chunk_locator_matches_dividing_oracle(
+            rows in 1usize..1_000_000,
+            ranks in 1u32..64,
+            sel in 0.0f64..1.0,
+        ) {
+            let p = ChunkedPartition::new(rows, ranks);
+            let loc = ChunkLocator::new(p);
+            let row = ((rows as f64 - 1.0) * sel) as usize;
+            prop_assert_eq!(loc.locate(row), p.locate(row));
+            // Chunk boundaries are where the reciprocal estimate is most
+            // likely to be off by one — probe them all.
+            for r in 0..ranks as usize {
+                for probe in [r * p.rows_per_rank, (r + 1) * p.rows_per_rank - 1] {
+                    if probe < rows {
+                        prop_assert_eq!(loc.locate(probe), p.locate(probe));
+                    }
+                }
+            }
+        }
+
         #[test]
         fn locate_roundtrips(rows in 1usize..10_000, ranks in 1u32..16, sel in 0.0f64..1.0) {
             let p = ChunkedPartition::new(rows, ranks);

@@ -17,7 +17,7 @@ use wg_sim::cost::AccessMode;
 use wg_sim::device::DeviceSpec;
 use wg_sim::{CostModel, SimTime};
 
-use crate::access::Element;
+use crate::access::{ChunkLocator, Element};
 use crate::handle::WholeMemory;
 
 /// Statistics of one global gather.
@@ -50,11 +50,70 @@ impl GatherStats {
     }
 }
 
+/// One gather row resolved to its owning region and element offset.
+#[derive(Clone, Copy, Debug)]
+struct PlannedRow {
+    rank: u32,
+    start: usize,
+}
+
+/// A precomputed gather plan: the address translation of
+/// [`global_gather`] hoisted out of the copy kernel.
+///
+/// Building the plan resolves every index through a pooled
+/// [`ChunkLocator`] (division-free, built once per partition) and counts
+/// rows per owning rank, so the planned gather itself is a pure
+/// peer-to-peer copy loop — no `locate()`, no reduction, and with a warm
+/// plan no heap allocation beyond the region read-guard table.
+#[derive(Default)]
+pub struct RowPlan {
+    slots: Vec<PlannedRow>,
+    rank_counts: Vec<usize>,
+    locator: Option<ChunkLocator>,
+    width: usize,
+}
+
+impl RowPlan {
+    /// Rows this plan gathers.
+    pub fn rows(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Resolve `indices` (global row ids) of `wm` into a reusable [`RowPlan`].
+pub fn plan_gather<T: Element>(wm: &WholeMemory<T>, indices: &[usize], plan: &mut RowPlan) {
+    let partition = wm.partition();
+    if plan
+        .locator
+        .as_ref()
+        .is_none_or(|l| l.partition() != partition)
+    {
+        plan.locator = Some(ChunkLocator::new(partition));
+    }
+    let locator = plan.locator.as_ref().unwrap();
+    let width = wm.width();
+    plan.width = width;
+    plan.rank_counts.clear();
+    plan.rank_counts.resize(partition.ranks as usize, 0);
+    plan.slots.clear();
+    plan.slots.reserve(indices.len());
+    for &row in indices {
+        let loc = locator.locate(row);
+        plan.rank_counts[loc.device_rank as usize] += 1;
+        plan.slots.push(PlannedRow {
+            rank: loc.device_rank,
+            start: loc.local_row * width,
+        });
+    }
+}
+
 /// Gather `indices` (global row ids) from `wm` into `out`, executing on
 /// device `executing_rank`.
 ///
 /// `out` must hold `indices.len() * wm.width()` elements. Returns the
-/// per-op statistics including the simulated kernel duration.
+/// per-op statistics including the simulated kernel duration. Allocating
+/// convenience wrapper over [`plan_gather`] + [`global_gather_planned`];
+/// hot loops keep a pooled [`RowPlan`] and call those directly.
 pub fn global_gather<T: Element>(
     wm: &WholeMemory<T>,
     indices: &[usize],
@@ -63,30 +122,46 @@ pub fn global_gather<T: Element>(
     model: &CostModel,
     spec: &DeviceSpec,
 ) -> GatherStats {
+    let mut plan = RowPlan::default();
+    plan_gather(wm, indices, &mut plan);
+    global_gather_planned(wm, &plan, out, executing_rank, model, spec)
+}
+
+/// Execute a precomputed gather plan: copy every planned row from its
+/// owning region into `out`.
+pub fn global_gather_planned<T: Element>(
+    wm: &WholeMemory<T>,
+    plan: &RowPlan,
+    out: &mut [T],
+    executing_rank: u32,
+    model: &CostModel,
+    spec: &DeviceSpec,
+) -> GatherStats {
     let width = wm.width();
+    assert_eq!(plan.width, width, "plan was built for a different width");
     assert_eq!(
         out.len(),
-        indices.len() * width,
+        plan.rows() * width,
         "gather output buffer has wrong size"
     );
     let regions = wm.read_all();
-    let partition = wm.partition();
 
     // The "kernel": every thread block copies one output row from the
-    // owning region, located through the pointer table.
-    let local_rows: usize = out
-        .par_chunks_mut(width.max(1))
-        .zip(indices.par_iter())
-        .map(|(dst, &row)| {
-            let loc = partition.locate(row);
-            let src = &regions[loc.device_rank as usize];
-            let start = loc.local_row * width;
-            dst.copy_from_slice(&src[start..start + width]);
-            usize::from(loc.device_rank == executing_rank)
-        })
-        .sum();
+    // owning region through the pointer table. All address translation
+    // already happened at plan time.
+    out.par_chunks_mut(width.max(1))
+        .zip(plan.slots.par_iter())
+        .for_each(|(dst, slot)| {
+            let src = &regions[slot.rank as usize];
+            dst.copy_from_slice(&src[slot.start..slot.start + width]);
+        });
 
-    let rows = indices.len();
+    let rows = plan.rows();
+    let local_rows = plan
+        .rank_counts
+        .get(executing_rank as usize)
+        .copied()
+        .unwrap_or(0);
     let remote_rows = rows - local_rows;
     let row_bytes = width * std::mem::size_of::<T>();
     let algo_bytes = (rows * row_bytes) as u64;
@@ -171,8 +246,11 @@ fn wm_write_rank<T: Element>(
 }
 
 impl<T: Element> WholeMemory<T> {
-    /// Run `f` with write access to the region of `rank`.
-    pub fn with_region_mut<R>(&self, rank: u32, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+    /// Run `f` with write access to the region of `rank`. Hands out a
+    /// slice, not the backing `Vec`: batched writers update rows in place
+    /// and must not be able to resize a region out from under the
+    /// partition map.
+    pub fn with_region_mut<R>(&self, rank: u32, f: impl FnOnce(&mut [T]) -> R) -> R {
         // Exposed here (rather than handle.rs) because scatter is the only
         // batched writer.
         f(&mut self.region_write(rank))
@@ -266,6 +344,32 @@ mod tests {
         let mut out = vec![0.0f32; indices.len() * 8];
         global_gather(&wm, &indices, &mut out, 0, &model, &spec);
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn planned_gather_matches_adhoc_and_reuses_plan() {
+        let (wm, model, spec) = setup(1000, 16, 8, AccessMode::PeerAccess);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut plan = RowPlan::default();
+        let mut planned = vec![0.0f32; 0];
+        let mut adhoc = vec![0.0f32; 0];
+        // Reuse one plan across batches of different sizes; every batch
+        // must match the allocating gather exactly, stats included.
+        for batch in [333usize, 57, 999] {
+            let indices: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..1000)).collect();
+            planned.clear();
+            planned.resize(batch * 16, 0.0);
+            adhoc.clear();
+            adhoc.resize(batch * 16, 0.0);
+            plan_gather(&wm, &indices, &mut plan);
+            assert_eq!(plan.rows(), batch);
+            let sp = global_gather_planned(&wm, &plan, &mut planned, 2, &model, &spec);
+            let sa = global_gather(&wm, &indices, &mut adhoc, 2, &model, &spec);
+            assert_eq!(planned, adhoc);
+            assert_eq!(sp.local_rows, sa.local_rows);
+            assert_eq!(sp.bus_bytes, sa.bus_bytes);
+            assert_eq!(sp.sim_time, sa.sim_time);
+        }
     }
 
     #[test]

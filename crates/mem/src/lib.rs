@@ -37,9 +37,9 @@ pub mod ipc;
 pub mod nccl;
 pub mod probe;
 
-pub use access::Element;
+pub use access::{ChunkLocator, Element};
 pub use embedding::EmbeddingTable;
-pub use gather::GatherStats;
+pub use gather::{global_gather_planned, plan_gather, GatherStats, RowPlan};
 pub use handle::{RegionView, WholeMemory};
 pub use ipc::{IpcHandle, MemoryPointerTable, SetupReport};
 pub use nccl::NcclGatherStats;

@@ -127,6 +127,34 @@ impl Matrix {
         }
     }
 
+    /// An empty 0×0 matrix that owns no buffer — the placeholder shape the
+    /// workspace pool hands out before a kernel `reset_shape`s it.
+    pub fn empty() -> Matrix {
+        Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Re-shape in place to `rows × cols`, zero-filled, reusing the
+    /// existing buffer capacity. The scratch-pool analogue of
+    /// [`Matrix::zeros`]: a warm buffer performs no heap allocation.
+    pub fn reset_shape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Become a copy of `src` (shape and contents), reusing capacity.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()

@@ -5,9 +5,37 @@ use rayon::prelude::*;
 
 use crate::matrix::Matrix;
 
-/// `C = A · B` for `A: [m,k]`, `B: [k,n]`. Parallel over rows of `C`,
-/// k-outer inner loop so the `j` loop vectorizes.
-pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+// ---------------------------------------------------------------------------
+// Dense matmul family.
+//
+// Each kernel comes in three forms:
+//   * `*_reference` — the original naive row-parallel loop, kept as the
+//     bit-exactness oracle (property tests pin the blocked kernels to it);
+//   * `*_into`      — the cache-blocked kernel writing into a
+//     caller-provided output (and scratch) buffer, so warm steady-state
+//     calls perform zero heap allocations;
+//   * the plain name — an allocating convenience wrapper over `*_into`.
+//
+// Determinism contract: for every output element the blocked kernels add
+// contributions in ascending-k order with exactly the reference kernels'
+// zero-skip rule, and `matmul_tn` reduces its k-chunk partials through the
+// same midpoint tree as the reference. Blocking therefore only reorders
+// *which element is worked on when* — never the per-element float
+// reduction — so results are bit-identical to the references at any
+// thread count.
+// ---------------------------------------------------------------------------
+
+/// Rows of `C` handled per parallel task — the `B` panel loaded into cache
+/// for one (k-block × column-tile) is reused across this many rows.
+const MR: usize = 8;
+/// Column-tile width: per-row accumulators for one tile live in registers.
+const NR: usize = 32;
+/// k-block depth: one `B` panel is `KB × NR` floats (32 KiB) — L1-sized.
+const KB: usize = 256;
+
+/// `C = A · B` for `A: [m,k]`, `B: [k,n]` — naive row-parallel k-outer
+/// loop. Oracle for [`matmul_into`].
+pub fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut c = Matrix::zeros(m, n);
@@ -30,32 +58,79 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
-/// `C = Aᵀ · B` for `A: [k,m]`, `B: [k,n]` (weight-gradient shape).
-/// Computed with a deterministic per-chunk-partial reduction.
-pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+/// `C = A · B` into a caller-provided output (re-shaped in place, capacity
+/// reused). Cache-blocked: parallel over `MR`-row bands, k-blocked so the
+/// `KB × NR` panel of `B` stays cache-resident across the band's rows, and
+/// each row × column-tile accumulates in an `NR`-wide register tile.
+/// Bit-identical to [`matmul_reference`] (ascending-k adds, same
+/// zero-skip) at any thread count.
+pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    c.reset_shape(m, n);
+    c.data_mut()
+        .par_chunks_mut((n * MR).max(1))
+        .enumerate()
+        .for_each(|(band, cband)| {
+            let i0 = band * MR;
+            let band_rows = cband.len() / n.max(1);
+            let mut k0 = 0;
+            while k0 < k {
+                let k1 = k.min(k0 + KB);
+                let mut j0 = 0;
+                while j0 < n {
+                    let nb = NR.min(n - j0);
+                    for bi in 0..band_rows {
+                        let arow = a.row(i0 + bi);
+                        let crow = &mut cband[bi * n + j0..bi * n + j0 + nb];
+                        let mut acc = [0.0f32; NR];
+                        acc[..nb].copy_from_slice(crow);
+                        for l in k0..k1 {
+                            let av = arow[l];
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let brow = &b.row(l)[j0..j0 + nb];
+                            for (av_j, bv) in acc[..nb].iter_mut().zip(brow) {
+                                *av_j += av * bv;
+                            }
+                        }
+                        crow.copy_from_slice(&acc[..nb]);
+                    }
+                    j0 += nb;
+                }
+                k0 = k1;
+            }
+        });
+}
+
+/// Allocating wrapper over [`matmul_into`].
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::empty();
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// k-chunk size of the `matmul_tn` partial reduction. Fixed so the
+/// reduction tree's shape depends only on `k`, never on the thread count.
+const TN_CHUNK: usize = 512;
+
+/// `C = Aᵀ · B` for `A: [k,m]`, `B: [k,n]` (weight-gradient shape) —
+/// the original allocating chunk-partial implementation, kept as the
+/// oracle for [`matmul_tn_into`].
+pub fn matmul_tn_reference(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch");
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
     // Chunk the k dimension; the chunk partials are then merged by a
     // pairwise tree whose shape depends only on the partial count, so the
     // result is bit-identical at any thread count.
-    const CHUNK: usize = 512;
     let mut partials: Vec<Vec<f32>> = (0..k)
         .into_par_iter()
-        .chunks(CHUNK)
+        .chunks(TN_CHUNK)
         .map(|rows| {
             let mut acc = vec![0.0f32; m * n];
             for l in rows {
-                let arow = a.row(l);
-                let brow = b.row(l);
-                for (i, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let dst = &mut acc[i * n..(i + 1) * n];
-                    for j in 0..n {
-                        dst[j] += av * brow[j];
-                    }
-                }
+                tn_accumulate_row(a.row(l), b.row(l), &mut acc, n);
             }
             acc
         })
@@ -65,6 +140,22 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
         _ => tree_reduce_partials(&mut partials),
     };
     Matrix::from_vec(m, n, out)
+}
+
+/// One k-row's rank-1 contribution `acc += a_rowᵀ · b_row`, with the
+/// shared zero-skip rule. Factored out so the reference and the
+/// scratch-slab kernels execute the identical float sequence.
+#[inline]
+fn tn_accumulate_row(arow: &[f32], brow: &[f32], acc: &mut [f32], n: usize) {
+    for (i, &av) in arow.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let dst = &mut acc[i * n..(i + 1) * n];
+        for (d, bv) in dst.iter_mut().zip(brow) {
+            *d += av * bv;
+        }
+    }
 }
 
 /// Merge chunk partials pairwise: split at the midpoint, reduce both
@@ -90,8 +181,68 @@ fn tree_reduce_partials(partials: &mut [Vec<f32>]) -> Vec<f32> {
     }
 }
 
-/// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` (backward-through-weights shape).
-pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+/// `C = Aᵀ · B` into caller-provided output and scratch buffers. The
+/// k-chunk partials live in one flat `scratch` slab (`⌈k/512⌉ · m·n`
+/// floats, capacity reused across calls) instead of per-chunk `Vec`s, and
+/// are merged by the same midpoint tree as [`matmul_tn_reference`] — same
+/// chunk boundaries, same merge order, bit-identical output, zero steady-
+/// state allocations.
+pub fn matmul_tn_into(a: &Matrix, b: &Matrix, c: &mut Matrix, scratch: &mut Vec<f32>) {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch");
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let stride = m * n;
+    c.reset_shape(m, n);
+    if k == 0 || stride == 0 {
+        return;
+    }
+    let nchunks = k.div_ceil(TN_CHUNK);
+    scratch.clear();
+    scratch.resize(nchunks * stride, 0.0);
+    scratch
+        .par_chunks_mut(stride)
+        .enumerate()
+        .for_each(|(ci, acc)| {
+            let lo = ci * TN_CHUNK;
+            let hi = k.min(lo + TN_CHUNK);
+            for l in lo..hi {
+                tn_accumulate_row(a.row(l), b.row(l), acc, n);
+            }
+        });
+    tree_reduce_slabs(&mut scratch[..nchunks * stride], nchunks, stride);
+    c.data_mut().copy_from_slice(&scratch[..stride]);
+}
+
+/// Slab form of [`tree_reduce_partials`]: reduce `count` contiguous
+/// `stride`-sized partials into slab 0. Midpoint split, halves reduced in
+/// parallel, right sum added into left — the identical tree, so the bits
+/// match the `Vec<Vec<f32>>` reference exactly.
+fn tree_reduce_slabs(slabs: &mut [f32], count: usize, stride: usize) {
+    if count <= 1 {
+        return;
+    }
+    let mid = count / 2;
+    let (left, right) = slabs.split_at_mut(mid * stride);
+    rayon::join(
+        || tree_reduce_slabs(left, mid, stride),
+        || tree_reduce_slabs(right, count - mid, stride),
+    );
+    for (o, v) in left[..stride].iter_mut().zip(&right[..stride]) {
+        *o += v;
+    }
+}
+
+/// Allocating wrapper over [`matmul_tn_into`].
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::empty();
+    let mut scratch = Vec::new();
+    matmul_tn_into(a, b, &mut c, &mut scratch);
+    c
+}
+
+/// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` (backward-through-weights
+/// shape) — naive dot-product-per-cell loop. Oracle for
+/// [`matmul_nt_into`].
+pub fn matmul_nt_reference(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch");
     let (m, k, n) = (a.rows(), a.cols(), b.rows());
     let mut c = Matrix::zeros(m, n);
@@ -112,6 +263,48 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
+/// How many dot products of `matmul_nt` run in one register tile.
+const NT_JT: usize = 4;
+
+/// `C = A · Bᵀ` into a caller-provided output. Register-tiled: `NT_JT`
+/// dot products per `A` row run simultaneously, streaming `NT_JT` rows of
+/// `B` against one load of the `A` row. Each dot product still sums in
+/// ascending-k order — bit-identical to [`matmul_nt_reference`].
+pub fn matmul_nt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    c.reset_shape(m, n);
+    c.data_mut()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, crow)| {
+            let arow = a.row(i);
+            let mut j0 = 0;
+            while j0 < n {
+                let jt = NT_JT.min(n - j0);
+                let mut acc = [0.0f32; NT_JT];
+                let mut brows: [&[f32]; NT_JT] = [&[]; NT_JT];
+                for (t, br) in brows[..jt].iter_mut().enumerate() {
+                    *br = b.row(j0 + t);
+                }
+                for (l, &av) in arow.iter().enumerate().take(k) {
+                    for (av_t, br) in acc[..jt].iter_mut().zip(&brows[..jt]) {
+                        *av_t += av * br[l];
+                    }
+                }
+                crow[j0..j0 + jt].copy_from_slice(&acc[..jt]);
+                j0 += jt;
+            }
+        });
+}
+
+/// Allocating wrapper over [`matmul_nt_into`].
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::empty();
+    matmul_nt_into(a, b, &mut c);
+    c
+}
+
 /// Add a bias row vector to every row.
 pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
     assert_eq!(bias.len(), x.cols(), "bias width mismatch");
@@ -123,20 +316,25 @@ pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
     });
 }
 
-/// Elementwise sum `a + b`.
-pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+/// Elementwise sum `a + b` into a caller-provided output.
+pub fn add_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(
         (a.rows(), a.cols()),
         (b.rows(), b.cols()),
         "add shape mismatch"
     );
-    let data = a
-        .data()
-        .par_iter()
+    out.copy_from(a);
+    out.data_mut()
+        .par_iter_mut()
         .zip(b.data().par_iter())
-        .map(|(x, y)| x + y)
-        .collect();
-    Matrix::from_vec(a.rows(), a.cols(), data)
+        .for_each(|(o, y)| *o += y);
+}
+
+/// Elementwise sum `a + b`.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::empty();
+    add_into(a, b, &mut out);
+    out
 }
 
 /// Elementwise scale.
@@ -210,15 +408,24 @@ pub fn elu_backward(grad: &mut Matrix, forward_output: &Matrix, alpha: f32) {
 /// Inverted dropout: zero with probability `p`, scale survivors by
 /// `1/(1-p)`. The mask (1/(1-p) or 0 per element) is returned for backward.
 pub fn dropout(x: &mut Matrix, p: f32, seed: u64) -> Vec<f32> {
+    let mut mask = Vec::new();
+    dropout_into(x, p, seed, &mut mask);
+    mask
+}
+
+/// [`dropout`] with the mask written into a caller-provided (pooled)
+/// buffer. Mask contents are identical to the allocating form.
+pub fn dropout_into(x: &mut Matrix, p: f32, seed: u64, mask: &mut Vec<f32>) {
     use rand::prelude::*;
     use rand::rngs::SmallRng;
     assert!((0.0..1.0).contains(&p));
+    mask.clear();
     if p == 0.0 {
-        return Vec::new();
+        return;
     }
     let keep = 1.0 / (1.0 - p);
     let n = x.cols().max(1);
-    let mut mask = vec![0.0f32; x.len()];
+    mask.resize(x.len(), 0.0);
     mask.par_chunks_mut(n)
         .zip(x.data_mut().par_chunks_mut(n))
         .enumerate()
@@ -235,20 +442,37 @@ pub fn dropout(x: &mut Matrix, p: f32, seed: u64) -> Vec<f32> {
                 }
             }
         });
-    mask
 }
 
 /// Fused softmax + cross-entropy over rows. Returns `(mean_loss,
 /// grad_logits)` where the gradient is already divided by the row count.
 pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
+    let mut grad = Matrix::empty();
+    let mut losses = Vec::new();
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad, &mut losses);
+    (loss, grad)
+}
+
+/// [`softmax_cross_entropy`] writing the gradient and the per-row loss
+/// scratch into caller-provided (pooled) buffers. The per-row losses are
+/// still summed sequentially in row order, so the mean loss is
+/// bit-identical to the allocating form at any thread count.
+pub fn softmax_cross_entropy_into(
+    logits: &Matrix,
+    labels: &[u32],
+    grad: &mut Matrix,
+    losses: &mut Vec<f32>,
+) -> f32 {
     assert_eq!(logits.rows(), labels.len(), "one label per row");
     let (m, n) = (logits.rows(), logits.cols());
-    let mut grad = Matrix::zeros(m, n);
-    let losses: Vec<f32> = grad
-        .data_mut()
+    grad.reset_shape(m, n);
+    losses.clear();
+    losses.resize(m, 0.0);
+    grad.data_mut()
         .par_chunks_mut(n.max(1))
+        .zip(losses.par_iter_mut())
         .enumerate()
-        .map(|(i, grow)| {
+        .for_each(|(i, (grow, loss))| {
             let row = logits.row(i);
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0f32;
@@ -264,27 +488,46 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
                 *g /= denom * m as f32;
             }
             grow[label] -= 1.0 / m as f32;
-            -(p_label.max(1e-12)).ln()
-        })
-        .collect();
-    (losses.iter().sum::<f32>() / m.max(1) as f32, grad)
+            *loss = -(p_label.max(1e-12)).ln();
+        });
+    losses.iter().sum::<f32>() / m.max(1) as f32
 }
 
 /// Row-wise argmax (predictions).
 pub fn argmax_rows(x: &Matrix) -> Vec<u32> {
-    (0..x.rows())
-        .into_par_iter()
-        .map(|i| {
-            let row = x.row(i);
-            let mut best = 0usize;
-            for j in 1..row.len() {
-                if row[j] > row[best] {
-                    best = j;
-                }
+    let mut out = Vec::new();
+    argmax_rows_into(x, &mut out);
+    out
+}
+
+/// [`argmax_rows`] into a caller-provided (pooled) buffer.
+pub fn argmax_rows_into(x: &Matrix, out: &mut Vec<u32>) {
+    out.clear();
+    out.resize(x.rows(), 0);
+    out.par_iter_mut().enumerate().for_each(|(i, o)| {
+        let row = x.row(i);
+        let mut best = 0usize;
+        for j in 1..row.len() {
+            if row[j] > row[best] {
+                best = j;
             }
-            best as u32
-        })
-        .collect()
+        }
+        *o = best as u32;
+    });
+}
+
+/// Horizontal concatenation `[A | B]` into a caller-provided output.
+pub fn concat_cols_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.rows(), b.rows(), "concat row mismatch");
+    let (m, na, nb) = (a.rows(), a.cols(), b.cols());
+    out.reset_shape(m, na + nb);
+    out.data_mut()
+        .par_chunks_mut(na + nb)
+        .enumerate()
+        .for_each(|(i, row)| {
+            row[..na].copy_from_slice(a.row(i));
+            row[na..].copy_from_slice(b.row(i));
+        });
 }
 
 /// Horizontal concatenation `[A | B]`.
@@ -302,28 +545,43 @@ pub fn concat_cols(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
-/// Split the columns of `x` back into two matrices of widths `na`, rest —
-/// the backward of [`concat_cols`].
-pub fn split_cols(x: &Matrix, na: usize) -> (Matrix, Matrix) {
+/// Split the columns of `x` into caller-provided outputs of widths `na`,
+/// rest — the backward of [`concat_cols`].
+pub fn split_cols_into(x: &Matrix, na: usize, a: &mut Matrix, b: &mut Matrix) {
     assert!(na <= x.cols());
     let (m, n) = (x.rows(), x.cols());
-    let mut a = Matrix::zeros(m, na);
-    let mut b = Matrix::zeros(m, n - na);
+    a.reset_shape(m, na);
+    b.reset_shape(m, n - na);
     for i in 0..m {
         a.row_mut(i).copy_from_slice(&x.row(i)[..na]);
         b.row_mut(i).copy_from_slice(&x.row(i)[na..]);
     }
+}
+
+/// Split the columns of `x` back into two matrices of widths `na`, rest —
+/// the backward of [`concat_cols`].
+pub fn split_cols(x: &Matrix, na: usize) -> (Matrix, Matrix) {
+    let (mut a, mut b) = (Matrix::empty(), Matrix::empty());
+    split_cols_into(x, na, &mut a, &mut b);
     (a, b)
 }
 
-/// Column-wise sum (bias gradients).
-pub fn sum_rows(x: &Matrix) -> Vec<f32> {
-    let mut out = vec![0.0f32; x.cols()];
+/// Column-wise sum (bias gradients) into a caller-provided slice of
+/// length `x.cols()`.
+pub fn sum_rows_into(x: &Matrix, out: &mut [f32]) {
+    assert_eq!(out.len(), x.cols(), "sum_rows output width mismatch");
+    out.fill(0.0);
     for i in 0..x.rows() {
         for (o, v) in out.iter_mut().zip(x.row(i)) {
             *o += v;
         }
     }
+}
+
+/// Column-wise sum (bias gradients).
+pub fn sum_rows(x: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.cols()];
+    sum_rows_into(x, &mut out);
     out
 }
 
@@ -497,6 +755,34 @@ mod tests {
         assert_eq!(x.get(0, 1), 2.0);
     }
 
+    fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && a.data()
+                .iter()
+                .zip(b.data())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    /// The blocked kernels reuse whatever garbage is in the output (and
+    /// scratch) buffers — a warm pooled buffer must not leak into results.
+    #[test]
+    fn into_kernels_overwrite_dirty_buffers() {
+        let a = randm(9, 6, 21);
+        let b = randm(6, 7, 22);
+        let mut dirty = Matrix::from_fn(3, 3, |_, _| f32::NAN);
+        matmul_into(&a, &b, &mut dirty);
+        assert!(bits_equal(&dirty, &matmul_reference(&a, &b)));
+        let bt = randm(5, 6, 23);
+        matmul_nt_into(&a, &bt, &mut dirty);
+        assert!(bits_equal(&dirty, &matmul_nt_reference(&a, &bt)));
+        let a2 = randm(700, 4, 24);
+        let b2 = randm(700, 3, 25);
+        let mut scratch = vec![f32::NAN; 7];
+        matmul_tn_into(&a2, &b2, &mut dirty, &mut scratch);
+        assert!(bits_equal(&dirty, &matmul_tn_reference(&a2, &b2)));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
         #[test]
@@ -508,6 +794,73 @@ mod tests {
             let mut twice = matmul(&a, &b);
             scale(&mut twice, 2.0);
             prop_assert!(matmul(&a2, &b).max_abs_diff(&twice) < 1e-4);
+        }
+
+        /// Blocked kernels must equal the naive reference kernels *in
+        /// bits*, for any shape — including shapes that don't divide the
+        /// MR/NR/KB/NT_JT tile sizes, and k large enough to span several
+        /// k-blocks. Together with the pool-vs-sequential tests this pins
+        /// the blocked kernels at every thread count.
+        #[test]
+        fn blocked_matmul_family_is_bit_identical_to_reference(
+            m in 1usize..40,
+            k in 1usize..600,
+            n in 1usize..40,
+            seed in 0u64..1000,
+        ) {
+            let a = randm(m, k, seed);
+            let b = randm(k, n, seed + 1);
+            prop_assert!(bits_equal(&matmul(&a, &b), &matmul_reference(&a, &b)));
+
+            let bt = randm(n, k, seed + 2);
+            prop_assert!(bits_equal(&matmul_nt(&a, &bt), &matmul_nt_reference(&a, &bt)));
+
+            // tn shape: A is [k, m] with k the reduced dimension.
+            let atn = randm(k, m, seed + 3);
+            let btn = randm(k, n, seed + 4);
+            let mut c = Matrix::empty();
+            let mut scratch = Vec::new();
+            matmul_tn_into(&atn, &btn, &mut c, &mut scratch);
+            prop_assert!(bits_equal(&c, &matmul_tn_reference(&atn, &btn)));
+            // Calling again with the warm scratch must not change bits.
+            matmul_tn_into(&atn, &btn, &mut c, &mut scratch);
+            prop_assert!(bits_equal(&c, &matmul_tn_reference(&atn, &btn)));
+        }
+    }
+
+    /// The blocked kernels on the work-stealing pool must produce the
+    /// same bits as on the forced-sequential reference schedule.
+    #[test]
+    fn blocked_kernels_bits_are_pinned_across_schedules() {
+        rayon::init_threads(4);
+        let a = randm(67, 1200, 31);
+        let b = randm(1200, 33, 32);
+        let bt = randm(33, 1200, 33);
+        let seq = rayon::run_sequential(|| {
+            (
+                matmul(&a, &b),
+                matmul_nt(&a, &bt),
+                matmul_tn(&b, &b),
+                softmax_cross_entropy(&randm(64, 10, 34), &[3u32; 64]).0,
+            )
+        });
+        for _ in 0..3 {
+            let par = (
+                matmul(&a, &b),
+                matmul_nt(&a, &bt),
+                matmul_tn(&b, &b),
+                softmax_cross_entropy(&randm(64, 10, 34), &[3u32; 64]).0,
+            );
+            assert!(bits_equal(&par.0, &seq.0), "matmul bits depend on schedule");
+            assert!(
+                bits_equal(&par.1, &seq.1),
+                "matmul_nt bits depend on schedule"
+            );
+            assert!(
+                bits_equal(&par.2, &seq.2),
+                "matmul_tn bits depend on schedule"
+            );
+            assert_eq!(par.3.to_bits(), seq.3.to_bits(), "loss depends on schedule");
         }
     }
 }

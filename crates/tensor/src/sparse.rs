@@ -100,12 +100,13 @@ fn agg_scale(agg: Agg, degree: usize) -> f32 {
     }
 }
 
-/// g-SpMM forward: `out[d] = agg over edges (d←s) of w_e · src[s]`.
+/// g-SpMM forward — the original unblocked loop, kept as the bit-exactness
+/// oracle for [`spmm_into`].
 ///
 /// `src`: `[num_src, H·D]` source features. `edge_weights`: optional
 /// `[E, H]` per-edge per-head weights (`heads` must divide `src.cols()`);
 /// `None` means weight 1 on a single head spanning all channels.
-pub fn spmm(
+pub fn spmm_reference(
     block: &BlockCsr,
     src: &Matrix,
     edge_weights: Option<&Matrix>,
@@ -156,6 +157,92 @@ pub fn spmm(
     out
 }
 
+/// Channel-tile width of the blocked spmm kernels: per-tile accumulators
+/// live in registers across a destination row's whole edge list, so the
+/// output row is stored once per tile instead of read-modify-written per
+/// edge.
+const SPMM_CB: usize = 32;
+
+/// g-SpMM forward into a caller-provided output (re-shaped in place,
+/// capacity reused). Channel-blocked on the unweighted path; every output
+/// element still accumulates its edges in ascending edge order with the
+/// same `agg` scaling, so results are bit-identical to
+/// [`spmm_reference`] at any thread count.
+pub fn spmm_into(
+    block: &BlockCsr,
+    src: &Matrix,
+    edge_weights: Option<&Matrix>,
+    heads: usize,
+    agg: Agg,
+    out: &mut Matrix,
+) {
+    assert_eq!(src.rows(), block.num_src, "src feature rows != num_src");
+    let channels = src.cols();
+    assert!(
+        heads >= 1 && channels.is_multiple_of(heads),
+        "heads must divide channels"
+    );
+    if let Some(w) = edge_weights {
+        assert_eq!(w.rows(), block.num_edges());
+        assert_eq!(w.cols(), heads);
+    }
+    let head_dim = channels / heads;
+    out.reset_shape(block.num_dst, channels);
+    out.data_mut()
+        .par_chunks_mut(channels.max(1))
+        .enumerate()
+        .for_each(|(d, orow)| {
+            let lo = block.offsets[d] as usize;
+            let hi = block.offsets[d + 1] as usize;
+            let scale = agg_scale(agg, hi - lo);
+            match edge_weights {
+                None => {
+                    let mut j0 = 0;
+                    while j0 < channels {
+                        let cb = SPMM_CB.min(channels - j0);
+                        let mut acc = [0.0f32; SPMM_CB];
+                        for e in lo..hi {
+                            let s = block.indices[e] as usize;
+                            let srow = &src.row(s)[j0..j0 + cb];
+                            for (a, &x) in acc[..cb].iter_mut().zip(srow) {
+                                *a += scale * x;
+                            }
+                        }
+                        orow[j0..j0 + cb].copy_from_slice(&acc[..cb]);
+                        j0 += cb;
+                    }
+                }
+                Some(w) => {
+                    for e in lo..hi {
+                        let s = block.indices[e] as usize;
+                        let srow = src.row(s);
+                        let wrow = w.row(e);
+                        for h in 0..heads {
+                            let wh = scale * wrow[h];
+                            let base = h * head_dim;
+                            for j in 0..head_dim {
+                                orow[base + j] += wh * srow[base + j];
+                            }
+                        }
+                    }
+                }
+            }
+        });
+}
+
+/// Allocating wrapper over [`spmm_into`].
+pub fn spmm(
+    block: &BlockCsr,
+    src: &Matrix,
+    edge_weights: Option<&Matrix>,
+    heads: usize,
+    agg: Agg,
+) -> Matrix {
+    let mut out = Matrix::empty();
+    spmm_into(block, src, edge_weights, heads, agg, &mut out);
+    out
+}
+
 /// CAS-loop atomic add on an `f32` stored in an `AtomicU32` — the software
 /// equivalent of CUDA's `atomicAdd(float*)`.
 #[inline]
@@ -172,48 +259,49 @@ fn atomic_add_f32(slot: &AtomicU32, add: f32) {
 
 /// The transposed adjacency of a [`BlockCsr`]: for every source node, its
 /// incoming edges (and their destinations) in **ascending edge order** —
-/// the deterministic gather order for the backward kernels.
-struct ReverseCsr {
+/// the deterministic gather order for the backward kernels. The buffers
+/// are pooled: `ReverseScratch` is rebuilt in place every backward call,
+/// so a warm scratch performs zero heap allocations.
+#[derive(Default)]
+pub struct ReverseScratch {
     offsets: Vec<u32>,
     edges: Vec<u32>,
     dsts: Vec<u32>,
+    next: Vec<u32>,
 }
 
 /// Build the transpose with a stable counting sort over the edge list.
 /// O(E) and sequential: the fill is a trivial fraction of the channel-wide
 /// accumulation that follows, and stability is what buys determinism.
-fn reverse_csr(block: &BlockCsr) -> ReverseCsr {
-    let mut offsets = vec![0u32; block.num_src + 1];
+fn reverse_csr_into(block: &BlockCsr, rev: &mut ReverseScratch) {
+    rev.offsets.clear();
+    rev.offsets.resize(block.num_src + 1, 0);
     for &c in &block.indices {
-        offsets[c as usize + 1] += 1;
+        rev.offsets[c as usize + 1] += 1;
     }
     for s in 0..block.num_src {
-        offsets[s + 1] += offsets[s];
+        rev.offsets[s + 1] += rev.offsets[s];
     }
-    let mut edges = vec![0u32; block.indices.len()];
-    let mut dsts = vec![0u32; block.indices.len()];
-    let mut next: Vec<u32> = offsets[..block.num_src].to_vec();
+    rev.edges.clear();
+    rev.edges.resize(block.indices.len(), 0);
+    rev.dsts.clear();
+    rev.dsts.resize(block.indices.len(), 0);
+    rev.next.clear();
+    rev.next.extend_from_slice(&rev.offsets[..block.num_src]);
     for d in 0..block.num_dst {
         for e in block.offsets[d] as usize..block.offsets[d + 1] as usize {
             let s = block.indices[e] as usize;
-            let pos = next[s] as usize;
-            next[s] += 1;
-            edges[pos] = e as u32;
-            dsts[pos] = d as u32;
+            let pos = rev.next[s] as usize;
+            rev.next[s] += 1;
+            rev.edges[pos] = e as u32;
+            rev.dsts[pos] = d as u32;
         }
-    }
-    ReverseCsr {
-        offsets,
-        edges,
-        dsts,
     }
 }
 
-/// g-SpMM backward w.r.t. source features — deterministic variant: a
-/// gather over the transposed CSR, parallel across source rows, each row
-/// accumulating its incoming gradients in ascending edge order. Results
-/// are bit-identical at any thread count (the autograd tape uses this).
-pub fn spmm_backward_src(
+/// g-SpMM backward w.r.t. source features — the original unblocked
+/// transpose-gather, kept as the oracle for [`spmm_backward_src_into`].
+pub fn spmm_backward_src_reference(
     block: &BlockCsr,
     grad_dst: &Matrix,
     edge_weights: Option<&Matrix>,
@@ -224,7 +312,8 @@ pub fn spmm_backward_src(
     let channels = grad_dst.cols();
     assert!(heads >= 1 && channels.is_multiple_of(heads));
     let head_dim = channels / heads;
-    let rev = reverse_csr(block);
+    let mut rev = ReverseScratch::default();
+    reverse_csr_into(block, &mut rev);
     let mut out = Matrix::zeros(block.num_src, channels);
     out.data_mut()
         .par_chunks_mut(channels.max(1))
@@ -254,6 +343,95 @@ pub fn spmm_backward_src(
                 }
             }
         });
+    out
+}
+
+/// g-SpMM backward w.r.t. source features — deterministic variant: a
+/// gather over the transposed CSR, parallel across source rows, each row
+/// accumulating its incoming gradients in ascending edge order. Results
+/// are bit-identical at any thread count (the autograd tape uses this).
+/// Channel-blocked like [`spmm_into`]; writes into a caller-provided
+/// output and rebuilds the transpose in pooled scratch, so warm calls
+/// allocate nothing.
+pub fn spmm_backward_src_into(
+    block: &BlockCsr,
+    grad_dst: &Matrix,
+    edge_weights: Option<&Matrix>,
+    heads: usize,
+    agg: Agg,
+    out: &mut Matrix,
+    rev: &mut ReverseScratch,
+) {
+    assert_eq!(grad_dst.rows(), block.num_dst);
+    let channels = grad_dst.cols();
+    assert!(heads >= 1 && channels.is_multiple_of(heads));
+    let head_dim = channels / heads;
+    reverse_csr_into(block, rev);
+    let rev = &*rev;
+    out.reset_shape(block.num_src, channels);
+    out.data_mut()
+        .par_chunks_mut(channels.max(1))
+        .enumerate()
+        .for_each(|(s, orow)| {
+            let lo = rev.offsets[s] as usize;
+            let hi = rev.offsets[s + 1] as usize;
+            match edge_weights {
+                None => {
+                    let mut j0 = 0;
+                    while j0 < channels {
+                        let cb = SPMM_CB.min(channels - j0);
+                        let mut acc = [0.0f32; SPMM_CB];
+                        for i in lo..hi {
+                            let d = rev.dsts[i] as usize;
+                            let scale = agg_scale(agg, block.degree(d));
+                            let grow = &grad_dst.row(d)[j0..j0 + cb];
+                            for (a, &g) in acc[..cb].iter_mut().zip(grow) {
+                                *a += scale * g;
+                            }
+                        }
+                        orow[j0..j0 + cb].copy_from_slice(&acc[..cb]);
+                        j0 += cb;
+                    }
+                }
+                Some(w) => {
+                    for i in lo..hi {
+                        let e = rev.edges[i] as usize;
+                        let d = rev.dsts[i] as usize;
+                        let scale = agg_scale(agg, block.degree(d));
+                        let grow = grad_dst.row(d);
+                        let wrow = w.row(e);
+                        for h in 0..heads {
+                            let wh = scale * wrow[h];
+                            let base = h * head_dim;
+                            for j in 0..head_dim {
+                                orow[base + j] += wh * grow[base + j];
+                            }
+                        }
+                    }
+                }
+            }
+        });
+}
+
+/// Allocating wrapper over [`spmm_backward_src_into`].
+pub fn spmm_backward_src(
+    block: &BlockCsr,
+    grad_dst: &Matrix,
+    edge_weights: Option<&Matrix>,
+    heads: usize,
+    agg: Agg,
+) -> Matrix {
+    let mut out = Matrix::empty();
+    let mut rev = ReverseScratch::default();
+    spmm_backward_src_into(
+        block,
+        grad_dst,
+        edge_weights,
+        heads,
+        agg,
+        &mut out,
+        &mut rev,
+    );
     out
 }
 
@@ -373,7 +551,8 @@ pub fn spmm_max(block: &BlockCsr, src: &Matrix) -> (Matrix, Vec<u32>) {
 pub fn spmm_max_backward(block: &BlockCsr, grad_dst: &Matrix, argmax: &[u32]) -> Matrix {
     let channels = grad_dst.cols();
     assert_eq!(argmax.len(), block.num_dst * channels);
-    let rev = reverse_csr(block);
+    let mut rev = ReverseScratch::default();
+    reverse_csr_into(block, &mut rev);
     let mut out = Matrix::zeros(block.num_src, channels);
     out.data_mut()
         .par_chunks_mut(channels.max(1))
@@ -889,6 +1068,50 @@ mod tests {
                 let lhs: f32 = got.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
                 let rhs: f32 = src.data().iter().zip(bwd.data()).map(|(a, b)| a * b).sum();
                 prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()));
+            }
+        }
+
+        /// The channel-blocked forward/backward kernels must match the
+        /// unblocked reference kernels *in bits* on arbitrary blocks and
+        /// channel widths (tile-divisible or not), with warm pooled
+        /// buffers reused across calls.
+        #[test]
+        fn blocked_spmm_is_bit_identical_to_reference(
+            num_dst in 1usize..12,
+            extra_src in 0usize..12,
+            channels in 1usize..70,
+            seed in 0u64..500,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xb10c);
+            let num_src = num_dst + extra_src;
+            let mut offsets = vec![0u32];
+            let mut indices = Vec::new();
+            for _ in 0..num_dst {
+                let deg = rng.gen_range(0..5usize);
+                for _ in 0..deg {
+                    indices.push(rng.gen_range(0..num_src as u32));
+                }
+                offsets.push(indices.len() as u32);
+            }
+            let mut dup = vec![0u32; num_src];
+            for &c in &indices {
+                dup[c as usize] += 1;
+            }
+            let b = BlockCsr { num_dst, num_src, offsets, indices, dup_count: dup };
+            let src = randm(num_src, channels, seed + 1);
+            let g = randm(num_dst, channels, seed + 2);
+            let bits = |a: &Matrix, r: &Matrix| {
+                a.data().iter().zip(r.data()).all(|(x, y)| x.to_bits() == y.to_bits())
+            };
+            // Dirty pooled buffers: contents must be fully overwritten.
+            let mut out = Matrix::from_fn(2, 2, |_, _| f32::NAN);
+            let mut bwd = Matrix::from_fn(3, 1, |_, _| f32::NAN);
+            let mut rev = ReverseScratch::default();
+            for agg in [Agg::Sum, Agg::Mean] {
+                spmm_into(&b, &src, None, 1, agg, &mut out);
+                prop_assert!(bits(&out, &spmm_reference(&b, &src, None, 1, agg)));
+                spmm_backward_src_into(&b, &g, None, 1, agg, &mut bwd, &mut rev);
+                prop_assert!(bits(&bwd, &spmm_backward_src_reference(&b, &g, None, 1, agg)));
             }
         }
     }

@@ -38,9 +38,10 @@ cargo clippy --workspace "${OFFLINE_FLAGS[@]}" -- -D warnings
 
 # The wallclock harness is a correctness gate as much as a benchmark: every
 # kernel's FNV-1a checksum must stay pinned to the committed value (the
-# numerics may never move), and the sampling hot path must stay
-# allocation-free in steady state (the harness itself asserts
-# allocs_per_batch == 0 for "sample" under its counting allocator).
+# numerics may never move), and every hot path must stay within its
+# steady-state allocation budget (the workspace/scratch-arena contract —
+# the harness itself asserts the same budgets under its counting
+# allocator).
 echo "tier1: wallclock bench (checksum + allocation gate)"
 cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin wallclock
 
@@ -50,6 +51,12 @@ declare -A EXPECTED=(
     [spmm]=9ca0fe519fc2bdf1
     [epoch]=08f1c9d74e8dc560
 )
+declare -A ALLOC_BUDGET=(
+    [sample]=0
+    [gather]=1
+    [spmm]=0
+    [epoch]=16
+)
 for name in "${!EXPECTED[@]}"; do
     got=$(grep -o "\"name\": \"$name\"[^}]*" BENCH_wallclock.json \
         | grep -o '"checksum": "[0-9a-f]*"' | grep -o '[0-9a-f]\{16\}')
@@ -57,13 +64,13 @@ for name in "${!EXPECTED[@]}"; do
         echo "tier1: FAIL — $name checksum $got != ${EXPECTED[$name]}"
         exit 1
     fi
+    allocs=$(grep -o "\"name\": \"$name\"[^}]*" BENCH_wallclock.json \
+        | grep -o '"allocs_per_batch": [0-9]*' | grep -o '[0-9]*$')
+    if [ "$allocs" -gt "${ALLOC_BUDGET[$name]}" ]; then
+        echo "tier1: FAIL — $name allocs_per_batch = $allocs (budget ${ALLOC_BUDGET[$name]})"
+        exit 1
+    fi
 done
-sample_allocs=$(grep -o '"name": "sample"[^}]*' BENCH_wallclock.json \
-    | grep -o '"allocs_per_batch": [0-9]*' | grep -o '[0-9]*$')
-if [ "$sample_allocs" != "0" ]; then
-    echo "tier1: FAIL — sample allocs_per_batch = $sample_allocs (must be 0)"
-    exit 1
-fi
-echo "tier1: wallclock checksums pinned, sample allocs/batch = 0"
+echo "tier1: wallclock checksums pinned, alloc budgets held"
 
 echo "tier1: OK"
