@@ -1,0 +1,176 @@
+//! Gatekeeper for `BENCH_wallclock.json` — the one place the pinned
+//! bit-exactness checksums and steady-state allocation budgets live.
+//! `scripts/tier1.sh` and the CI bench job both call this instead of
+//! grepping the JSON apart in shell.
+//!
+//! ```text
+//! check_bench gate <bench.json>
+//!     Hard gate: `bit_identical` must be true, every expected bench
+//!     present, every checksum equal to the pinned value, every
+//!     allocs_per_batch within budget. Exit 1 on any violation.
+//!
+//! check_bench compare <baseline.json> <current.json> [--warn-pct N] [--fail-pct N]
+//!     Per-bench pool-time (`tn_ms`) drift, current vs baseline. Drift
+//!     above --warn-pct (default 25) prints a warning; above --fail-pct
+//!     (default: never) exits 1. Wall-clock is noisy on shared runners,
+//!     so CI warns rather than fails by default.
+//! ```
+//!
+//! Exit codes: 0 pass, 1 gate/threshold violation, 2 usage or IO error.
+
+use std::process::exit;
+
+use wg_bench::json::Json;
+
+/// The pinned per-bench contract: (name, FNV-1a checksum, allocation
+/// budget per warm batch). The checksums are schedule- and
+/// thread-count-invariant by the harness's bit-identical construction,
+/// so this gate holds under any `WG_THREADS`. A kernel change that
+/// legitimately moves numerics must update the pin here — in the same
+/// commit, with the bench rerun.
+const EXPECT: [(&str, &str, u64); 4] = [
+    ("sample", "f0d397b0ce92dc84", 0),
+    ("gather", "2b272988158bae37", 1),
+    ("spmm", "9ca0fe519fc2bdf1", 0),
+    ("epoch", "08f1c9d74e8dc560", 16),
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  check_bench gate <bench.json>\n  check_bench compare <baseline.json> \
+         <current.json> [--warn-pct N] [--fail-pct N]"
+    );
+    exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("check_bench: cannot read {path}: {e}");
+        exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("check_bench: {path} is not valid JSON: {e}");
+        exit(2);
+    })
+}
+
+/// The `benches` array member named `name`.
+fn bench<'a>(doc: &'a Json, name: &str) -> Option<&'a Json> {
+    doc.get("benches")?
+        .as_array()?
+        .iter()
+        .find(|b| b.get("name").and_then(Json::as_str) == Some(name))
+}
+
+fn gate(path: &str) -> i32 {
+    let doc = load(path);
+    let mut failures = 0u32;
+    let mut fail = |msg: String| {
+        eprintln!("GATE FAIL: {msg}");
+        failures += 1;
+    };
+    if doc.get("bit_identical").and_then(Json::as_bool) != Some(true) {
+        fail("bit_identical is not true".to_string());
+    }
+    for (name, want_sum, budget) in EXPECT {
+        let Some(b) = bench(&doc, name) else {
+            fail(format!("bench '{name}' missing from {path}"));
+            continue;
+        };
+        match b.get("checksum").and_then(Json::as_str) {
+            Some(got) if got == want_sum => {}
+            got => fail(format!(
+                "{name}: checksum {} != pinned {want_sum}",
+                got.unwrap_or("<missing>")
+            )),
+        }
+        match b.get("allocs_per_batch").and_then(Json::as_f64) {
+            Some(a) if a <= budget as f64 => {}
+            Some(a) => fail(format!("{name}: {a} allocs/batch exceeds budget {budget}")),
+            None => fail(format!("{name}: allocs_per_batch missing")),
+        }
+    }
+    if failures == 0 {
+        println!(
+            "check_bench gate: OK ({} benches, checksums pinned, alloc budgets held)",
+            EXPECT.len()
+        );
+        0
+    } else {
+        eprintln!("check_bench gate: {failures} failure(s) in {path}");
+        1
+    }
+}
+
+/// `--flag N` style option, or the default.
+fn pct_flag(args: &[String], flag: &str, default: Option<f64>) -> Option<f64> {
+    match args.iter().position(|a| a == flag) {
+        None => default,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(v) => Some(v),
+            None => usage(),
+        },
+    }
+}
+
+fn compare(base_path: &str, cur_path: &str, args: &[String]) -> i32 {
+    let warn_pct = pct_flag(args, "--warn-pct", Some(25.0));
+    let fail_pct = pct_flag(args, "--fail-pct", None);
+    let base = load(base_path);
+    let cur = load(cur_path);
+    let mut worst: f64 = f64::NEG_INFINITY;
+    let mut failed = false;
+    println!("bench time drift, {cur_path} vs {base_path} (pool-schedule tn_ms):");
+    for (name, _, _) in EXPECT {
+        let t = |doc: &Json, path: &str| -> f64 {
+            bench(doc, name)
+                .and_then(|b| b.get("tn_ms"))
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| {
+                    eprintln!("check_bench: bench '{name}' has no tn_ms in {path}");
+                    exit(2);
+                })
+        };
+        let (b, c) = (t(&base, base_path), t(&cur, cur_path));
+        let pct = (c - b) / b.max(1e-12) * 100.0;
+        worst = worst.max(pct);
+        let mark = match (fail_pct, warn_pct) {
+            (Some(f), _) if pct > f => {
+                failed = true;
+                "  << FAIL"
+            }
+            (_, Some(w)) if pct > w => "  << WARN: regression",
+            _ => "",
+        };
+        println!("  {name:>8}: {b:>10.3} ms -> {c:>10.3} ms  ({pct:>+7.1}%){mark}");
+    }
+    if failed {
+        eprintln!(
+            "check_bench compare: time regression beyond --fail-pct {}%",
+            fail_pct.unwrap_or(f64::INFINITY)
+        );
+        1
+    } else {
+        println!(
+            "check_bench compare: OK (worst drift {worst:+.1}%{})",
+            warn_pct.map_or_else(String::new, |w| format!(", warn threshold {w}%"))
+        );
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("gate") => match args.get(1) {
+            Some(path) => gate(path),
+            None => usage(),
+        },
+        Some("compare") => match (args.get(1), args.get(2)) {
+            (Some(b), Some(c)) => compare(b, c, &args[3..]),
+            _ => usage(),
+        },
+        _ => usage(),
+    };
+    exit(code);
+}

@@ -303,7 +303,10 @@ fn bench_spmm() -> Measurement {
 /// checksum doubles as proof the replay is bit-identical to a cold start.
 /// Also reports the *simulated* device epoch time and the host wall-clock
 /// split across the sample/gather/train stages.
-fn bench_epoch() -> Measurement {
+///
+/// With `--trace <file>`, the last repetition's simulated device
+/// intervals are merged with the drained host spans into a Chrome trace.
+fn bench_epoch(trace: Option<&str>) -> Measurement {
     let dataset = Arc::new(SyntheticDataset::generate(
         DatasetKind::OgbnProducts,
         300,
@@ -313,7 +316,7 @@ fn bench_epoch() -> Measurement {
     let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage).with_seed(3);
     let mut pipe = Pipeline::new(machine, dataset, cfg).unwrap();
     let batches = pipe.iters_per_epoch() as u64;
-    measure("epoch", batches, move || {
+    let m = measure("epoch", batches, || {
         pipe.reset_training_state();
         let start = Instant::now();
         let (r, stages) = pipe.train_epoch_timed(0);
@@ -332,7 +335,13 @@ fn bench_epoch() -> Measurement {
             sim: Some(r.epoch_time),
             stages: Some(stages),
         }
-    })
+    });
+    if let Some(path) = trace {
+        wholegraph::observability::write_chrome_trace(path, pipe.machine())
+            .expect("write chrome trace");
+        println!("chrome trace written to {path} (chrome://tracing / ui.perfetto.dev)");
+    }
+    m
 }
 
 fn main() {
@@ -342,7 +351,25 @@ fn main() {
     println!("pool threads: {threads}   host cores: {cores}");
     println!("(every kernel is checked bit-identical between schedules)\n");
 
-    let results = [bench_sample(), bench_gather(), bench_spmm(), bench_epoch()];
+    // Spans + metrics run *enabled* throughout: the allocation budgets
+    // below are asserted with observability on, which is the crate's
+    // zero-steady-state-overhead claim made checkable. (Per-thread ring
+    // buffers and metric names intern during the untimed warm-up run;
+    // warm repeats allocate nothing.)
+    wg_trace::enable_all();
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let results = [
+        bench_sample(),
+        bench_gather(),
+        bench_spmm(),
+        bench_epoch(trace_path.as_deref()),
+    ];
 
     // Steady-state allocation budgets (per batch, warm pools): the
     // scratch-arena / workspace contract for each hot path.
@@ -419,9 +446,14 @@ fn main() {
             )
         })
         .collect();
+    // Cumulative metrics over every run of every bench (warm-up,
+    // sequential reference and pool repeats alike) — the registry totals,
+    // same shape `wg_trace::metrics::Snapshot::to_json` documents.
+    let metrics = wg_trace::metrics::snapshot().to_json();
     let json = format!(
         "{{\n  \"threads\": {threads},\n  \"cores\": {cores},\n  \
-         \"bit_identical\": true,\n  \"benches\": [\n{}\n  ]\n}}\n",
+         \"bit_identical\": true,\n  \"benches\": [\n{}\n  ],\n  \
+         \"metrics\": {metrics}\n}}\n",
         benches.join(",\n")
     );
     std::fs::write("BENCH_wallclock.json", &json).expect("write BENCH_wallclock.json");

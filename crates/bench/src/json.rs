@@ -1,0 +1,327 @@
+//! A minimal JSON reader — just enough for `check_bench` (and tier1.sh
+//! through it) to interrogate `BENCH_wallclock.json` without the fragile
+//! grep/cut chains the shell used to do, and without pulling a JSON
+//! dependency into the workspace.
+//!
+//! Supports the full JSON value grammar (objects, arrays, strings with
+//! escapes, numbers, booleans, null). Objects keep insertion order.
+//! Errors carry the byte offset where parsing stopped.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (held as `f64`, like browsers do).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse failure: message + byte offset into the input.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset of the failure.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage is an error).
+    pub fn parse(src: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            b: src.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup (`None` on non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            msg: msg.to_string(),
+            at: self.i,
+        }
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, ParseError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            members.push((key, self.value()?));
+            self.ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            return Ok(Json::Obj(members));
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(Json::Arr(items));
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = *self.b.get(self.i).ok_or_else(|| self.err("bad escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.i += 4;
+                            // Surrogates are replaced, not paired — the
+                            // bench files never emit astral characters.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(&c) => {
+                    // Copy a full UTF-8 sequence through untouched.
+                    let s = &self.b[self.i..];
+                    let len = std::str::from_utf8(s)
+                        .map(|t| t.chars().next().map_or(1, char::len_utf8))
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(std::str::from_utf8(&s[..len]).unwrap());
+                    self.i += len;
+                    let _ = c;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.i;
+        self.eat(b'-');
+        while matches!(
+            self.b.get(self.i),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_shape() {
+        let doc = r#"{
+  "threads": 1, "bit_identical": true,
+  "benches": [
+    {"name": "sample", "tn_ms": 185.9485, "allocs_per_batch": 0,
+     "checksum": "f0d397b0ce92dc84"},
+    {"name": "epoch", "tn_ms": 40.8562,
+     "stages": {"sample_ms": 4.1263}}
+  ]
+}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("threads").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(v.get("bit_identical").and_then(Json::as_bool), Some(true));
+        let benches = v.get("benches").and_then(Json::as_array).unwrap();
+        assert_eq!(benches.len(), 2);
+        assert_eq!(
+            benches[0].get("checksum").and_then(Json::as_str),
+            Some("f0d397b0ce92dc84")
+        );
+        let stage = benches[1].get("stages").and_then(|s| s.get("sample_ms"));
+        assert_eq!(stage.and_then(Json::as_f64), Some(4.1263));
+    }
+
+    #[test]
+    fn escapes_and_numbers() {
+        let v = Json::parse(r#"["a\"b\\c\nA", -1.5e3, 0.25, null, false]"#).unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items[0].as_str(), Some("a\"b\\c\nA"));
+        assert_eq!(items[1].as_f64(), Some(-1500.0));
+        assert_eq!(items[2].as_f64(), Some(0.25));
+        assert_eq!(items[3], Json::Null);
+        assert_eq!(items[4].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"open").is_err());
+        let err = Json::parse("[tru]").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn non_container_lookups_are_none() {
+        let v = Json::parse("3").unwrap();
+        assert!(v.get("x").is_none());
+        assert!(v.as_array().is_none());
+        assert!(v.as_str().is_none());
+    }
+}

@@ -11,6 +11,8 @@
 //! crossovers fall) but not in absolute scale to a physical DGX-A100 —
 //! see DESIGN.md.
 
+pub mod json;
+
 use std::sync::Arc;
 
 use wg_graph::DatasetKind;

@@ -19,7 +19,7 @@ use wholegraph::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  wg gen   --dataset <products|papers100m|friendster|uk> --scale <N> --out <file> [--seed <N>]\n  wg train [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--framework <wholegraph|dgl|pyg>] [--epochs <N>] [--batch <N>] [--hidden <N>]\n           [--layers <N>] [--fanout <N>] [--gpus <N>] [--seed <N>] [--overlap]\n  wg info  --data <file>"
+        "usage:\n  wg gen   --dataset <products|papers100m|friendster|uk> --scale <N> --out <file> [--seed <N>]\n  wg train [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--framework <wholegraph|dgl|pyg>] [--epochs <N>] [--batch <N>] [--hidden <N>]\n           [--layers <N>] [--fanout <N>] [--gpus <N>] [--seed <N>] [--overlap]\n           [--trace <out.json>]\n  wg info  --data <file>"
     );
     exit(2);
 }
@@ -193,6 +193,10 @@ fn cmd_train(flags: HashMap<String, String>) {
         gpus,
         exec.name()
     );
+    let trace_path = flags.get("trace").cloned();
+    if trace_path.is_some() {
+        wg_trace::enable_all();
+    }
     let mut pipe = match Pipeline::new(machine, dataset, cfg) {
         Ok(p) => p,
         Err(e) => {
@@ -231,6 +235,18 @@ fn cmd_train(flags: HashMap<String, String>) {
     }
     let test = pipe.evaluate(&pipe.dataset().test.clone());
     println!("test accuracy: {:.1}%", test * 100.0);
+    if let Some(path) = trace_path {
+        wg_trace::disable_all();
+        if let Err(e) = wholegraph::observability::write_chrome_trace(&path, pipe.machine()) {
+            eprintln!("failed to write trace {path}: {e}");
+            exit(1);
+        }
+        let snap = wg_trace::metrics::snapshot();
+        println!(
+            "chrome trace written to {path} ({} metric series; load in chrome://tracing or ui.perfetto.dev)",
+            snap.counters.len() + snap.gauges.len() + snap.histograms.len()
+        );
+    }
 }
 
 fn main() {

@@ -41,6 +41,8 @@
 //!   experiments: Table III, Figure 7);
 //! * [`multinode`] — data-parallel multi-node scaling (§III-D,
 //!   Figure 13);
+//! * [`observability`] — merged host-span / simulated-device Chrome
+//!   trace export (pairs with the `wg-trace` crate);
 //! * [`memstats`] — per-GPU memory accounting by phase (Table IV);
 //! * [`fullbatch`] — whole-graph training for graphs that fit (§II-A's
 //!   contrast case);
@@ -55,6 +57,7 @@ pub mod fullbatch;
 pub mod memstats;
 pub mod metrics;
 pub mod multinode;
+pub mod observability;
 pub mod pipeline;
 pub mod trainer;
 

@@ -137,6 +137,48 @@ mod tests {
     }
 
     #[test]
+    fn speedup_is_relative_to_first_point_and_iters_clamp() {
+        let mut pipe = pipeline();
+        // real_iters far beyond the epoch's batch count must clamp, and
+        // the speedup baseline is the *first requested* node count (the
+        // sweep need not start at 1).
+        let pts = scaling_sweep(&mut pipe, &[2, 4], 100_000);
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].speedup - 1.0).abs() < 1e-9);
+        assert_eq!(pts[0].nodes, 2);
+        assert!(pts[1].speedup > 1.0);
+        assert!(pts[1].epoch_time < pts[0].epoch_time);
+    }
+
+    #[test]
+    fn single_point_sweep_is_identity() {
+        let mut pipe = pipeline();
+        let pts = scaling_sweep(&mut pipe, &[3], 1);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].nodes, 3);
+        assert!((pts[0].speedup - 1.0).abs() < 1e-9);
+        assert!(pts[0].epoch_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn sweep_iterations_feed_observability_counters() {
+        // The sweep executes real iterations through the full stage
+        // graph, so with metrics enabled the pipeline probes must accrue.
+        wg_trace::enable_metrics();
+        let mut pipe = pipeline();
+        scaling_sweep(&mut pipe, &[1], 2);
+        wg_trace::disable_all();
+        let snap = wg_trace::metrics::snapshot();
+        for name in ["pipeline.gather.feature_bytes", "pipeline.allreduce.bytes"] {
+            let c = snap.counters.iter().find(|(n, _)| n == name);
+            assert!(
+                c.is_some_and(|(_, v)| *v > 0.0),
+                "{name} not accrued: {c:?}"
+            );
+        }
+    }
+
+    #[test]
     fn overlapped_projection_is_not_slower_than_serial() {
         use crate::pipeline::ExecMode;
         let dataset = Arc::new(SyntheticDataset::generate(

@@ -353,6 +353,10 @@ impl Pipeline {
     fn gather(&mut self, mb: &MiniBatch, iter: u64) -> (Matrix, SimTime) {
         let feat_dim = self.dataset.feature_dim;
         let input = mb.input_nodes();
+        wg_trace::counter!(
+            "pipeline.gather.feature_bytes",
+            (input.len() * feat_dim * 4) as f64
+        );
         match &self.store {
             StoreImpl::Dsm(s) if self.cfg.feature_placement == FeaturePlacement::HostMapped => {
                 // Zero-copy: the gather kernel reads host-pinned rows over
@@ -475,11 +479,20 @@ impl Pipeline {
     ) -> IterationResult {
         let mut ctx = IterContext::new(self, epoch, iter, batch_nodes, update);
         let t0 = Instant::now();
-        let sample = SampleStage.run(&mut ctx);
+        let sample = {
+            let _s = wg_trace::span!("pipeline.sample");
+            SampleStage.run(&mut ctx)
+        };
         let t1 = Instant::now();
-        let gather = GatherStage.run(&mut ctx);
+        let gather = {
+            let _s = wg_trace::span!("pipeline.gather");
+            GatherStage.run(&mut ctx)
+        };
         let t2 = Instant::now();
-        let train = TrainStage.run(&mut ctx);
+        let train = {
+            let _s = wg_trace::span!("pipeline.train");
+            TrainStage.run(&mut ctx)
+        };
         let t3 = Instant::now();
         wall[0] += t1 - t0;
         wall[1] += t2 - t1;
@@ -517,6 +530,7 @@ impl Pipeline {
     ///
     /// [`epoch_batches`]: Self::epoch_batches
     pub fn train_epoch_timed(&mut self, epoch: u64) -> (EpochReport, [Duration; 3]) {
+        let _epoch_span = wg_trace::span!("pipeline.epoch");
         let mut order = std::mem::take(&mut self.scratch.epoch_order);
         order.clear();
         order.extend_from_slice(&self.dataset.train);

@@ -245,6 +245,12 @@ impl Stage for TrainStage {
             p.model.params.num_scalars(),
         );
         ctx.comm = if ctx.update {
+            // Ring allreduce moves 2*(G-1)/G of the gradient bytes per rank.
+            let g = p.machine.num_gpus() as f64;
+            wg_trace::counter!(
+                "pipeline.allreduce.bytes",
+                p.model.params.param_bytes() as f64 * 2.0 * (g - 1.0) / g
+            );
             allreduce_intra_node(
                 p.machine.cost(),
                 p.model.params.param_bytes(),

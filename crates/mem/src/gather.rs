@@ -137,6 +137,7 @@ pub fn global_gather_planned<T: Element>(
     model: &CostModel,
     spec: &DeviceSpec,
 ) -> GatherStats {
+    let _span = wg_trace::span!("mem.gather");
     let width = wm.width();
     assert_eq!(plan.width, width, "plan was built for a different width");
     assert_eq!(
@@ -186,13 +187,45 @@ pub fn global_gather_planned<T: Element>(
         }
     };
 
-    GatherStats {
+    let stats = GatherStats {
         rows,
         local_rows,
         remote_rows,
         algo_bytes,
         bus_bytes,
         sim_time,
+    };
+    record_gather_metrics(&stats, model);
+    stats
+}
+
+/// Rows-per-gather histogram bucket bounds (mini-batch input sets run
+/// from hundreds of rows at toy scale to ~100k at paper fanouts).
+const ROWS_BUCKETS: [f64; 8] = [256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1e6, 4e6];
+/// Link-utilization histogram bounds (fraction of peak NVLink bandwidth
+/// the gather's bus traffic achieved).
+const LINK_UTIL_BUCKETS: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
+
+/// Accrue one gather's statistics into the `mem.gather.*` metrics: byte
+/// and row counters, the rows-per-call histogram, and the achieved
+/// fraction of peak NVLink bandwidth. One atomic-load probe when
+/// metrics are disabled.
+fn record_gather_metrics(stats: &GatherStats, model: &CostModel) {
+    if !wg_trace::metrics_enabled() {
+        return;
+    }
+    wg_trace::counter!("mem.gather.calls", 1.0);
+    wg_trace::counter!("mem.gather.rows", stats.rows as f64);
+    wg_trace::counter!("mem.gather.remote_rows", stats.remote_rows as f64);
+    wg_trace::counter!("mem.gather.algo_bytes", stats.algo_bytes as f64);
+    wg_trace::counter!("mem.gather.bus_bytes", stats.bus_bytes as f64);
+    wg_trace::histogram!("mem.gather.rows_per_call", &ROWS_BUCKETS, stats.rows as f64);
+    if stats.sim_time.as_secs() > 0.0 && model.topology.nvlink_bandwidth > 0.0 {
+        wg_trace::histogram!(
+            "mem.gather.link_utilization",
+            &LINK_UTIL_BUCKETS,
+            stats.bus_bandwidth() / model.topology.nvlink_bandwidth
+        );
     }
 }
 

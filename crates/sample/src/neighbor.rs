@@ -318,6 +318,7 @@ pub fn sample_minibatch_into<G: GraphAccess>(
     out: &mut MiniBatch,
 ) -> SampleStats {
     use rand::SeedableRng;
+    let _span = wg_trace::span!("sample.minibatch");
     let mut stats = SampleStats::default();
     let num_layers = cfg.fanouts.len();
     out.batch_size = batch_handles.len();
@@ -431,7 +432,30 @@ pub fn sample_minibatch_into<G: GraphAccess>(
         block.num_dst = n;
         block.num_src = next.len();
     }
+    record_sample_metrics(&stats, out);
     stats
+}
+
+/// Edges-per-minibatch histogram bounds (toy batches sample thousands of
+/// edges; paper-shaped fanout-30×3 batches sample hundreds of thousands).
+const EDGES_BUCKETS: [f64; 7] = [1e3, 4e3, 16e3, 64e3, 256e3, 1e6, 4e6];
+
+/// Accrue one mini-batch's sampling work into the `sample.*` metrics.
+/// One atomic-load probe when metrics are disabled.
+fn record_sample_metrics(stats: &SampleStats, out: &MiniBatch) {
+    if !wg_trace::metrics_enabled() {
+        return;
+    }
+    wg_trace::counter!("sample.minibatches", 1.0);
+    wg_trace::counter!("sample.edges_sampled", stats.edges_sampled as f64);
+    wg_trace::counter!("sample.keys_inserted", stats.keys_inserted as f64);
+    wg_trace::counter!("sample.kernels", stats.kernels as f64);
+    wg_trace::counter!("sample.input_nodes", out.input_nodes().len() as f64);
+    wg_trace::histogram!(
+        "sample.edges_per_minibatch",
+        &EDGES_BUCKETS,
+        stats.edges_sampled as f64
+    );
 }
 
 /// The pre-refactor sampling path, kept as the equivalence oracle for

@@ -1,0 +1,328 @@
+//! The global metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Values live in atomics and update lock-free; the registry itself is a
+//! small mutex-guarded vector that is only locked to *intern* a name on
+//! its first use (and to snapshot). Probe sites therefore allocate only
+//! on the first observation of each metric — warm hot loops are
+//! allocation-free, which is what lets the wallclock harness keep its
+//! allocation budgets with metrics enabled.
+//!
+//! All recording is gated on [`crate::metrics_enabled`]: a disabled
+//! probe is one atomic load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An `f64` stored in an `AtomicU64` (by bit pattern).
+#[derive(Debug, Default)]
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(c) => cur = c,
+            }
+        }
+    }
+}
+
+enum Kind {
+    Counter(AtomicF64),
+    Gauge(AtomicF64),
+    Histogram {
+        /// Upper bucket bounds (inclusive); an implicit `+inf` bucket
+        /// follows. Must be the same `'static` slice on every call.
+        bounds: &'static [f64],
+        /// One count per bound, plus the overflow bucket.
+        buckets: Box<[AtomicU64]>,
+        count: AtomicU64,
+        sum: AtomicF64,
+    },
+}
+
+struct Entry {
+    name: &'static str,
+    kind: Kind,
+}
+
+/// Interned metrics, in first-use order. Entries are never removed, so
+/// probe sites may cache nothing and still stay allocation-free after
+/// the first touch.
+static REGISTRY: Mutex<Vec<Arc<Entry>>> = Mutex::new(Vec::new());
+
+fn intern(name: &'static str, make: impl FnOnce() -> Kind) -> Arc<Entry> {
+    let mut reg = REGISTRY.lock().unwrap();
+    if let Some(e) = reg.iter().find(|e| e.name == name) {
+        return Arc::clone(e);
+    }
+    let entry = Arc::new(Entry { name, kind: make() });
+    reg.push(Arc::clone(&entry));
+    entry
+}
+
+/// Add `v` to the counter `name` (created on first use).
+#[inline]
+pub fn add(name: &'static str, v: f64) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    let e = intern(name, || Kind::Counter(AtomicF64::default()));
+    match &e.kind {
+        Kind::Counter(c) => c.add(v),
+        _ => panic!("metric {name} is not a counter"),
+    }
+}
+
+/// Set the gauge `name` to `v` (created on first use).
+#[inline]
+pub fn set(name: &'static str, v: f64) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    let e = intern(name, || Kind::Gauge(AtomicF64::default()));
+    match &e.kind {
+        Kind::Gauge(g) => g.set(v),
+        _ => panic!("metric {name} is not a gauge"),
+    }
+}
+
+/// Record `v` into the fixed-bucket histogram `name`. `bounds` are the
+/// inclusive upper bucket bounds (ascending); values above the last
+/// bound land in an implicit overflow bucket.
+#[inline]
+pub fn observe(name: &'static str, bounds: &'static [f64], v: f64) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    let e = intern(name, || Kind::Histogram {
+        bounds,
+        buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+        count: AtomicU64::new(0),
+        sum: AtomicF64::default(),
+    });
+    match &e.kind {
+        Kind::Histogram {
+            bounds: b,
+            buckets,
+            count,
+            sum,
+        } => {
+            assert!(
+                std::ptr::eq(*b, bounds),
+                "histogram {name} re-registered with different bounds"
+            );
+            let idx = b.partition_point(|&bound| bound < v);
+            buckets[idx].fetch_add(1, Ordering::Relaxed);
+            count.fetch_add(1, Ordering::Relaxed);
+            sum.add(v);
+        }
+        _ => panic!("metric {name} is not a histogram"),
+    }
+}
+
+/// A histogram's frozen state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Upper bucket bounds (an overflow bucket follows the last).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, `bounds.len() + 1` long.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+/// A frozen copy of the whole registry, each section sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter name → accumulated value.
+    pub counters: Vec<(String, f64)>,
+    /// Gauge name → last value.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Render as a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    /// Histograms carry `count`, `sum`, `mean`, and per-bucket
+    /// `{"le": bound, "count": n}` rows (the last bound is `"inf"`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", crate::chrome::escape(name), num(*v)));
+        }
+        out.push_str("}, \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", crate::chrome::escape(name), num(*v)));
+        }
+        out.push_str("}, \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let mean = if h.count > 0 {
+                h.sum / h.count as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"buckets\": [",
+                crate::chrome::escape(&h.name),
+                h.count,
+                num(h.sum),
+                num(mean)
+            ));
+            for (j, &c) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let le = h
+                    .bounds
+                    .get(j)
+                    .map_or_else(|| "\"inf\"".to_string(), |b| num(*b));
+                out.push_str(&format!("{{\"le\": {le}, \"count\": {c}}}"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// JSON-safe number formatting (no NaN/inf literals).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Freeze the current registry contents.
+pub fn snapshot() -> Snapshot {
+    let reg = REGISTRY.lock().unwrap();
+    let mut snap = Snapshot::default();
+    for e in reg.iter() {
+        match &e.kind {
+            Kind::Counter(c) => snap.counters.push((e.name.to_string(), c.get())),
+            Kind::Gauge(g) => snap.gauges.push((e.name.to_string(), g.get())),
+            Kind::Histogram {
+                bounds,
+                buckets,
+                count,
+                sum,
+            } => snap.histograms.push(HistogramSnapshot {
+                name: e.name.to_string(),
+                bounds: bounds.to_vec(),
+                buckets: buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                count: count.load(Ordering::Relaxed),
+                sum: sum.get(),
+            }),
+        }
+    }
+    snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    snap
+}
+
+/// Clear the registry (names un-intern; the next probe re-creates them).
+pub fn reset() {
+    REGISTRY.lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static BOUNDS: [f64; 3] = [1.0, 10.0, 100.0];
+
+    #[test]
+    fn counters_gauges_histograms_accumulate_and_snapshot() {
+        let _guard = crate::test_guard();
+        crate::enable_metrics();
+        reset();
+        add("m.counter", 1.5);
+        add("m.counter", 2.5);
+        set("m.gauge", 3.0);
+        set("m.gauge", 9.0);
+        for v in [0.5, 1.0, 5.0, 50.0, 5000.0] {
+            observe("m.hist", &BOUNDS, v);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counters, vec![("m.counter".to_string(), 4.0)]);
+        assert_eq!(snap.gauges, vec![("m.gauge".to_string(), 9.0)]);
+        let h = &snap.histograms[0];
+        // 0.5 and 1.0 land in the ≤1 bucket (inclusive bounds), then one
+        // observation per remaining bucket including overflow.
+        assert_eq!(h.buckets, vec![2, 1, 1, 1]);
+        assert_eq!(h.count, 5);
+        assert!((h.sum - 5056.5).abs() < 1e-9);
+        let json = snap.to_json();
+        assert!(json.contains("\"m.counter\": 4"));
+        assert!(json.contains("{\"le\": \"inf\", \"count\": 1}"));
+        crate::disable_all();
+        reset();
+    }
+
+    #[test]
+    fn disabled_metrics_do_not_intern() {
+        let _guard = crate::test_guard();
+        crate::disable_all();
+        reset();
+        add("never.counter", 1.0);
+        observe("never.hist", &BOUNDS, 1.0);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_counter_adds_do_not_lose_updates() {
+        let _guard = crate::test_guard();
+        crate::enable_metrics();
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        add("m.racy", 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(snapshot().counters[0].1, 4000.0);
+        crate::disable_all();
+        reset();
+    }
+}

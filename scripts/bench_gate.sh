@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Bench gate: regenerate the wallclock bench (with span tracing + metrics
+# enabled — the harness runs them always-on) and hold it to the committed
+# contract.
+#
+# Usage: scripts/bench_gate.sh [out-dir]     (default: bench-artifacts/)
+#
+# Hard failures (exit 1, via `check_bench gate`):
+#   * any kernel checksum off its pinned value (numerics moved), or
+#   * any hot path over its steady-state allocation budget.
+# Soft failure (warning only, via `check_bench compare --warn-pct 25`):
+#   * pool-schedule time regression beyond 25% against the committed
+#     BENCH_wallclock.json — wall-clock is too noisy on shared CI runners
+#     to fail on, but the drift is printed and the artifacts are kept.
+#
+# Leaves in <out-dir>: baseline.json (committed numbers), current.json
+# (this run), wallclock_trace.json (merged host/sim Chrome trace — load
+# in chrome://tracing or ui.perfetto.dev). CI uploads the directory.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${1:-bench-artifacts}"
+mkdir -p "$OUT_DIR"
+
+OFFLINE_FLAGS=()
+if ! curl -sfI --max-time 5 https://index.crates.io/config.json >/dev/null 2>&1; then
+    echo "bench_gate: registry unreachable, building offline"
+    export CARGO_NET_OFFLINE=true
+    OFFLINE_FLAGS=(--offline)
+fi
+
+cp BENCH_wallclock.json "$OUT_DIR/baseline.json"
+
+echo "bench_gate: wallclock bench (tracing on)"
+cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin wallclock -- \
+    --trace "$OUT_DIR/wallclock_trace.json"
+cp BENCH_wallclock.json "$OUT_DIR/current.json"
+
+echo "bench_gate: checksum + allocation gate"
+cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
+    gate "$OUT_DIR/current.json"
+
+echo "bench_gate: time drift vs committed baseline (warn-only)"
+cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
+    compare "$OUT_DIR/baseline.json" "$OUT_DIR/current.json" --warn-pct 25
+
+# The bench rewrote BENCH_wallclock.json in place; restore the committed
+# copy so the gate leaves the tree clean (both copies live in $OUT_DIR).
+git checkout -- BENCH_wallclock.json 2>/dev/null || true
+
+echo "bench_gate: OK (artifacts in $OUT_DIR/)"

@@ -6,6 +6,11 @@
 # When the crates.io registry is unreachable (air-gapped CI, laptops on
 # planes), cargo is forced offline — all dependencies resolve to the
 # path-based shims under shims/, so offline builds are fully supported.
+#
+# With CI=1 (set by .github/workflows/ci.yml), the wall-clock *timing*
+# comparison against the committed baseline is skipped — shared runners
+# are too noisy for time assertions — while the bit-exactness checksums
+# and allocation budgets (machine-independent) are still enforced.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,41 +41,27 @@ cargo fmt --check
 echo "tier1: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace "${OFFLINE_FLAGS[@]}" -- -D warnings
 
-# The wallclock harness is a correctness gate as much as a benchmark: every
-# kernel's FNV-1a checksum must stay pinned to the committed value (the
-# numerics may never move), and every hot path must stay within its
+# The wallclock harness is a correctness gate as much as a benchmark:
+# every kernel's FNV-1a checksum must stay pinned to the committed value
+# (the numerics may never move), and every hot path must stay within its
 # steady-state allocation budget (the workspace/scratch-arena contract —
 # the harness itself asserts the same budgets under its counting
-# allocator).
+# allocator, with span tracing and metrics enabled throughout). The pins
+# and budgets live in one place: crates/bench/src/bin/check_bench.rs.
 echo "tier1: wallclock bench (checksum + allocation gate)"
+cp BENCH_wallclock.json "${TMPDIR:-/tmp}/tier1_bench_baseline.json"
 cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin wallclock
-
-declare -A EXPECTED=(
-    [sample]=f0d397b0ce92dc84
-    [gather]=2b272988158bae37
-    [spmm]=9ca0fe519fc2bdf1
-    [epoch]=08f1c9d74e8dc560
-)
-declare -A ALLOC_BUDGET=(
-    [sample]=0
-    [gather]=1
-    [spmm]=0
-    [epoch]=16
-)
-for name in "${!EXPECTED[@]}"; do
-    got=$(grep -o "\"name\": \"$name\"[^}]*" BENCH_wallclock.json \
-        | grep -o '"checksum": "[0-9a-f]*"' | grep -o '[0-9a-f]\{16\}')
-    if [ "$got" != "${EXPECTED[$name]}" ]; then
-        echo "tier1: FAIL — $name checksum $got != ${EXPECTED[$name]}"
-        exit 1
-    fi
-    allocs=$(grep -o "\"name\": \"$name\"[^}]*" BENCH_wallclock.json \
-        | grep -o '"allocs_per_batch": [0-9]*' | grep -o '[0-9]*$')
-    if [ "$allocs" -gt "${ALLOC_BUDGET[$name]}" ]; then
-        echo "tier1: FAIL — $name allocs_per_batch = $allocs (budget ${ALLOC_BUDGET[$name]})"
-        exit 1
-    fi
-done
+cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
+    gate BENCH_wallclock.json
 echo "tier1: wallclock checksums pinned, alloc budgets held"
+
+if [ "${CI:-0}" = "1" ]; then
+    echo "tier1: CI=1 — skipping wall-clock timing comparison (noisy runners)"
+else
+    echo "tier1: wall-clock drift vs committed baseline (warn-only)"
+    cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
+        compare "${TMPDIR:-/tmp}/tier1_bench_baseline.json" BENCH_wallclock.json \
+        --warn-pct 25
+fi
 
 echo "tier1: OK"
