@@ -82,6 +82,12 @@ impl Params {
         &self.grads[id.0]
     }
 
+    /// Mutable gradient (gradient synchronization: AllReduce averaging,
+    /// compression residuals).
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.grads[id.0]
+    }
+
     /// Accumulate into a parameter's gradient.
     pub fn accumulate_grad(&mut self, id: ParamId, g: &Matrix) {
         let slot = &mut self.grads[id.0];

@@ -14,6 +14,12 @@
 //!     above --warn-pct (default 25) prints a warning; above --fail-pct
 //!     (default: never) exits 1. Wall-clock is noisy on shared runners,
 //!     so CI warns rather than fails by default.
+//!
+//! check_bench multinode <bench.json>
+//!     Validate `BENCH_multinode.json`: schema string, executed-N=1
+//!     checksum equal to the single-pipeline one, node counts strictly
+//!     increasing from 1, positive epoch times, no halo traffic at N=1
+//!     (and some at N>1), and a genuine end-to-end speedup.
 //! ```
 //!
 //! Exit codes: 0 pass, 1 gate/threshold violation, 2 usage or IO error.
@@ -38,7 +44,7 @@ const EXPECT: [(&str, &str, u64); 4] = [
 fn usage() -> ! {
     eprintln!(
         "usage:\n  check_bench gate <bench.json>\n  check_bench compare <baseline.json> \
-         <current.json> [--warn-pct N] [--fail-pct N]"
+         <current.json> [--warn-pct N] [--fail-pct N]\n  check_bench multinode <bench.json>"
     );
     exit(2);
 }
@@ -98,6 +104,103 @@ fn gate(path: &str) -> i32 {
         0
     } else {
         eprintln!("check_bench gate: {failures} failure(s) in {path}");
+        1
+    }
+}
+
+/// Validate the executed multi-node sweep artifact.
+fn multinode(path: &str) -> i32 {
+    let doc = load(path);
+    let mut failures = 0u32;
+    let mut fail = |msg: String| {
+        eprintln!("MULTINODE FAIL: {msg}");
+        failures += 1;
+    };
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("wg-multinode-sweep-v1") => {}
+        got => fail(format!(
+            "schema {} != wg-multinode-sweep-v1",
+            got.unwrap_or("<missing>")
+        )),
+    }
+    match doc.get("n1") {
+        None => fail("n1 equivalence block missing".to_string()),
+        Some(n1) => {
+            if n1.get("bit_identical").and_then(Json::as_bool) != Some(true) {
+                fail("n1.bit_identical is not true".to_string());
+            }
+            let sum = n1.get("checksum").and_then(Json::as_str);
+            let single = n1.get("single_checksum").and_then(Json::as_str);
+            if sum.is_none() || sum != single {
+                fail(format!(
+                    "executed N=1 checksum {} != single-pipeline {}",
+                    sum.unwrap_or("<missing>"),
+                    single.unwrap_or("<missing>")
+                ));
+            }
+        }
+    }
+    let points: Vec<&Json> = doc
+        .get("points")
+        .and_then(Json::as_array)
+        .map(|p| p.iter().collect())
+        .unwrap_or_default();
+    if points.len() < 2 {
+        fail(format!(
+            "need at least 2 sweep points, got {}",
+            points.len()
+        ));
+        eprintln!("check_bench multinode: {failures} failure(s) in {path}");
+        return 1;
+    }
+    let field = |p: &Json, key: &str| -> f64 {
+        p.get(key).and_then(Json::as_f64).unwrap_or_else(|| {
+            eprintln!("check_bench: sweep point missing {key} in {path}");
+            exit(2);
+        })
+    };
+    let mut prev_nodes = 0.0;
+    for p in &points {
+        let nodes = field(p, "nodes");
+        if nodes <= prev_nodes {
+            fail(format!("node counts not strictly increasing at {nodes}"));
+        }
+        prev_nodes = nodes;
+        if field(p, "epoch_time_s") <= 0.0 {
+            fail(format!("non-positive epoch time at {nodes} nodes"));
+        }
+        let halo = field(p, "halo_bytes");
+        if nodes == 1.0 && halo != 0.0 {
+            fail(format!("{halo} halo bytes at N=1 (must be exactly zero)"));
+        }
+        if nodes > 1.0 && halo <= 0.0 {
+            fail(format!("no halo traffic at {nodes} nodes"));
+        }
+    }
+    if field(points[0], "nodes") != 1.0 {
+        fail("sweep must start at 1 node".to_string());
+    }
+    if (field(points[0], "speedup") - 1.0).abs() > 1e-9 {
+        fail("first point's speedup is not 1.0".to_string());
+    }
+    let (first, last) = (
+        field(points[0], "epoch_time_s"),
+        field(points[points.len() - 1], "epoch_time_s"),
+    );
+    if last >= first {
+        fail(format!(
+            "no end-to-end speedup: {last}s at max nodes vs {first}s at 1"
+        ));
+    }
+    if failures == 0 {
+        println!(
+            "check_bench multinode: OK ({} points, N=1 bit-identical, {:.2}x end-to-end)",
+            points.len(),
+            first / last
+        );
+        0
+    } else {
+        eprintln!("check_bench multinode: {failures} failure(s) in {path}");
         1
     }
 }
@@ -169,6 +272,10 @@ fn main() {
         Some("compare") => match (args.get(1), args.get(2)) {
             (Some(b), Some(c)) => compare(b, c, &args[3..]),
             _ => usage(),
+        },
+        Some("multinode") => match args.get(1) {
+            Some(path) => multinode(path),
+            None => usage(),
         },
         _ => usage(),
     };

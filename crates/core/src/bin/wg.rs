@@ -19,7 +19,7 @@ use wholegraph::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  wg gen   --dataset <products|papers100m|friendster|uk> --scale <N> --out <file> [--seed <N>]\n  wg train [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--framework <wholegraph|dgl|pyg>] [--epochs <N>] [--batch <N>] [--hidden <N>]\n           [--layers <N>] [--fanout <N>] [--gpus <N>] [--seed <N>] [--overlap]\n           [--trace <out.json>]\n  wg info  --data <file>"
+        "usage:\n  wg gen   --dataset <products|papers100m|friendster|uk> --scale <N> --out <file> [--seed <N>]\n  wg train [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--framework <wholegraph|dgl|pyg>] [--epochs <N>] [--batch <N>] [--hidden <N>]\n           [--layers <N>] [--fanout <N>] [--gpus <N>] [--seed <N>] [--overlap]\n           [--trace <out.json>]\n  wg multinode --nodes <N> [--compress topk:<frac>] [--delayed-agg [<period>]]\n           [--gpus <per-node>] [--epochs <N>] [--trace <out.json>]\n           [dataset/model/batch/seed flags as in train]\n  wg info  --data <file>"
     );
     exit(2);
 }
@@ -249,6 +249,134 @@ fn cmd_train(flags: HashMap<String, String>) {
     }
 }
 
+/// Parse `--compress topk:<frac>` / `--delayed-agg [<period>]` into a
+/// [`SyncConfig`].
+fn sync_config(flags: &HashMap<String, String>) -> SyncConfig {
+    let mut sync = SyncConfig::default();
+    if let Some(spec) = flags.get("compress") {
+        match spec.strip_prefix("topk:").map(str::parse::<f64>) {
+            Some(Ok(frac)) if frac > 0.0 && frac <= 1.0 => sync.compress_topk = Some(frac),
+            _ => {
+                eprintln!("--compress expects topk:<frac in (0,1]>, got {spec}");
+                usage();
+            }
+        }
+    }
+    if let Some(v) = flags.get("delayed-agg") {
+        // Bare `--delayed-agg` defaults to syncing every 4th wave.
+        sync.delayed_agg_period = if v == "true" {
+            4
+        } else {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--delayed-agg expects a wave period, got {v}");
+                usage();
+            })
+        };
+    }
+    sync
+}
+
+fn cmd_multinode(flags: HashMap<String, String>) {
+    let dataset = load_or_generate(&flags);
+    let fw = framework(
+        flags
+            .get("framework")
+            .map(String::as_str)
+            .unwrap_or("wholegraph"),
+    );
+    let model = model_kind(flags.get("model").map(String::as_str).unwrap_or("sage"));
+    let nodes: u32 = num(&flags, "nodes", 4);
+    let gpus: u32 = num(&flags, "gpus", 8);
+    let epochs: u64 = num(&flags, "epochs", 3);
+    let layers: usize = num(&flags, "layers", 2);
+    let fanout: usize = num(&flags, "fanout", 10);
+    let pipe_cfg = PipelineConfig {
+        batch_size: num(&flags, "batch", 128),
+        hidden: num(&flags, "hidden", 64),
+        num_layers: layers,
+        fanouts: vec![fanout; layers],
+        ..PipelineConfig::tiny(fw, model)
+    }
+    .with_seed(num(&flags, "seed", 0));
+    let sync = sync_config(&flags);
+    let mode = if let Some(f) = sync.compress_topk {
+        format!("top-k {:.0}% compressed sync", f * 100.0)
+    } else if sync.delayed_agg_period > 1 {
+        format!(
+            "delayed aggregation every {} waves",
+            sync.delayed_agg_period
+        )
+    } else {
+        "full per-wave sync".to_string()
+    };
+    let cfg = MultiNodeConfig::new(nodes).with_gpus(gpus).with_sync(sync);
+    let trace_path = flags.get("trace").cloned();
+    if trace_path.is_some() {
+        wg_trace::enable_all();
+    }
+    let mut mn = match MultiNode::new(dataset, pipe_cfg, cfg) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cluster setup failed: {e}");
+            exit(1);
+        }
+    };
+    let q = mn.plan().quality();
+    println!(
+        "multi-node {} x {} GPUs on {} ({} with {}; edge cut {:.1}%, {} boundary nodes)",
+        nodes,
+        gpus,
+        mn.pipeline(0).dataset().kind.name(),
+        model.name(),
+        mode,
+        q.cut_fraction * 100.0,
+        q.boundary_nodes
+    );
+    for epoch in 0..epochs {
+        let r = mn.train_epoch(epoch);
+        let val = mn.evaluate(&mn.pipeline(0).dataset().val.clone());
+        let halo_bytes: u64 = r.per_node.iter().map(|n| n.halo_bytes).sum();
+        println!(
+            "epoch {epoch}: loss {:.4}  val-acc {:5.1}%  epoch {}  ({} iters / {} waves; sync {} over {} B; halo {} B)",
+            r.loss,
+            val * 100.0,
+            r.epoch_time,
+            r.executed_iterations,
+            r.waves,
+            r.sync_time,
+            r.sync_bytes,
+            halo_bytes
+        );
+        for n in &r.per_node {
+            let Some(rep) = n.report else { continue };
+            println!(
+                "  node {}: epoch {}  ({} iters; sample {} | gather {} | train {} | comm {}; halo {} rows)",
+                n.node,
+                rep.epoch_time,
+                n.iterations,
+                rep.sample_time,
+                rep.gather_time,
+                rep.train_time,
+                rep.comm_time,
+                n.halo_rows
+            );
+        }
+    }
+    let test = mn.evaluate(&mn.pipeline(0).dataset().test.clone());
+    println!("test accuracy: {:.1}%", test * 100.0);
+    if let Some(path) = trace_path {
+        wg_trace::disable_all();
+        let machines = mn.machines();
+        if let Err(e) = wholegraph::observability::write_cluster_chrome_trace(&path, &machines) {
+            eprintln!("failed to write trace {path}: {e}");
+            exit(1);
+        }
+        println!(
+            "cluster chrome trace written to {path} (one process per node; load in chrome://tracing or ui.perfetto.dev)"
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -259,6 +387,7 @@ fn main() {
         "gen" => cmd_gen(flags),
         "info" => cmd_info(flags),
         "train" => cmd_train(flags),
+        "multinode" => cmd_multinode(flags),
         _ => usage(),
     }
 }

@@ -71,6 +71,7 @@ pub use trainer::{TrainOutcome, Trainer, TrainerConfig};
 /// Convenient re-exports for applications.
 pub mod prelude {
     pub use crate::framework::Framework;
+    pub use crate::multinode::{MultiNode, MultiNodeConfig, MultiNodeEpochReport, SyncConfig};
     pub use crate::pipeline::{
         EpochOccupancy, EpochReport, ExecMode, FeaturePlacement, Pipeline, PipelineConfig,
     };

@@ -34,28 +34,60 @@ pub const SIM_PID: u32 = 2;
 /// (reset them with [`Machine::reset_time`] between experiments).
 pub fn chrome_trace_json(machine: &Machine) -> String {
     let mut out = ChromeTrace::new();
+    add_host_tracks(&mut out);
+    add_machine_tracks(&mut out, SIM_PID, "simulated devices (sim time)", machine);
+    out.finish()
+}
+
+/// Multi-node variant of [`chrome_trace_json`]: one Chrome process per
+/// machine node (`pid = SIM_PID + k`, named `node<k> devices (sim
+/// time)`), so Perfetto shows each node's per-GPU comm/compute occupancy
+/// as its own swimlane group — the per-phase evidence behind the executed
+/// multi-node sweep.
+pub fn cluster_chrome_trace_json(machines: &[&Machine]) -> String {
+    let mut out = ChromeTrace::new();
+    add_host_tracks(&mut out);
+    for (k, machine) in machines.iter().enumerate() {
+        add_machine_tracks(
+            &mut out,
+            SIM_PID + k as u32,
+            &format!("node{k} devices (sim time)"),
+            machine,
+        );
+    }
+    out.finish()
+}
+
+fn add_host_tracks(out: &mut ChromeTrace) {
     out.process_name(HOST_PID, "host threads (wall-clock)");
     for thread in wg_trace::drain() {
         if !thread.events.is_empty() || thread.dropped > 0 {
             out.add_host_thread(HOST_PID, &thread);
         }
     }
-    out.process_name(SIM_PID, "simulated devices (sim time)");
+}
+
+fn add_machine_tracks(out: &mut ChromeTrace, pid: u32, name: &str, machine: &Machine) {
+    out.process_name(pid, name);
     let mut devices: Vec<DeviceId> = machine.gpus();
     devices.push(DeviceId::Cpu);
     for (tid, dev) in devices.into_iter().enumerate() {
         let trace = machine.trace(dev);
         if !trace.events().is_empty() {
-            out.thread_name(SIM_PID, tid as u32, &dev.to_string());
-            trace.chrome_events(&mut out, SIM_PID, tid as u32);
+            out.thread_name(pid, tid as u32, &dev.to_string());
+            trace.chrome_events(out, pid, tid as u32);
         }
     }
-    out.finish()
 }
 
 /// [`chrome_trace_json`] straight to a file.
 pub fn write_chrome_trace(path: &str, machine: &Machine) -> std::io::Result<()> {
     std::fs::write(path, chrome_trace_json(machine))
+}
+
+/// [`cluster_chrome_trace_json`] straight to a file.
+pub fn write_cluster_chrome_trace(path: &str, machines: &[&Machine]) -> std::io::Result<()> {
+    std::fs::write(path, cluster_chrome_trace_json(machines))
 }
 
 #[cfg(test)]
@@ -96,5 +128,32 @@ mod tests {
         assert!(json.contains("\"training\""));
         assert!(json.contains("\"busy\":true"));
         assert!(json.contains("\"busy\":false"));
+    }
+
+    #[test]
+    fn cluster_export_gives_each_node_its_own_process() {
+        let mut machines: Vec<Machine> = (0..3)
+            .map(|_| Machine::new(MachineConfig::dgx_like(2)))
+            .collect();
+        for (k, m) in machines.iter_mut().enumerate() {
+            m.run(
+                DeviceId::Gpu(0),
+                Phase::Training,
+                true,
+                SimTime::from_millis(1.0 + k as f64),
+            );
+        }
+        let refs: Vec<&Machine> = machines.iter().collect();
+        let json = cluster_chrome_trace_json(&refs);
+        for k in 0..3 {
+            assert!(
+                json.contains(&format!("node{k} devices (sim time)")),
+                "missing node {k} process"
+            );
+            assert!(json.contains(&format!("\"pid\":{}", SIM_PID + k)));
+        }
+        // Device tracks live under per-node pids, not the single-machine
+        // one's name.
+        assert!(!json.contains("simulated devices (sim time)"));
     }
 }

@@ -118,6 +118,44 @@ struct IterScratch {
 /// and evaluation interleaving with training.
 const ITER_POOL_CAP: usize = 4;
 
+/// Multi-node execution context attached to a pipeline replica by the
+/// [`crate::multinode`] executor: which machine this replica is, the
+/// machine-level feature partition, pre-built per-node counter names
+/// (no per-call `format!` on the hot path), and accumulated halo
+/// traffic.
+pub(crate) struct DistContext {
+    /// This replica's machine rank.
+    pub node: u32,
+    /// Machine-level feature partition over stable dataset node ids —
+    /// input rows owned by another machine are halo rows, charged an IB
+    /// fetch.
+    pub partition: Arc<wg_graph::HashPartition>,
+    /// Per-node `multinode.node<k>.gather.feature_bytes` counter name.
+    pub gather_bytes_metric: String,
+    /// Per-node `multinode.node<k>.allreduce.bytes` counter name.
+    pub allreduce_bytes_metric: String,
+    /// Per-node `multinode.node<k>.halo.bytes` counter name.
+    pub halo_bytes_metric: String,
+    /// Halo rows accumulated since the last [`Pipeline::take_halo_stats`].
+    pub halo_rows: u64,
+    /// Halo bytes accumulated since the last take.
+    pub halo_bytes: u64,
+}
+
+impl DistContext {
+    pub(crate) fn new(node: u32, partition: Arc<wg_graph::HashPartition>) -> Self {
+        DistContext {
+            node,
+            partition,
+            gather_bytes_metric: format!("multinode.node{node}.gather.feature_bytes"),
+            allreduce_bytes_metric: format!("multinode.node{node}.allreduce.bytes"),
+            halo_bytes_metric: format!("multinode.node{node}.halo.bytes"),
+            halo_rows: 0,
+            halo_bytes: 0,
+        }
+    }
+}
+
 /// An end-to-end training pipeline for one framework on one dataset.
 pub struct Pipeline {
     cfg: PipelineConfig,
@@ -131,6 +169,8 @@ pub struct Pipeline {
     setup_time: SimTime,
     sampler_cfg: SamplerConfig,
     scratch: IterScratch,
+    /// Present when this pipeline is one replica of a multi-node run.
+    pub(crate) dist: Option<DistContext>,
     /// Snapshot of the freshly initialized parameters, so
     /// [`reset_training_state`](Self::reset_training_state) can replay
     /// training from the same starting point without rebuilding the
@@ -218,8 +258,29 @@ impl Pipeline {
             setup_time,
             sampler_cfg,
             scratch: IterScratch::default(),
+            dist: None,
             init_params,
         })
+    }
+
+    /// Attach the multi-node execution context (machine rank, feature
+    /// partition, per-node counters).
+    pub(crate) fn set_dist(&mut self, dist: DistContext) {
+        self.dist = Some(dist);
+    }
+
+    /// Drain the halo rows/bytes accumulated since the last call (zero
+    /// for single-node pipelines).
+    pub(crate) fn take_halo_stats(&mut self) -> (u64, u64) {
+        match &mut self.dist {
+            Some(d) => {
+                let out = (d.halo_rows, d.halo_bytes);
+                d.halo_rows = 0;
+                d.halo_bytes = 0;
+                out
+            }
+            None => (0, 0),
+        }
     }
 
     /// Restore parameters, optimizer moments, and the machine's clocks and
@@ -347,17 +408,68 @@ impl Pipeline {
         }
     }
 
+    /// Charge the machine-level halo exchange of a minibatch: input rows
+    /// whose features another machine owns are fetched over IB before
+    /// the local gather. Exactly [`SimTime::ZERO`] for single-node runs
+    /// (no `dist` context, one rank, or no halo rows) — the numerics are
+    /// untouched either way (the values come from the local replica; the
+    /// exchange only costs time, per the repo's caching convention).
+    fn halo_time(&mut self, input: &[u64]) -> SimTime {
+        let (nodes, home) = match &self.dist {
+            Some(d) => (d.partition.ranks(), d.node),
+            None => return SimTime::ZERO,
+        };
+        if nodes <= 1 {
+            return SimTime::ZERO;
+        }
+        let dist = self.dist.as_ref().unwrap();
+        let halo = match &self.store {
+            StoreImpl::Dsm(s) => input
+                .iter()
+                .filter(|&&h| {
+                    let v = s.partition().node_of(GlobalId::from_raw(h));
+                    dist.partition.rank_of(v) != home
+                })
+                .count() as u64,
+            StoreImpl::Host(_) => input
+                .iter()
+                .filter(|&&h| dist.partition.rank_of(h) != home)
+                .count() as u64,
+        };
+        let ex = wg_mem::halo::halo_exchange(
+            self.machine.cost(),
+            input.len() as u64,
+            halo,
+            self.dataset.feature_dim * 4,
+            nodes,
+        );
+        let dist = self.dist.as_mut().unwrap();
+        dist.halo_rows += ex.halo_rows;
+        dist.halo_bytes += ex.halo_bytes;
+        if ex.halo_bytes > 0 {
+            wg_trace::metrics::add_dyn(&dist.halo_bytes_metric, ex.halo_bytes as f64);
+        }
+        ex.time
+    }
+
     /// Gather the input features of a mini-batch. Returns the dense
     /// feature matrix (rows follow `mb.input_nodes()` order) and the
-    /// simulated phase time.
+    /// simulated phase time (including any machine-level halo fetch).
     fn gather(&mut self, mb: &MiniBatch, iter: u64) -> (Matrix, SimTime) {
         let feat_dim = self.dataset.feature_dim;
+        let t_halo = self.halo_time(mb.input_nodes());
         let input = mb.input_nodes();
         wg_trace::counter!(
             "pipeline.gather.feature_bytes",
             (input.len() * feat_dim * 4) as f64
         );
-        match &self.store {
+        if let Some(dist) = &self.dist {
+            wg_trace::metrics::add_dyn(
+                &dist.gather_bytes_metric,
+                (input.len() * feat_dim * 4) as f64,
+            );
+        }
+        let (features, t) = match &self.store {
             StoreImpl::Dsm(s) if self.cfg.feature_placement == FeaturePlacement::HostMapped => {
                 // Zero-copy: the gather kernel reads host-pinned rows over
                 // PCIe directly (no CPU gather step, no staging buffer).
@@ -435,7 +547,8 @@ impl Pipeline {
                 let pcie = model.transfer_time(feat_bytes + struct_bytes, path);
                 (Matrix::from_vec(input.len(), feat_dim, out), cpu + pcie)
             }
-        }
+        };
+        (features, t + t_halo)
     }
 
     /// Map mini-batch handles back to dataset node ids (for labels),
@@ -477,7 +590,43 @@ impl Pipeline {
         update: bool,
         wall: &mut [Duration; 3],
     ) -> IterationResult {
+        self.run_iteration_inner(epoch, iter, batch_nodes, update, false, wall)
+    }
+
+    /// Like [`run_iteration`](Self::run_iteration) with `update = true`,
+    /// but stops after backward: gradients are left in the parameters for
+    /// the multi-node executor to average across replicas, after which
+    /// [`apply_step`](Self::apply_step) finishes the update. With an
+    /// immediate `apply_step` the sequence zero-grads → backward → step
+    /// is exactly what [`run_iteration`](Self::run_iteration) executes,
+    /// which is what makes N=1 multi-node runs bit-identical.
+    pub fn run_iteration_deferred(
+        &mut self,
+        epoch: u64,
+        iter: u64,
+        batch_nodes: &[NodeId],
+    ) -> IterationResult {
+        let mut wall = [Duration::ZERO; 3];
+        self.run_iteration_inner(epoch, iter, batch_nodes, true, true, &mut wall)
+    }
+
+    /// Apply the optimizer step deferred by
+    /// [`run_iteration_deferred`](Self::run_iteration_deferred).
+    pub fn apply_step(&mut self) {
+        self.opt.step(&mut self.model.params);
+    }
+
+    fn run_iteration_inner(
+        &mut self,
+        epoch: u64,
+        iter: u64,
+        batch_nodes: &[NodeId],
+        update: bool,
+        defer_step: bool,
+        wall: &mut [Duration; 3],
+    ) -> IterationResult {
         let mut ctx = IterContext::new(self, epoch, iter, batch_nodes, update);
+        ctx.defer_step = defer_step;
         let t0 = Instant::now();
         let sample = {
             let _s = wg_trace::span!("pipeline.sample");
@@ -570,7 +719,11 @@ impl Pipeline {
     /// Hand the executed iterations to the configured executor, which
     /// charges the machine's clocks/traces wave by wave and builds the
     /// epoch report.
-    fn finish_epoch(&mut self, results: &[IterationResult], total_iters: usize) -> EpochReport {
+    pub(crate) fn finish_epoch(
+        &mut self,
+        results: &[IterationResult],
+        total_iters: usize,
+    ) -> EpochReport {
         executor_for(self.cfg.exec).finish_epoch(
             &mut self.machine,
             self.cfg.framework,

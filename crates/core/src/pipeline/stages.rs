@@ -33,6 +33,10 @@ pub struct IterContext<'p> {
     pub iter: u64,
     /// Whether the optimizer applies updates (false = timing-only run).
     pub update: bool,
+    /// Leave the optimizer step to [`Pipeline::apply_step`] — the
+    /// multi-node executor averages gradients across replicas between
+    /// backward and step.
+    pub(crate) defer_step: bool,
     pub(crate) batch_nodes: &'p [NodeId],
     pub(crate) handles: Vec<u64>,
     pub(crate) minibatch: Option<MiniBatch>,
@@ -58,6 +62,7 @@ impl<'p> IterContext<'p> {
             epoch,
             iter,
             update,
+            defer_step: false,
             batch_nodes,
             handles: Vec::new(),
             minibatch: None,
@@ -221,7 +226,9 @@ impl Stage for TrainStage {
         if ctx.update {
             p.model.params.zero_grads();
             tape.backward(out, grad, &mut p.model.params);
-            p.opt.step(&mut p.model.params);
+            if !ctx.defer_step {
+                p.opt.step(&mut p.model.params);
+            }
         } else {
             tape.recycle(grad);
         }
@@ -247,10 +254,13 @@ impl Stage for TrainStage {
         ctx.comm = if ctx.update {
             // Ring allreduce moves 2*(G-1)/G of the gradient bytes per rank.
             let g = p.machine.num_gpus() as f64;
-            wg_trace::counter!(
-                "pipeline.allreduce.bytes",
-                p.model.params.param_bytes() as f64 * 2.0 * (g - 1.0) / g
-            );
+            let allreduce_bytes = p.model.params.param_bytes() as f64 * 2.0 * (g - 1.0) / g;
+            wg_trace::counter!("pipeline.allreduce.bytes", allreduce_bytes);
+            if let Some(dist) = &p.dist {
+                // Per-node attribution: the global counter sums over all
+                // replicas; this one lets the sweep split comm by node.
+                wg_trace::metrics::add_dyn(&dist.allreduce_bytes_metric, allreduce_bytes);
+            }
             allreduce_intra_node(
                 p.machine.cost(),
                 p.model.params.param_bytes(),

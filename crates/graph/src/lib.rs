@@ -34,5 +34,5 @@ pub type NodeId = u64;
 pub use csr::Csr;
 pub use datasets::{DatasetKind, SyntheticDataset};
 pub use global_id::GlobalId;
-pub use partition::HashPartition;
+pub use partition::{HashPartition, PartitionQuality};
 pub use store::{AdjacencyView, HostGraph, MultiGpuGraph};

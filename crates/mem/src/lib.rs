@@ -32,6 +32,7 @@
 pub mod access;
 pub mod embedding;
 pub mod gather;
+pub mod halo;
 pub mod handle;
 pub mod ipc;
 pub mod nccl;
@@ -40,6 +41,7 @@ pub mod probe;
 pub use access::{ChunkLocator, Element};
 pub use embedding::EmbeddingTable;
 pub use gather::{global_gather_planned, plan_gather, GatherStats, RowPlan};
+pub use halo::{count_halo_rows, halo_exchange, HaloStats};
 pub use handle::{RegionView, WholeMemory};
 pub use ipc::{IpcHandle, MemoryPointerTable, SetupReport};
 pub use nccl::NcclGatherStats;

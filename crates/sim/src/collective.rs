@@ -59,6 +59,27 @@ pub fn alltoallv_intra_node(model: &CostModel, bytes_per_rank: u64, ranks: u32) 
     )
 }
 
+/// The inter-node ring term of the hierarchical AllReduce alone: `bytes`
+/// per node over the node's aggregate IB bandwidth.
+///
+/// Exactly **zero** (not overhead-only) at `nodes <= 1`: a single node
+/// never touches the IB fabric, and the multi-node executor relies on
+/// this so that N=1 execution is time-identical to the single-node
+/// pipeline.
+pub fn allreduce_inter_node(model: &CostModel, bytes: u64, nodes: u32) -> SimTime {
+    if nodes <= 1 || bytes == 0 {
+        return SimTime::ZERO;
+    }
+    let n = nodes as f64;
+    let moved = 2.0 * (n - 1.0) / n * bytes as f64;
+    let steps = 2.0 * (n - 1.0);
+    SimTime::from_secs(
+        model.nccl_op_overhead_s
+            + steps * model.ib_latency_s
+            + moved / model.topology.node_ib_bandwidth(),
+    )
+}
+
 /// Hierarchical AllReduce for multi-node data-parallel training (§III-D):
 /// intra-node ring reduce, inter-node ring over the node's aggregate IB
 /// bandwidth, intra-node broadcast.
@@ -68,19 +89,7 @@ pub fn allreduce_multi_node(
     nodes: u32,
     gpus_per_node: u32,
 ) -> SimTime {
-    let intra = allreduce_intra_node(model, bytes, gpus_per_node);
-    if nodes <= 1 {
-        return intra;
-    }
-    let n = nodes as f64;
-    let moved = 2.0 * (n - 1.0) / n * bytes as f64;
-    let steps = 2.0 * (n - 1.0);
-    let inter = SimTime::from_secs(
-        model.nccl_op_overhead_s
-            + steps * model.ib_latency_s
-            + moved / model.topology.node_ib_bandwidth(),
-    );
-    intra + inter
+    allreduce_intra_node(model, bytes, gpus_per_node) + allreduce_inter_node(model, bytes, nodes)
 }
 
 #[cfg(test)]
@@ -128,6 +137,30 @@ mod tests {
         let bound = 2.0 * b as f64 / m.topology.node_ib_bandwidth();
         assert!(extra < 2.0 * bound + 1e-3);
         assert!(extra > 0.25 * bound);
+    }
+
+    #[test]
+    fn inter_node_term_is_exactly_zero_on_one_node() {
+        // A single node never touches IB — the multi-node executor's N=1
+        // bit/time identity depends on this being ZERO, not overhead-only.
+        let m = CostModel::dgx_a100();
+        assert!(allreduce_inter_node(&m, 1 << 30, 1).is_zero());
+        assert!(allreduce_inter_node(&m, 0, 8).is_zero());
+        // Hierarchical AllReduce decomposes exactly as intra + inter.
+        let b = 200 * (1 << 20);
+        let sum = allreduce_intra_node(&m, b, 8) + allreduce_inter_node(&m, b, 4);
+        assert_eq!(sum, allreduce_multi_node(&m, b, 4, 8));
+    }
+
+    #[test]
+    fn inter_node_term_grows_with_node_count() {
+        let m = CostModel::dgx_a100();
+        let b = 200 * (1 << 20);
+        let t2 = allreduce_inter_node(&m, b, 2);
+        let t8 = allreduce_inter_node(&m, b, 8);
+        assert!(t8 > t2);
+        // Ring volume per link is bounded by 2·bytes; sublinear in nodes.
+        assert!(t8 / t2 < 2.0);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod trace;
 pub use clock::DeviceClock;
 pub use cost::CostModel;
 pub use device::{DeviceId, DeviceKind, DeviceSpec};
-pub use machine::{Cluster, Machine, MachineConfig};
+pub use machine::{cluster_barrier, Cluster, Machine, MachineConfig};
 pub use memory::{MemoryAccounting, MemoryPool};
 pub use stream::{Event, Stream};
 pub use time::SimTime;

@@ -194,6 +194,19 @@ impl Machine {
         self.clocks.get_mut(&device).unwrap().advance_to(end);
     }
 
+    /// Advance every GPU clock to `t`, recording the wait as an `Idle`
+    /// (non-busy) trace interval. Clocks already at or past `t` are left
+    /// untouched. This is the per-node half of a cross-machine barrier:
+    /// the idle spans make inter-node load imbalance visible in traces.
+    pub fn idle_until(&mut self, t: SimTime) {
+        for gpu in self.gpus() {
+            let now = self.now(gpu);
+            if now < t {
+                self.run(gpu, Phase::Idle, false, t - now);
+            }
+        }
+    }
+
     /// Barrier across all GPU clocks; returns the barrier time.
     pub fn barrier_gpus(&mut self) -> SimTime {
         let gpus = self.gpus();
@@ -222,15 +235,30 @@ impl Machine {
     }
 }
 
+/// Rendezvous across several machines' GPU clocks: every GPU on every
+/// machine idles (with a visible `Idle` trace interval) until the
+/// cluster-wide maximum, which is returned. This is the trailing barrier
+/// of a data-parallel epoch — the point where the slowest node gates
+/// everyone else.
+pub fn cluster_barrier(machines: &mut [&mut Machine]) -> SimTime {
+    let mut t = SimTime::ZERO;
+    for m in machines.iter() {
+        for gpu in m.gpus() {
+            t = t.max(m.now(gpu));
+        }
+    }
+    for m in machines.iter_mut() {
+        m.idle_until(t);
+    }
+    t
+}
+
 /// A cluster of identical machine nodes for multi-node scaling experiments
-/// (§III-D / Figure 13). Nodes are symmetric in data-parallel training, so
-/// the cluster tracks one representative node plus the node count.
+/// (§III-D / Figure 13). Each node has its own clocks and traces; in
+/// data-parallel training every node runs its own pipeline and the nodes
+/// rendezvous at [`Cluster::barrier`].
 pub struct Cluster {
-    /// Representative node (all nodes are configured identically and, in
-    /// data-parallel training, do identical amounts of work per step).
-    pub node: Machine,
-    /// Number of nodes.
-    pub num_nodes: u32,
+    nodes: Vec<Machine>,
 }
 
 impl Cluster {
@@ -238,14 +266,41 @@ impl Cluster {
     pub fn new(num_nodes: u32, config: MachineConfig) -> Self {
         assert!(num_nodes >= 1, "a cluster needs at least one node");
         Cluster {
-            node: Machine::new(config),
-            num_nodes,
+            nodes: (0..num_nodes)
+                .map(|_| Machine::new(config.clone()))
+                .collect(),
         }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// One node, immutably.
+    pub fn node(&self, k: usize) -> &Machine {
+        &self.nodes[k]
+    }
+
+    /// One node, mutably.
+    pub fn node_mut(&mut self, k: usize) -> &mut Machine {
+        &mut self.nodes[k]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Machine] {
+        &self.nodes
     }
 
     /// Total GPU count across the cluster.
     pub fn total_gpus(&self) -> u32 {
-        self.num_nodes * self.node.num_gpus()
+        self.nodes.iter().map(Machine::num_gpus).sum()
+    }
+
+    /// Cluster-wide GPU barrier (see [`cluster_barrier`]).
+    pub fn barrier(&mut self) -> SimTime {
+        let mut refs: Vec<&mut Machine> = self.nodes.iter_mut().collect();
+        cluster_barrier(&mut refs)
     }
 }
 
@@ -325,7 +380,44 @@ mod tests {
     #[test]
     fn cluster_counts_gpus() {
         let c = Cluster::new(4, MachineConfig::dgx_a100());
+        assert_eq!(c.num_nodes(), 4);
         assert_eq!(c.total_gpus(), 32);
+    }
+
+    #[test]
+    fn idle_until_records_visible_wait() {
+        let mut m = Machine::new(MachineConfig::dgx_like(2));
+        m.run(
+            DeviceId::Gpu(0),
+            Phase::Training,
+            true,
+            SimTime::from_secs(1.0),
+        );
+        m.idle_until(SimTime::from_secs(1.0));
+        // GPU 0 is already at the target — no span; GPU 1 idles for 1 s.
+        assert_eq!(m.trace(DeviceId::Gpu(0)).events().len(), 1);
+        let ev = &m.trace(DeviceId::Gpu(1)).events()[0];
+        assert_eq!(ev.phase, Phase::Idle);
+        assert!(!ev.busy);
+        assert_eq!(m.now(DeviceId::Gpu(1)), SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn cluster_barrier_gates_on_slowest_node() {
+        let mut c = Cluster::new(2, MachineConfig::dgx_like(2));
+        c.node_mut(1).run(
+            DeviceId::Gpu(0),
+            Phase::Training,
+            true,
+            SimTime::from_secs(2.0),
+        );
+        let t = c.barrier();
+        assert_eq!(t, SimTime::from_secs(2.0));
+        for k in 0..2 {
+            for g in c.node(k).gpus() {
+                assert_eq!(c.node(k).now(g), t);
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! All recording is gated on [`crate::metrics_enabled`]: a disabled
 //! probe is one atomic load.
 
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -57,7 +58,9 @@ enum Kind {
 }
 
 struct Entry {
-    name: &'static str,
+    /// Static for the common macro path; owned for runtime-built names
+    /// (e.g. per-node counters like `multinode.node3.halo.bytes`).
+    name: Cow<'static, str>,
     kind: Kind,
 }
 
@@ -66,7 +69,7 @@ struct Entry {
 /// the first touch.
 static REGISTRY: Mutex<Vec<Arc<Entry>>> = Mutex::new(Vec::new());
 
-fn intern(name: &'static str, make: impl FnOnce() -> Kind) -> Arc<Entry> {
+fn intern(name: Cow<'static, str>, make: impl FnOnce() -> Kind) -> Arc<Entry> {
     let mut reg = REGISTRY.lock().unwrap();
     if let Some(e) = reg.iter().find(|e| e.name == name) {
         return Arc::clone(e);
@@ -82,7 +85,41 @@ pub fn add(name: &'static str, v: f64) {
     if !crate::metrics_enabled() {
         return;
     }
-    let e = intern(name, || Kind::Counter(AtomicF64::default()));
+    let e = intern(Cow::Borrowed(name), || Kind::Counter(AtomicF64::default()));
+    match &e.kind {
+        Kind::Counter(c) => c.add(v),
+        _ => panic!("metric {name} is not a counter"),
+    }
+}
+
+/// Add `v` to the counter `name`, where `name` is built at runtime (e.g.
+/// a per-node counter like `multinode.node3.allreduce.bytes`).
+///
+/// The name is copied into the registry the first time it is seen;
+/// subsequent calls only compare strings. Callers on hot paths should
+/// pre-build the `String` once (not `format!` per call) so the probe
+/// itself stays allocation-free after the first touch.
+#[inline]
+pub fn add_dyn(name: &str, v: f64) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    // Fast path: already interned — no allocation.
+    {
+        let reg = REGISTRY.lock().unwrap();
+        if let Some(e) = reg.iter().find(|e| e.name == name) {
+            match &e.kind {
+                Kind::Counter(c) => {
+                    c.add(v);
+                    return;
+                }
+                _ => panic!("metric {name} is not a counter"),
+            }
+        }
+    }
+    let e = intern(Cow::Owned(name.to_string()), || {
+        Kind::Counter(AtomicF64::default())
+    });
     match &e.kind {
         Kind::Counter(c) => c.add(v),
         _ => panic!("metric {name} is not a counter"),
@@ -95,7 +132,7 @@ pub fn set(name: &'static str, v: f64) {
     if !crate::metrics_enabled() {
         return;
     }
-    let e = intern(name, || Kind::Gauge(AtomicF64::default()));
+    let e = intern(Cow::Borrowed(name), || Kind::Gauge(AtomicF64::default()));
     match &e.kind {
         Kind::Gauge(g) => g.set(v),
         _ => panic!("metric {name} is not a gauge"),
@@ -110,7 +147,7 @@ pub fn observe(name: &'static str, bounds: &'static [f64], v: f64) {
     if !crate::metrics_enabled() {
         return;
     }
-    let e = intern(name, || Kind::Histogram {
+    let e = intern(Cow::Borrowed(name), || Kind::Histogram {
         bounds,
         buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
         count: AtomicU64::new(0),
@@ -293,6 +330,23 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"m.counter\": 4"));
         assert!(json.contains("{\"le\": \"inf\", \"count\": 1}"));
+        crate::disable_all();
+        reset();
+    }
+
+    #[test]
+    fn dynamic_names_intern_once_and_accumulate() {
+        let _guard = crate::test_guard();
+        crate::enable_metrics();
+        reset();
+        let name = format!("m.node{}.bytes", 3);
+        add_dyn(&name, 10.0);
+        add_dyn(&name, 32.0);
+        // A dynamic and a static probe with the same spelling share one
+        // entry.
+        add("m.node3.bytes", 8.0);
+        let snap = snapshot();
+        assert_eq!(snap.counters, vec![("m.node3.bytes".to_string(), 50.0)]);
         crate::disable_all();
         reset();
     }

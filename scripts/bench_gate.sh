@@ -13,9 +13,16 @@
 #     BENCH_wallclock.json — wall-clock is too noisy on shared CI runners
 #     to fail on, but the drift is printed and the artifacts are kept.
 #
+# The multi-node sweep regenerates BENCH_multinode.json and holds it to
+# its own contract (`check_bench multinode`): schema, executed-N=1 bit
+# equivalence with the single pipeline, monotone node counts, halo-free
+# N=1, and a real end-to-end speedup at 64 nodes.
+#
 # Leaves in <out-dir>: baseline.json (committed numbers), current.json
 # (this run), wallclock_trace.json (merged host/sim Chrome trace — load
-# in chrome://tracing or ui.perfetto.dev). CI uploads the directory.
+# in chrome://tracing or ui.perfetto.dev), multinode.json and
+# multinode_trace.json (executed sweep + 4-node cluster trace, one
+# Chrome process per node). CI uploads the directory.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -45,8 +52,18 @@ echo "bench_gate: time drift vs committed baseline (warn-only)"
 cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
     compare "$OUT_DIR/baseline.json" "$OUT_DIR/current.json" --warn-pct 25
 
-# The bench rewrote BENCH_wallclock.json in place; restore the committed
-# copy so the gate leaves the tree clean (both copies live in $OUT_DIR).
-git checkout -- BENCH_wallclock.json 2>/dev/null || true
+echo "bench_gate: executed multi-node sweep (4-node trace on)"
+cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin multinode_sweep -- \
+    --trace "$OUT_DIR/multinode_trace.json"
+cp BENCH_multinode.json "$OUT_DIR/multinode.json"
+
+echo "bench_gate: multi-node sweep gate"
+cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
+    multinode "$OUT_DIR/multinode.json"
+
+# The benches rewrote BENCH_wallclock.json / BENCH_multinode.json in
+# place; restore the committed copies so the gate leaves the tree clean
+# (this run's copies live in $OUT_DIR).
+git checkout -- BENCH_wallclock.json BENCH_multinode.json 2>/dev/null || true
 
 echo "bench_gate: OK (artifacts in $OUT_DIR/)"
