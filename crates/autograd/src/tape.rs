@@ -372,7 +372,12 @@ impl Tape {
                 let mut ga = self
                     .ws
                     .matrix_with_capacity(grad.rows() * self.nodes[b.0].value.rows());
-                ops::matmul_nt_into(grad, &self.nodes[b.0].value, &mut ga);
+                ops::matmul_nt_into(
+                    grad,
+                    &self.nodes[b.0].value,
+                    &mut ga,
+                    &mut self.ws.nt_scratch,
+                );
                 let mut gb = self
                     .ws
                     .matrix_with_capacity(self.nodes[a.0].value.cols() * grad.cols());

@@ -27,6 +27,8 @@ pub struct Workspace {
     u32_pool: Vec<Vec<u32>>,
     /// Partial-sum slab for [`wg_tensor::ops::matmul_tn_into`].
     pub tn_scratch: Vec<f32>,
+    /// Transposed-`B` panel for [`wg_tensor::ops::matmul_nt_into`].
+    pub nt_scratch: Vec<f32>,
     /// Transposed-CSR scratch for
     /// [`wg_tensor::sparse::spmm_backward_src_into`].
     pub rev: ReverseScratch,

@@ -1,12 +1,16 @@
-//! Dense matmul: the cache-blocked kernel vs the naive reference it is
-//! bit-identical to. Two shapes bracket the training path: a tall-skinny
-//! batch × hidden product (the per-layer forward shape) and a squarer
-//! hidden × hidden product (the backward weight-gradient shape).
+//! Dense matmul: the SIMD-dispatched blocked kernel vs the forced-scalar
+//! blocked kernel vs the naive reference, all bit-identical to each
+//! other. Two shapes bracket the training path: a tall-skinny batch ×
+//! hidden product (the per-layer forward shape) and a squarer hidden ×
+//! hidden product (the backward weight-gradient shape). The `simd-avx2`
+//! rows only appear on hosts with AVX2; `blocked` is whatever the
+//! runtime dispatcher picked (`WG_SIMD` overrides it).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::prelude::*;
 use rand::rngs::SmallRng;
-use wg_tensor::ops::{matmul_into, matmul_reference};
+use wg_tensor::ops::{matmul_into, matmul_into_with, matmul_reference};
+use wg_tensor::simd::{self, Level};
 use wg_tensor::Matrix;
 
 fn mats(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix) {
@@ -32,6 +36,20 @@ fn bench_matmul(c: &mut Criterion) {
                 black_box(out.rows())
             });
         });
+        group.bench_with_input(BenchmarkId::new("scalar", label), &(), |bch, _| {
+            bch.iter(|| {
+                matmul_into_with(Level::Scalar, black_box(&a), black_box(&b), &mut out);
+                black_box(out.rows())
+            });
+        });
+        if simd::avx2_available() {
+            group.bench_with_input(BenchmarkId::new("simd-avx2", label), &(), |bch, _| {
+                bch.iter(|| {
+                    matmul_into_with(Level::Avx2, black_box(&a), black_box(&b), &mut out);
+                    black_box(out.rows())
+                });
+            });
+        }
         group.bench_with_input(BenchmarkId::new("reference", label), &(), |bch, _| {
             bch.iter(|| black_box(matmul_reference(black_box(&a), black_box(&b))).rows());
         });

@@ -146,15 +146,18 @@ pub fn global_gather_planned<T: Element>(
         "gather output buffer has wrong size"
     );
     let regions = wm.read_all();
+    let level = wg_tensor::simd::level();
 
     // The "kernel": every thread block copies one output row from the
     // owning region through the pointer table. All address translation
-    // already happened at plan time.
+    // already happened at plan time; the guard table is inline (no heap
+    // allocation at ≤ 16 ranks) and the row copy streams through the
+    // SIMD path.
     out.par_chunks_mut(width.max(1))
         .zip(plan.slots.par_iter())
         .for_each(|(dst, slot)| {
-            let src = &regions[slot.rank as usize];
-            dst.copy_from_slice(&src[slot.start..slot.start + width]);
+            let src = regions.region(slot.rank as usize);
+            wg_tensor::simd::copy_slice(level, dst, &src[slot.start..slot.start + width]);
         });
 
     let rows = plan.rows();

@@ -221,14 +221,54 @@ impl<T: Element> WholeMemory<T> {
     }
 
     /// Acquire read guards on all regions (a gather kernel's view of the
-    /// whole address space through its pointer table).
-    pub(crate) fn read_all(&self) -> Vec<parking_lot::RwLockReadGuard<'_, Vec<T>>> {
-        self.regions.iter().map(|r| r.read()).collect()
+    /// whole address space through its pointer table). The guards live in
+    /// a fixed-size inline table up to [`INLINE_REGIONS`] ranks — one
+    /// node's worth of GPUs — so the per-batch gather takes zero heap
+    /// allocations; only >16-rank allocations spill to a heap table.
+    pub(crate) fn read_all(&self) -> RegionGuards<'_, T> {
+        let mut guards = RegionGuards {
+            inline: [const { None }; INLINE_REGIONS],
+            heap: Vec::new(),
+        };
+        if self.regions.len() <= INLINE_REGIONS {
+            for (slot, region) in guards.inline.iter_mut().zip(&self.regions) {
+                *slot = Some(region.read());
+            }
+        } else {
+            guards.heap = self.regions.iter().map(|r| r.read()).collect();
+        }
+        guards
     }
 
     /// Acquire a write guard on one rank's region.
     pub(crate) fn region_write(&self, rank: u32) -> parking_lot::RwLockWriteGuard<'_, Vec<T>> {
         self.regions[rank as usize].write()
+    }
+}
+
+/// How many region read-guards the gather path stores inline: one DGX
+/// node's worth of GPUs with headroom. Allocations on up to this many
+/// ranks get their whole-address-space view without heap allocation.
+pub(crate) const INLINE_REGIONS: usize = 16;
+
+/// An allocation-free table of read guards over every region — the gather
+/// kernel's view of the address space. Guards sit in a fixed inline array
+/// for ≤ [`INLINE_REGIONS`] ranks; larger (multi-node-scale) allocations
+/// spill to a heap table.
+pub(crate) struct RegionGuards<'a, T> {
+    inline: [Option<parking_lot::RwLockReadGuard<'a, Vec<T>>>; INLINE_REGIONS],
+    heap: Vec<parking_lot::RwLockReadGuard<'a, Vec<T>>>,
+}
+
+impl<T> RegionGuards<'_, T> {
+    /// The memory region owned by `rank`.
+    #[inline]
+    pub(crate) fn region(&self, rank: usize) -> &[T] {
+        if self.heap.is_empty() {
+            self.inline[rank].as_ref().expect("rank out of range")
+        } else {
+            &self.heap[rank]
+        }
     }
 }
 

@@ -19,6 +19,7 @@
 
 pub mod matrix;
 pub mod ops;
+pub mod simd;
 pub mod sparse;
 
 pub use matrix::Matrix;

@@ -4,6 +4,7 @@
 use rayon::prelude::*;
 
 use crate::matrix::Matrix;
+use crate::simd::{self, Level};
 
 // ---------------------------------------------------------------------------
 // Dense matmul family.
@@ -13,7 +14,10 @@ use crate::matrix::Matrix;
 //     bit-exactness oracle (property tests pin the blocked kernels to it);
 //   * `*_into`      — the cache-blocked kernel writing into a
 //     caller-provided output (and scratch) buffer, so warm steady-state
-//     calls perform zero heap allocations;
+//     calls perform zero heap allocations; its inner loops dispatch
+//     through [`crate::simd`] (AVX2 when the host has it, scalar
+//     otherwise), and an `*_into_with` twin takes an explicit
+//     [`Level`] so tests and benches can pin both paths;
 //   * the plain name — an allocating convenience wrapper over `*_into`.
 //
 // Determinism contract: for every output element the blocked kernels add
@@ -65,8 +69,32 @@ pub fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
 /// Bit-identical to [`matmul_reference`] (ascending-k adds, same
 /// zero-skip) at any thread count.
 pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    matmul_into_with(simd::level(), a, b, c);
+}
+
+/// [`matmul_into`] at an explicit SIMD [`Level`] — lets tests and benches
+/// pin the scalar and AVX2 paths against each other bitwise.
+pub fn matmul_into_with(level: Level, a: &Matrix, b: &Matrix, c: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    blocked_gemm_into(level, a, b.data(), b.cols(), c, true);
+}
+
+/// The shared cache-blocked GEMM body: `C = A · B` with `B` given as a
+/// row-major `[a.cols(), n]` slice. `skip_zero` selects the reference
+/// zero-skip rule (`matmul` skips `a[i,l] == 0.0`; `matmul_nt`'s oracle
+/// does not skip). The register tile itself is [`simd::matmul_rowtile`],
+/// which adds contributions in ascending-`l` order per element at either
+/// level.
+fn blocked_gemm_into(
+    level: Level,
+    a: &Matrix,
+    b: &[f32],
+    n: usize,
+    c: &mut Matrix,
+    skip_zero: bool,
+) {
+    let (m, k) = (a.rows(), a.cols());
+    debug_assert_eq!(b.len(), k * n);
     c.reset_shape(m, n);
     c.data_mut()
         .par_chunks_mut((n * MR).max(1))
@@ -81,20 +109,18 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
                 while j0 < n {
                     let nb = NR.min(n - j0);
                     for bi in 0..band_rows {
-                        let arow = a.row(i0 + bi);
+                        let arow = &a.row(i0 + bi)[k0..k1];
                         let crow = &mut cband[bi * n + j0..bi * n + j0 + nb];
                         let mut acc = [0.0f32; NR];
                         acc[..nb].copy_from_slice(crow);
-                        for l in k0..k1 {
-                            let av = arow[l];
-                            if av == 0.0 {
-                                continue;
-                            }
-                            let brow = &b.row(l)[j0..j0 + nb];
-                            for (av_j, bv) in acc[..nb].iter_mut().zip(brow) {
-                                *av_j += av * bv;
-                            }
-                        }
+                        simd::matmul_rowtile(
+                            level,
+                            arow,
+                            &b[k0 * n + j0..],
+                            n,
+                            &mut acc[..nb],
+                            skip_zero,
+                        );
                         crow.copy_from_slice(&acc[..nb]);
                     }
                     j0 += nb;
@@ -188,6 +214,17 @@ fn tree_reduce_partials(partials: &mut [Vec<f32>]) -> Vec<f32> {
 /// chunk boundaries, same merge order, bit-identical output, zero steady-
 /// state allocations.
 pub fn matmul_tn_into(a: &Matrix, b: &Matrix, c: &mut Matrix, scratch: &mut Vec<f32>) {
+    matmul_tn_into_with(simd::level(), a, b, c, scratch);
+}
+
+/// [`matmul_tn_into`] at an explicit SIMD [`Level`].
+pub fn matmul_tn_into_with(
+    level: Level,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    scratch: &mut Vec<f32>,
+) {
     assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch");
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
     let stride = m * n;
@@ -205,10 +242,10 @@ pub fn matmul_tn_into(a: &Matrix, b: &Matrix, c: &mut Matrix, scratch: &mut Vec<
             let lo = ci * TN_CHUNK;
             let hi = k.min(lo + TN_CHUNK);
             for l in lo..hi {
-                tn_accumulate_row(a.row(l), b.row(l), acc, n);
+                simd::tn_accumulate(level, a.row(l), b.row(l), acc, n);
             }
         });
-    tree_reduce_slabs(&mut scratch[..nchunks * stride], nchunks, stride);
+    tree_reduce_slabs(level, &mut scratch[..nchunks * stride], nchunks, stride);
     c.data_mut().copy_from_slice(&scratch[..stride]);
 }
 
@@ -216,19 +253,17 @@ pub fn matmul_tn_into(a: &Matrix, b: &Matrix, c: &mut Matrix, scratch: &mut Vec<
 /// `stride`-sized partials into slab 0. Midpoint split, halves reduced in
 /// parallel, right sum added into left — the identical tree, so the bits
 /// match the `Vec<Vec<f32>>` reference exactly.
-fn tree_reduce_slabs(slabs: &mut [f32], count: usize, stride: usize) {
+fn tree_reduce_slabs(level: Level, slabs: &mut [f32], count: usize, stride: usize) {
     if count <= 1 {
         return;
     }
     let mid = count / 2;
     let (left, right) = slabs.split_at_mut(mid * stride);
     rayon::join(
-        || tree_reduce_slabs(left, mid, stride),
-        || tree_reduce_slabs(right, count - mid, stride),
+        || tree_reduce_slabs(level, left, mid, stride),
+        || tree_reduce_slabs(level, right, count - mid, stride),
     );
-    for (o, v) in left[..stride].iter_mut().zip(&right[..stride]) {
-        *o += v;
-    }
+    simd::add_assign(level, &mut left[..stride], &right[..stride]);
 }
 
 /// Allocating wrapper over [`matmul_tn_into`].
@@ -263,45 +298,48 @@ pub fn matmul_nt_reference(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
-/// How many dot products of `matmul_nt` run in one register tile.
-const NT_JT: usize = 4;
+/// `C = A · Bᵀ` into a caller-provided output, with `scratch` a pooled
+/// buffer that holds `Bᵀ` (`[k, n]` row-major, capacity reused across
+/// calls). A per-cell dot product reduces over `k` — the one shape a
+/// column-lane SIMD kernel cannot vectorize without re-associating the
+/// sum — so instead `B` is transposed once and the same blocked GEMM body
+/// as [`matmul_into`] runs on it. Per element the contributions still add
+/// in ascending-`k` order (the reference has no zero-skip, so the body
+/// runs with `skip_zero = false`) — bit-identical to
+/// [`matmul_nt_reference`] at any thread count and SIMD level.
+pub fn matmul_nt_into(a: &Matrix, b: &Matrix, c: &mut Matrix, scratch: &mut Vec<f32>) {
+    matmul_nt_into_with(simd::level(), a, b, c, scratch);
+}
 
-/// `C = A · Bᵀ` into a caller-provided output. Register-tiled: `NT_JT`
-/// dot products per `A` row run simultaneously, streaming `NT_JT` rows of
-/// `B` against one load of the `A` row. Each dot product still sums in
-/// ascending-k order — bit-identical to [`matmul_nt_reference`].
-pub fn matmul_nt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+/// [`matmul_nt_into`] at an explicit SIMD [`Level`].
+pub fn matmul_nt_into_with(
+    level: Level,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    scratch: &mut Vec<f32>,
+) {
     assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch");
-    let (m, k, n) = (a.rows(), a.cols(), b.rows());
-    c.reset_shape(m, n);
-    c.data_mut()
+    let (k, n) = (a.cols(), b.rows());
+    scratch.clear();
+    scratch.resize(k * n, 0.0);
+    let bd = b.data();
+    scratch
         .par_chunks_mut(n.max(1))
         .enumerate()
-        .for_each(|(i, crow)| {
-            let arow = a.row(i);
-            let mut j0 = 0;
-            while j0 < n {
-                let jt = NT_JT.min(n - j0);
-                let mut acc = [0.0f32; NT_JT];
-                let mut brows: [&[f32]; NT_JT] = [&[]; NT_JT];
-                for (t, br) in brows[..jt].iter_mut().enumerate() {
-                    *br = b.row(j0 + t);
-                }
-                for (l, &av) in arow.iter().enumerate().take(k) {
-                    for (av_t, br) in acc[..jt].iter_mut().zip(&brows[..jt]) {
-                        *av_t += av * br[l];
-                    }
-                }
-                crow[j0..j0 + jt].copy_from_slice(&acc[..jt]);
-                j0 += jt;
+        .for_each(|(l, row)| {
+            for (j, o) in row.iter_mut().enumerate() {
+                *o = bd[j * k + l];
             }
         });
+    blocked_gemm_into(level, a, scratch, n, c, false);
 }
 
 /// Allocating wrapper over [`matmul_nt_into`].
 pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     let mut c = Matrix::empty();
-    matmul_nt_into(a, b, &mut c);
+    let mut scratch = Vec::new();
+    matmul_nt_into(a, b, &mut c, &mut scratch);
     c
 }
 
@@ -774,11 +812,13 @@ mod tests {
         matmul_into(&a, &b, &mut dirty);
         assert!(bits_equal(&dirty, &matmul_reference(&a, &b)));
         let bt = randm(5, 6, 23);
-        matmul_nt_into(&a, &bt, &mut dirty);
+        let mut scratch = vec![f32::NAN; 7];
+        matmul_nt_into(&a, &bt, &mut dirty, &mut scratch);
         assert!(bits_equal(&dirty, &matmul_nt_reference(&a, &bt)));
         let a2 = randm(700, 4, 24);
         let b2 = randm(700, 3, 25);
-        let mut scratch = vec![f32::NAN; 7];
+        scratch.clear();
+        scratch.push(f32::NAN);
         matmul_tn_into(&a2, &b2, &mut dirty, &mut scratch);
         assert!(bits_equal(&dirty, &matmul_tn_reference(&a2, &b2)));
     }

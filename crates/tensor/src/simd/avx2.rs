@@ -1,0 +1,335 @@
+//! AVX2 implementations of the dispatched kernels in [`super`].
+//!
+//! Every function here is `#[target_feature(enable = "avx2")]` and only
+//! reachable through [`super::level`]-guarded dispatch (or an explicit
+//! [`super::Level::Avx2`] that the caller asserted is executable).
+//!
+//! Bit-identity discipline, enforced throughout this file:
+//!
+//! * vector lanes are always eight **adjacent output columns** `j` — the
+//!   reduction over `k`/edges stays in program order per element;
+//! * multiply and add are separate intrinsics (`_mm256_mul_ps` then
+//!   `_mm256_add_ps`), matching the two separately-rounded scalar ops —
+//!   intrinsics are never contraction-fused, so no implicit FMA;
+//! * the zero-skip rules of the scalar kernels (`av == 0.0 → skip`) are
+//!   applied to the same scalar operand before broadcasting.
+
+// The safety contract is documented on the module; the `0..NV` loops
+// index both the register array and the `v * 8` lane offsets of raw
+// pointers, so enumerate() has nothing to iterate over there.
+#![allow(clippy::missing_safety_doc)]
+#![allow(clippy::needless_range_loop)]
+
+use core::arch::x86_64::*;
+
+/// `acc += av * b` on `NV` consecutive YMM lanes, accumulators kept in
+/// registers across the whole `l` loop. `NV` = 4 gives the 8x32 tile the
+/// blocked GEMM hands us; 2 and 1 mop up narrower tiles.
+#[target_feature(enable = "avx2")]
+unsafe fn rowtile_block<const NV: usize>(
+    arow: &[f32],
+    b: *const f32,
+    ldb: usize,
+    acc: *mut f32,
+    skip_zero: bool,
+) {
+    let mut r = [_mm256_setzero_ps(); NV];
+    for v in 0..NV {
+        r[v] = _mm256_loadu_ps(acc.add(v * 8));
+    }
+    for (l, &av) in arow.iter().enumerate() {
+        if skip_zero && av == 0.0 {
+            continue;
+        }
+        let avv = _mm256_set1_ps(av);
+        let brow = b.add(l * ldb);
+        for v in 0..NV {
+            let bv = _mm256_loadu_ps(brow.add(v * 8));
+            r[v] = _mm256_add_ps(r[v], _mm256_mul_ps(avv, bv));
+        }
+    }
+    for v in 0..NV {
+        _mm256_storeu_ps(acc.add(v * 8), r[v]);
+    }
+}
+
+/// AVX2 matmul register tile: `acc[j] += arow[l] * b[l*ldb + j]`,
+/// ascending `l`, optional zero-skip. Caller checked that every row
+/// segment `b[l*ldb..l*ldb+acc.len()]` is in bounds.
+#[target_feature(enable = "avx2")]
+pub unsafe fn matmul_rowtile(
+    arow: &[f32],
+    b: &[f32],
+    ldb: usize,
+    acc: &mut [f32],
+    skip_zero: bool,
+) {
+    let nb = acc.len();
+    let bp = b.as_ptr();
+    let ap = acc.as_mut_ptr();
+    let mut j = 0;
+    while j + 32 <= nb {
+        rowtile_block::<4>(arow, bp.add(j), ldb, ap.add(j), skip_zero);
+        j += 32;
+    }
+    if j + 16 <= nb {
+        rowtile_block::<2>(arow, bp.add(j), ldb, ap.add(j), skip_zero);
+        j += 16;
+    }
+    if j + 8 <= nb {
+        rowtile_block::<1>(arow, bp.add(j), ldb, ap.add(j), skip_zero);
+        j += 8;
+    }
+    if j < nb {
+        for (l, &av) in arow.iter().enumerate() {
+            if skip_zero && av == 0.0 {
+                continue;
+            }
+            let brow = bp.add(l * ldb);
+            for jj in j..nb {
+                *ap.add(jj) += av * *brow.add(jj);
+            }
+        }
+    }
+}
+
+/// `acc += scale * src_row` over the edge list, `NV` lanes resident.
+#[target_feature(enable = "avx2")]
+unsafe fn gather_block<const NV: usize>(
+    indices: &[u32],
+    src: *const f32,
+    lds: usize,
+    scale: f32,
+    acc: *mut f32,
+) {
+    let sv = _mm256_set1_ps(scale);
+    let mut r = [_mm256_setzero_ps(); NV];
+    for v in 0..NV {
+        r[v] = _mm256_loadu_ps(acc.add(v * 8));
+    }
+    for &s in indices {
+        let srow = src.add(s as usize * lds);
+        for v in 0..NV {
+            let x = _mm256_loadu_ps(srow.add(v * 8));
+            r[v] = _mm256_add_ps(r[v], _mm256_mul_ps(sv, x));
+        }
+    }
+    for v in 0..NV {
+        _mm256_storeu_ps(acc.add(v * 8), r[v]);
+    }
+}
+
+/// AVX2 spmm forward channel tile: `acc[j] += scale * src[s*lds+j0+j]`
+/// for every source in `indices`, ascending edge order.
+#[target_feature(enable = "avx2")]
+pub unsafe fn spmm_gather_rowtile(
+    indices: &[u32],
+    src: &[f32],
+    lds: usize,
+    j0: usize,
+    scale: f32,
+    acc: &mut [f32],
+) {
+    let cb = acc.len();
+    if let Some(max_s) = indices.iter().copied().max() {
+        assert!(
+            max_s as usize * lds + j0 + cb <= src.len(),
+            "spmm gather: source row out of bounds"
+        );
+    } else {
+        return;
+    }
+    let sp = src.as_ptr().add(j0);
+    let ap = acc.as_mut_ptr();
+    let mut j = 0;
+    while j + 32 <= cb {
+        gather_block::<4>(indices, sp.add(j), lds, scale, ap.add(j));
+        j += 32;
+    }
+    if j + 16 <= cb {
+        gather_block::<2>(indices, sp.add(j), lds, scale, ap.add(j));
+        j += 16;
+    }
+    if j + 8 <= cb {
+        gather_block::<1>(indices, sp.add(j), lds, scale, ap.add(j));
+        j += 8;
+    }
+    if j < cb {
+        for &s in indices {
+            let srow = sp.add(s as usize * lds);
+            for jj in j..cb {
+                *ap.add(jj) += scale * *srow.add(jj);
+            }
+        }
+    }
+}
+
+/// Per-edge-scaled gather block for the backward pass: each destination
+/// row carries its own `agg_scale` (1/deg under mean, 1 under sum).
+#[target_feature(enable = "avx2")]
+unsafe fn scatter_block<const NV: usize>(
+    dsts: &[u32],
+    offsets: &[u32],
+    mean: bool,
+    grad: *const f32,
+    ldg: usize,
+    acc: *mut f32,
+) {
+    let mut r = [_mm256_setzero_ps(); NV];
+    for v in 0..NV {
+        r[v] = _mm256_loadu_ps(acc.add(v * 8));
+    }
+    for &d in dsts {
+        let d = d as usize;
+        let sv = _mm256_set1_ps(super::scatter_scale(offsets, d, mean));
+        let grow = grad.add(d * ldg);
+        for v in 0..NV {
+            let g = _mm256_loadu_ps(grow.add(v * 8));
+            r[v] = _mm256_add_ps(r[v], _mm256_mul_ps(sv, g));
+        }
+    }
+    for v in 0..NV {
+        _mm256_storeu_ps(acc.add(v * 8), r[v]);
+    }
+}
+
+/// AVX2 spmm backward channel tile: `acc[j] += agg_scale(d) *
+/// grad[d*ldg+j0+j]` over the incoming edges' destinations.
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn spmm_scatter_rowtile(
+    dsts: &[u32],
+    offsets: &[u32],
+    mean: bool,
+    grad: &[f32],
+    ldg: usize,
+    j0: usize,
+    acc: &mut [f32],
+) {
+    let cb = acc.len();
+    if let Some(max_d) = dsts.iter().copied().max() {
+        assert!(
+            (max_d as usize) + 1 < offsets.len(),
+            "spmm scatter: destination out of offsets range"
+        );
+        assert!(
+            max_d as usize * ldg + j0 + cb <= grad.len(),
+            "spmm scatter: grad row out of bounds"
+        );
+    } else {
+        return;
+    }
+    let gp = grad.as_ptr().add(j0);
+    let ap = acc.as_mut_ptr();
+    let mut j = 0;
+    while j + 32 <= cb {
+        scatter_block::<4>(dsts, offsets, mean, gp.add(j), ldg, ap.add(j));
+        j += 32;
+    }
+    if j + 16 <= cb {
+        scatter_block::<2>(dsts, offsets, mean, gp.add(j), ldg, ap.add(j));
+        j += 16;
+    }
+    if j + 8 <= cb {
+        scatter_block::<1>(dsts, offsets, mean, gp.add(j), ldg, ap.add(j));
+        j += 8;
+    }
+    if j < cb {
+        for &d in dsts {
+            let d = d as usize;
+            let scale = super::scatter_scale(offsets, d, mean);
+            let grow = gp.add(d * ldg);
+            for jj in j..cb {
+                *ap.add(jj) += scale * *grow.add(jj);
+            }
+        }
+    }
+}
+
+/// `acc[j] += s * x[j]` over `n` raw elements.
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_raw(acc: *mut f32, x: *const f32, n: usize, s: f32) {
+    let sv = _mm256_set1_ps(s);
+    let mut j = 0;
+    while j + 8 <= n {
+        let a = _mm256_loadu_ps(acc.add(j));
+        let v = _mm256_loadu_ps(x.add(j));
+        _mm256_storeu_ps(acc.add(j), _mm256_add_ps(a, _mm256_mul_ps(sv, v)));
+        j += 8;
+    }
+    while j < n {
+        *acc.add(j) += s * *x.add(j);
+        j += 1;
+    }
+}
+
+/// AVX2 `acc[j] += s * x[j]` (equal lengths asserted by the caller).
+#[target_feature(enable = "avx2")]
+pub unsafe fn axpy(acc: &mut [f32], x: &[f32], s: f32) {
+    axpy_raw(acc.as_mut_ptr(), x.as_ptr(), acc.len(), s);
+}
+
+/// AVX2 rank-1 panel update for `matmul_tn`: row `i` of the accumulator
+/// gets `arow[i] * brow`, with the reference's zero-skip on `arow[i]`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn tn_accumulate(arow: &[f32], brow: &[f32], acc: &mut [f32], n: usize) {
+    assert!(arow.len() * n <= acc.len(), "tn_accumulate: acc too short");
+    assert!(
+        n <= brow.len() || arow.is_empty(),
+        "tn_accumulate: brow too short"
+    );
+    let ap = acc.as_mut_ptr();
+    for (i, &av) in arow.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        axpy_raw(ap.add(i * n), brow.as_ptr(), n, av);
+    }
+}
+
+/// AVX2 `dst[j] += src[j]` (equal lengths asserted by the caller).
+#[target_feature(enable = "avx2")]
+pub unsafe fn add_assign(dst: &mut [f32], src: &[f32]) {
+    let n = dst.len();
+    let dp = dst.as_mut_ptr();
+    let sp = src.as_ptr();
+    let mut j = 0;
+    while j + 8 <= n {
+        let d = _mm256_loadu_ps(dp.add(j));
+        let s = _mm256_loadu_ps(sp.add(j));
+        _mm256_storeu_ps(dp.add(j), _mm256_add_ps(d, s));
+        j += 8;
+    }
+    while j < n {
+        *dp.add(j) += *sp.add(j);
+        j += 1;
+    }
+}
+
+/// Stream `len` bytes from `src` to `dst` in 32-byte YMM lanes (the
+/// gather row-copy path). The regions must not overlap and must each be
+/// valid for `len` bytes — guaranteed by the `&mut [T]`/`&[T]` pair the
+/// safe wrapper starts from.
+#[target_feature(enable = "avx2")]
+pub unsafe fn copy_bytes(dst: *mut u8, src: *const u8, len: usize) {
+    let mut off = 0;
+    while off + 128 <= len {
+        let a = _mm256_loadu_si256(src.add(off).cast());
+        let b = _mm256_loadu_si256(src.add(off + 32).cast());
+        let c = _mm256_loadu_si256(src.add(off + 64).cast());
+        let d = _mm256_loadu_si256(src.add(off + 96).cast());
+        _mm256_storeu_si256(dst.add(off).cast(), a);
+        _mm256_storeu_si256(dst.add(off + 32).cast(), b);
+        _mm256_storeu_si256(dst.add(off + 64).cast(), c);
+        _mm256_storeu_si256(dst.add(off + 96).cast(), d);
+        off += 128;
+    }
+    while off + 32 <= len {
+        let v = _mm256_loadu_si256(src.add(off).cast());
+        _mm256_storeu_si256(dst.add(off).cast(), v);
+        off += 32;
+    }
+    if off < len {
+        core::ptr::copy_nonoverlapping(src.add(off), dst.add(off), len - off);
+    }
+}

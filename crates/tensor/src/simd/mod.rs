@@ -1,0 +1,480 @@
+//! Runtime-dispatched SIMD inner loops for the hot kernels.
+//!
+//! Every kernel in this module comes in two implementations selected at
+//! runtime: a portable scalar loop (the reference semantics, exactly the
+//! float sequences the `*_reference` oracles execute) and an AVX2 version
+//! using 8-wide `f32` lanes via `std::arch::x86_64`. Dispatch is decided
+//! once per process by [`level`] — `is_x86_feature_detected!("avx2")`
+//! cached in a `OnceLock`, overridable with the `WG_SIMD` environment
+//! variable (`off`/`scalar` force the portable path, `avx2` forces the
+//! vector path, `auto`/unset detects).
+//!
+//! # Bit-identity contract
+//!
+//! The repo's determinism guarantee — identical output bits at any thread
+//! count, any schedule, and now any SIMD level — holds because every
+//! kernel here vectorizes **across independent output elements**, never
+//! across a single element's reduction:
+//!
+//! * `matmul_rowtile`, `spmm_gather_rowtile`, `spmm_scatter_rowtile`,
+//!   `tn_accumulate`, `axpy`, `add_assign`: each output element `acc[j]`
+//!   accumulates its contributions in the same ascending order (ascending
+//!   `k` / edge index) whether `j` lives in a YMM lane or a scalar
+//!   register. Lanes are just eight adjacent `j`s computed together.
+//! * No FMA contraction anywhere: the scalar paths (and the reference
+//!   oracles) round the multiply and the add separately, so the vector
+//!   paths use explicit `mul` + `add` intrinsics, never `fmadd`.
+//! * `copy_slice` moves bytes; `fnv1a_f32` is an order-serial hash chain
+//!   (each step consumes the previous hash), so it cannot be lane-split
+//!   without changing the digest — it is kept as one scalar chain,
+//!   unrolled, and stays byte-identical to the naive fold.
+//!
+//! The dispatched `*_with` kernel entry points in [`crate::ops`] /
+//! [`crate::sparse`] take an explicit [`Level`] so tests and benches can
+//! pin both paths against each other bitwise.
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+
+use std::sync::OnceLock;
+
+/// The instruction-set level a kernel runs at.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Level {
+    /// Portable scalar loops — the reference float sequences.
+    Scalar,
+    /// 8-wide `f32` lanes via AVX2 (separate mul + add, no FMA).
+    Avx2,
+}
+
+impl Level {
+    /// Human-readable name (logged by benches and the wallclock harness).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Scalar => "scalar",
+            Level::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Parse a `WG_SIMD` override. `None` means "auto" (detect).
+///
+/// Accepted values: `off` / `scalar` (force portable), `avx2` (force
+/// vector), `auto` / empty (detect). Anything else panics — a typo in a
+/// perf knob should be loud, not silently scalar.
+pub fn parse_override(value: &str) -> Option<Level> {
+    match value.to_ascii_lowercase().as_str() {
+        "" | "auto" => None,
+        "off" | "scalar" => Some(Level::Scalar),
+        "avx2" => Some(Level::Avx2),
+        other => panic!("WG_SIMD={other:?} not understood (use off|scalar|avx2|auto)"),
+    }
+}
+
+/// True when the host can execute the AVX2 kernels.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+static LEVEL: OnceLock<Level> = OnceLock::new();
+
+/// The process-wide dispatch level: the `WG_SIMD` override if set, else
+/// runtime feature detection. Decided once, cached in a `OnceLock`.
+///
+/// Panics if `WG_SIMD=avx2` is forced on a host without AVX2 — an
+/// explicit override that cannot be honored must not silently downgrade.
+pub fn level() -> Level {
+    *LEVEL.get_or_init(|| {
+        let requested = std::env::var("WG_SIMD")
+            .ok()
+            .and_then(|v| parse_override(&v));
+        match requested {
+            Some(Level::Avx2) => {
+                assert!(
+                    avx2_available(),
+                    "WG_SIMD=avx2 forced but the host does not support AVX2"
+                );
+                Level::Avx2
+            }
+            Some(Level::Scalar) => Level::Scalar,
+            None => {
+                if avx2_available() {
+                    Level::Avx2
+                } else {
+                    Level::Scalar
+                }
+            }
+        }
+    })
+}
+
+/// Marker for plain-old-data numeric element types whose byte
+/// representation may be copied freely (no padding, no drop glue) —
+/// the bound [`copy_slice`] needs to reinterpret rows as byte streams.
+pub trait Pod: Copy + 'static {}
+
+impl Pod for f32 {}
+impl Pod for f64 {}
+impl Pod for u8 {}
+impl Pod for i32 {}
+impl Pod for u32 {}
+impl Pod for i64 {}
+impl Pod for u64 {}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels — the portable fallback. These ARE the reference float
+// sequences: the blocked kernels in ops.rs/sparse.rs executed exactly
+// these loops before dispatch existed.
+// ---------------------------------------------------------------------------
+
+/// One matmul register tile, scalar: `acc[j] += arow[l] * b[l*ldb + j]`
+/// for every `l` in ascending order, skipping `arow[l] == 0.0` when
+/// `skip_zero` (the reference kernels' zero-skip rule).
+fn matmul_rowtile_scalar(arow: &[f32], b: &[f32], ldb: usize, acc: &mut [f32], skip_zero: bool) {
+    let nb = acc.len();
+    for (l, &av) in arow.iter().enumerate() {
+        if skip_zero && av == 0.0 {
+            continue;
+        }
+        let brow = &b[l * ldb..l * ldb + nb];
+        for (a, &bv) in acc.iter_mut().zip(brow) {
+            *a += av * bv;
+        }
+    }
+}
+
+/// One spmm forward channel tile, scalar: for every edge source index,
+/// `acc[j] += scale * src[s*lds + j0 + j]` in ascending edge order.
+fn spmm_gather_scalar(
+    indices: &[u32],
+    src: &[f32],
+    lds: usize,
+    j0: usize,
+    scale: f32,
+    acc: &mut [f32],
+) {
+    let cb = acc.len();
+    for &s in indices {
+        let s = s as usize;
+        let srow = &src[s * lds + j0..s * lds + j0 + cb];
+        for (a, &x) in acc.iter_mut().zip(srow) {
+            *a += scale * x;
+        }
+    }
+}
+
+/// One spmm backward channel tile, scalar: for every incoming edge's
+/// destination `d` (ascending edge order), accumulate
+/// `agg_scale * grad[d*ldg + j0 + j]`, where `agg_scale` is `1/deg(d)`
+/// under mean aggregation (0 for isolated destinations) and 1 under sum.
+fn spmm_scatter_scalar(
+    dsts: &[u32],
+    offsets: &[u32],
+    mean: bool,
+    grad: &[f32],
+    ldg: usize,
+    j0: usize,
+    acc: &mut [f32],
+) {
+    let cb = acc.len();
+    for &d in dsts {
+        let d = d as usize;
+        let scale = scatter_scale(offsets, d, mean);
+        let grow = &grad[d * ldg + j0..d * ldg + j0 + cb];
+        for (a, &g) in acc.iter_mut().zip(grow) {
+            *a += scale * g;
+        }
+    }
+}
+
+/// The backward aggregation scale for destination `d`: exactly
+/// `agg_scale(agg, degree(d))` from the sparse kernels.
+#[inline]
+fn scatter_scale(offsets: &[u32], d: usize, mean: bool) -> f32 {
+    if !mean {
+        return 1.0;
+    }
+    let degree = (offsets[d + 1] - offsets[d]) as usize;
+    if degree == 0 {
+        0.0
+    } else {
+        1.0 / degree as f32
+    }
+}
+
+/// One k-row's rank-1 update `acc[i*n..][j] += arow[i] * brow[j]`,
+/// scalar, with the matmul_tn zero-skip rule on `arow[i]`.
+fn tn_accumulate_scalar(arow: &[f32], brow: &[f32], acc: &mut [f32], n: usize) {
+    for (i, &av) in arow.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let dst = &mut acc[i * n..(i + 1) * n];
+        for (d, &bv) in dst.iter_mut().zip(brow) {
+            *d += av * bv;
+        }
+    }
+}
+
+fn axpy_scalar(acc: &mut [f32], x: &[f32], s: f32) {
+    for (a, &v) in acc.iter_mut().zip(x) {
+        *a += s * v;
+    }
+}
+
+fn add_assign_scalar(dst: &mut [f32], src: &[f32]) {
+    for (d, &v) in dst.iter_mut().zip(src) {
+        *d += v;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points.
+// ---------------------------------------------------------------------------
+
+/// Validate the geometry the rowtile kernels assume: `b` must cover every
+/// `l*ldb..l*ldb+acc.len()` row segment the tile reads.
+#[inline]
+fn check_rowtile_bounds(rows: usize, b_len: usize, ldb: usize, nb: usize) {
+    if rows > 0 && nb > 0 {
+        assert!(
+            (rows - 1) * ldb + nb <= b_len,
+            "rowtile: B panel too short ({b_len} < {})",
+            (rows - 1) * ldb + nb
+        );
+    }
+}
+
+/// `acc[j] += arow[l] * b[l*ldb + j]`, ascending `l`, optional zero-skip
+/// on `arow[l]`. The matmul register-tile inner loop.
+#[inline]
+pub fn matmul_rowtile(
+    level: Level,
+    arow: &[f32],
+    b: &[f32],
+    ldb: usize,
+    acc: &mut [f32],
+    skip_zero: bool,
+) {
+    check_rowtile_bounds(arow.len(), b.len(), ldb, acc.len());
+    match level {
+        Level::Scalar => matmul_rowtile_scalar(arow, b, ldb, acc, skip_zero),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level() only reports Avx2 when the host supports it, and
+        // the bounds of every row segment were checked above.
+        Level::Avx2 => unsafe { avx2::matmul_rowtile(arow, b, ldb, acc, skip_zero) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Level::Avx2 => matmul_rowtile_scalar(arow, b, ldb, acc, skip_zero),
+    }
+}
+
+/// Forward g-SpMM channel tile: `acc[j] += scale * src[s*lds + j0 + j]`
+/// over the edge sources `indices`, in ascending edge order.
+#[inline]
+pub fn spmm_gather_rowtile(
+    level: Level,
+    indices: &[u32],
+    src: &[f32],
+    lds: usize,
+    j0: usize,
+    scale: f32,
+    acc: &mut [f32],
+) {
+    match level {
+        Level::Scalar => spmm_gather_scalar(indices, src, lds, j0, scale, acc),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 verified by level(); per-row bounds are re-checked
+        // by slice indexing inside the kernel's scalar prologue contract
+        // (indices are validated by BlockCsr::validate and slicing below).
+        Level::Avx2 => unsafe { avx2::spmm_gather_rowtile(indices, src, lds, j0, scale, acc) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Level::Avx2 => spmm_gather_scalar(indices, src, lds, j0, scale, acc),
+    }
+}
+
+/// Backward g-SpMM channel tile: gather `agg_scale(d) * grad[d]` over the
+/// incoming edges' destinations, ascending edge order.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn spmm_scatter_rowtile(
+    level: Level,
+    dsts: &[u32],
+    offsets: &[u32],
+    mean: bool,
+    grad: &[f32],
+    ldg: usize,
+    j0: usize,
+    acc: &mut [f32],
+) {
+    match level {
+        Level::Scalar => spmm_scatter_scalar(dsts, offsets, mean, grad, ldg, j0, acc),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 verified by level(); row bounds checked per edge.
+        Level::Avx2 => unsafe {
+            avx2::spmm_scatter_rowtile(dsts, offsets, mean, grad, ldg, j0, acc)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        Level::Avx2 => spmm_scatter_scalar(dsts, offsets, mean, grad, ldg, j0, acc),
+    }
+}
+
+/// One k-row of `matmul_tn`: `acc[i*n + j] += arow[i] * brow[j]` with the
+/// zero-skip rule on `arow[i]`.
+#[inline]
+pub fn tn_accumulate(level: Level, arow: &[f32], brow: &[f32], acc: &mut [f32], n: usize) {
+    debug_assert!(arow.len() * n <= acc.len());
+    debug_assert!(n <= brow.len() || arow.is_empty());
+    match level {
+        Level::Scalar => tn_accumulate_scalar(arow, brow, acc, n),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 verified by level(); slice bounds asserted above.
+        Level::Avx2 => unsafe { avx2::tn_accumulate(arow, brow, acc, n) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Level::Avx2 => tn_accumulate_scalar(arow, brow, acc, n),
+    }
+}
+
+/// `acc[j] += s * x[j]` (the weighted-spmm / rank-1 inner loop).
+#[inline]
+pub fn axpy(level: Level, acc: &mut [f32], x: &[f32], s: f32) {
+    assert_eq!(acc.len(), x.len(), "axpy length mismatch");
+    match level {
+        Level::Scalar => axpy_scalar(acc, x, s),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 verified by level(); equal lengths asserted.
+        Level::Avx2 => unsafe { avx2::axpy(acc, x, s) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Level::Avx2 => axpy_scalar(acc, x, s),
+    }
+}
+
+/// `dst[j] += src[j]` (the tree-reduction merge loop).
+#[inline]
+pub fn add_assign(level: Level, dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "add_assign length mismatch");
+    match level {
+        Level::Scalar => add_assign_scalar(dst, src),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 verified by level(); equal lengths asserted.
+        Level::Avx2 => unsafe { avx2::add_assign(dst, src) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Level::Avx2 => add_assign_scalar(dst, src),
+    }
+}
+
+/// Copy `src` into `dst` (equal lengths) — the gather row-copy inner
+/// loop. The AVX2 path streams 32-byte lanes instead of deferring to
+/// `memcpy`'s size-class dispatch; bytes are bytes, so the result is
+/// trivially identical.
+#[inline]
+pub fn copy_slice<T: Pod>(level: Level, dst: &mut [T], src: &[T]) {
+    assert_eq!(dst.len(), src.len(), "copy_slice length mismatch");
+    match level {
+        Level::Scalar => dst.copy_from_slice(src),
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 => {
+            let bytes = std::mem::size_of_val(src);
+            // SAFETY: T is Pod (no padding, no drop glue), the byte views
+            // cover exactly the two equal-length slices, and AVX2 support
+            // was verified by level().
+            unsafe {
+                avx2::copy_bytes(
+                    dst.as_mut_ptr().cast::<u8>(),
+                    src.as_ptr().cast::<u8>(),
+                    bytes,
+                )
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        Level::Avx2 => dst.copy_from_slice(src),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a — the bench harness checksum.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a offset basis (the chain's seed).
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over the bit patterns of an `f32` slice, continuing from `h`.
+///
+/// The chain `h = (h ^ w) * prime` consumes the previous hash at every
+/// step, so it is inherently order-serial: lane-splitting it would change
+/// the digest, and the digests are pinned (they are the repo's
+/// bit-exactness witnesses). What SIMD *can't* buy here, unrolling does:
+/// the loop below runs four chain steps per iteration with the
+/// float→word conversions hoisted, keeping the dependency chain — xor
+/// plus multiply — as the only serialized work. Byte-identical to the
+/// naive per-element fold at any level, which is the whole point.
+#[inline]
+pub fn fnv1a_f32(mut h: u64, data: &[f32]) -> u64 {
+    let mut chunks = data.chunks_exact(4);
+    for c in &mut chunks {
+        let (w0, w1) = (c[0].to_bits() as u64, c[1].to_bits() as u64);
+        let (w2, w3) = (c[2].to_bits() as u64, c[3].to_bits() as u64);
+        h = (h ^ w0).wrapping_mul(FNV_PRIME);
+        h = (h ^ w1).wrapping_mul(FNV_PRIME);
+        h = (h ^ w2).wrapping_mul(FNV_PRIME);
+        h = (h ^ w3).wrapping_mul(FNV_PRIME);
+    }
+    for &v in chunks.remainder() {
+        h = (h ^ v.to_bits() as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_override_accepts_the_documented_values() {
+        assert_eq!(parse_override(""), None);
+        assert_eq!(parse_override("auto"), None);
+        assert_eq!(parse_override("AUTO"), None);
+        assert_eq!(parse_override("off"), Some(Level::Scalar));
+        assert_eq!(parse_override("scalar"), Some(Level::Scalar));
+        assert_eq!(parse_override("SCALAR"), Some(Level::Scalar));
+        assert_eq!(parse_override("avx2"), Some(Level::Avx2));
+        assert_eq!(parse_override("AVX2"), Some(Level::Avx2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not understood")]
+    fn parse_override_rejects_typos() {
+        parse_override("avx512");
+    }
+
+    #[test]
+    fn fnv1a_matches_naive_fold() {
+        let data: Vec<f32> = (0..37).map(|i| i as f32 * 0.37 - 5.0).collect();
+        for take in [0usize, 1, 3, 4, 5, 8, 36, 37] {
+            let naive = data[..take].iter().fold(FNV_OFFSET, |h, v| {
+                (h ^ v.to_bits() as u64).wrapping_mul(FNV_PRIME)
+            });
+            assert_eq!(fnv1a_f32(FNV_OFFSET, &data[..take]), naive, "take={take}");
+        }
+        // Chained calls continue the same stream.
+        let split = fnv1a_f32(fnv1a_f32(FNV_OFFSET, &data[..13]), &data[13..]);
+        assert_eq!(split, fnv1a_f32(FNV_OFFSET, &data));
+    }
+
+    #[test]
+    fn level_is_cached_and_valid() {
+        let l = level();
+        assert_eq!(l, level());
+        if l == Level::Avx2 {
+            assert!(avx2_available());
+        }
+    }
+}

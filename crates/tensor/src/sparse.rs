@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use rayon::prelude::*;
 
 use crate::matrix::Matrix;
+use crate::simd::{self, Level};
 
 /// Aggregation applied over each destination's incoming messages.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -176,6 +177,20 @@ pub fn spmm_into(
     agg: Agg,
     out: &mut Matrix,
 ) {
+    spmm_into_with(simd::level(), block, src, edge_weights, heads, agg, out);
+}
+
+/// [`spmm_into`] at an explicit SIMD [`Level`].
+#[allow(clippy::too_many_arguments)]
+pub fn spmm_into_with(
+    level: Level,
+    block: &BlockCsr,
+    src: &Matrix,
+    edge_weights: Option<&Matrix>,
+    heads: usize,
+    agg: Agg,
+    out: &mut Matrix,
+) {
     assert_eq!(src.rows(), block.num_src, "src feature rows != num_src");
     let channels = src.cols();
     assert!(
@@ -197,17 +212,20 @@ pub fn spmm_into(
             let scale = agg_scale(agg, hi - lo);
             match edge_weights {
                 None => {
+                    let edges = &block.indices[lo..hi];
                     let mut j0 = 0;
                     while j0 < channels {
                         let cb = SPMM_CB.min(channels - j0);
                         let mut acc = [0.0f32; SPMM_CB];
-                        for e in lo..hi {
-                            let s = block.indices[e] as usize;
-                            let srow = &src.row(s)[j0..j0 + cb];
-                            for (a, &x) in acc[..cb].iter_mut().zip(srow) {
-                                *a += scale * x;
-                            }
-                        }
+                        simd::spmm_gather_rowtile(
+                            level,
+                            edges,
+                            src.data(),
+                            channels,
+                            j0,
+                            scale,
+                            &mut acc[..cb],
+                        );
                         orow[j0..j0 + cb].copy_from_slice(&acc[..cb]);
                         j0 += cb;
                     }
@@ -220,9 +238,12 @@ pub fn spmm_into(
                         for h in 0..heads {
                             let wh = scale * wrow[h];
                             let base = h * head_dim;
-                            for j in 0..head_dim {
-                                orow[base + j] += wh * srow[base + j];
-                            }
+                            simd::axpy(
+                                level,
+                                &mut orow[base..base + head_dim],
+                                &srow[base..base + head_dim],
+                                wh,
+                            );
                         }
                     }
                 }
@@ -362,6 +383,30 @@ pub fn spmm_backward_src_into(
     out: &mut Matrix,
     rev: &mut ReverseScratch,
 ) {
+    spmm_backward_src_into_with(
+        simd::level(),
+        block,
+        grad_dst,
+        edge_weights,
+        heads,
+        agg,
+        out,
+        rev,
+    );
+}
+
+/// [`spmm_backward_src_into`] at an explicit SIMD [`Level`].
+#[allow(clippy::too_many_arguments)]
+pub fn spmm_backward_src_into_with(
+    level: Level,
+    block: &BlockCsr,
+    grad_dst: &Matrix,
+    edge_weights: Option<&Matrix>,
+    heads: usize,
+    agg: Agg,
+    out: &mut Matrix,
+    rev: &mut ReverseScratch,
+) {
     assert_eq!(grad_dst.rows(), block.num_dst);
     let channels = grad_dst.cols();
     assert!(heads >= 1 && channels.is_multiple_of(heads));
@@ -377,18 +422,21 @@ pub fn spmm_backward_src_into(
             let hi = rev.offsets[s + 1] as usize;
             match edge_weights {
                 None => {
+                    let dsts = &rev.dsts[lo..hi];
                     let mut j0 = 0;
                     while j0 < channels {
                         let cb = SPMM_CB.min(channels - j0);
                         let mut acc = [0.0f32; SPMM_CB];
-                        for i in lo..hi {
-                            let d = rev.dsts[i] as usize;
-                            let scale = agg_scale(agg, block.degree(d));
-                            let grow = &grad_dst.row(d)[j0..j0 + cb];
-                            for (a, &g) in acc[..cb].iter_mut().zip(grow) {
-                                *a += scale * g;
-                            }
-                        }
+                        simd::spmm_scatter_rowtile(
+                            level,
+                            dsts,
+                            &block.offsets,
+                            agg == Agg::Mean,
+                            grad_dst.data(),
+                            channels,
+                            j0,
+                            &mut acc[..cb],
+                        );
                         orow[j0..j0 + cb].copy_from_slice(&acc[..cb]);
                         j0 += cb;
                     }
@@ -403,9 +451,12 @@ pub fn spmm_backward_src_into(
                         for h in 0..heads {
                             let wh = scale * wrow[h];
                             let base = h * head_dim;
-                            for j in 0..head_dim {
-                                orow[base + j] += wh * grow[base + j];
-                            }
+                            simd::axpy(
+                                level,
+                                &mut orow[base..base + head_dim],
+                                &grow[base..base + head_dim],
+                                wh,
+                            );
                         }
                     }
                 }

@@ -1,0 +1,329 @@
+//! The SIMD leg of the bit-identity contract.
+//!
+//! Every vectorized kernel must produce the *same bits* as the scalar
+//! path and as the naive reference — the AVX2 kernels only block across
+//! independent output lanes, never inside a per-element reduction, so
+//! there is no tolerance anywhere in this file: all comparisons are
+//! `to_bits()` equality. Shapes deliberately straddle every tile
+//! boundary (j widths around 8/16/32, k % 8 != 0, empty matrices), and
+//! the forced-`Scalar` vs forced-`Avx2` tests pin the two code paths
+//! against each other directly (gated on host AVX2 support — the
+//! dispatched-vs-reference tests run everywhere). The two-worker pool
+//! leg lives in `simd_equivalence_threads2.rs`; tier-1 reruns this
+//! binary under `WG_THREADS=1`.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use wg_tensor::ops::{
+    matmul_into_with, matmul_nt_into_with, matmul_nt_reference, matmul_reference,
+    matmul_tn_into_with, matmul_tn_reference,
+};
+use wg_tensor::simd::{self, Level};
+use wg_tensor::sparse::{
+    spmm_backward_src_into_with, spmm_backward_src_reference, spmm_into_with, spmm_reference, Agg,
+    BlockCsr, ReverseScratch,
+};
+use wg_tensor::Matrix;
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
+}
+
+fn block(dst: usize, src: usize, fanout: usize, seed: u64) -> BlockCsr {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut offsets = vec![0u32];
+    let mut indices = Vec::new();
+    for _ in 0..dst {
+        for _ in 0..rng.gen_range(0..=fanout) {
+            indices.push(rng.gen_range(0..src as u32));
+        }
+        offsets.push(indices.len() as u32);
+    }
+    let mut dup = vec![0u32; src];
+    for &c in &indices {
+        dup[c as usize] += 1;
+    }
+    BlockCsr {
+        num_dst: dst,
+        num_src: src,
+        offsets,
+        indices,
+        dup_count: dup,
+    }
+}
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what}: shape");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+/// Both SIMD levels on the host: `Scalar` always, `Avx2` when supported.
+fn levels() -> Vec<Level> {
+    let mut l = vec![Level::Scalar];
+    if simd::avx2_available() {
+        l.push(Level::Avx2);
+    }
+    l
+}
+
+/// Shapes that straddle every lane-block boundary of the 8/16/32-wide
+/// column tiles, plus k remainders that are not multiples of the unroll.
+const DENSE_SHAPES: [(usize, usize, usize); 10] = [
+    (1, 1, 1),
+    (3, 5, 7),    // below one lane
+    (2, 9, 8),    // exactly one lane
+    (5, 11, 9),   // one lane + scalar tail
+    (4, 17, 15),  // just under two lanes
+    (6, 13, 31),  // just under the 32-wide block
+    (9, 21, 33),  // 32-block + 1 tail column
+    (17, 30, 40), // 32 + 8 blocks
+    (33, 67, 57), // 32 + 16 + 8 + tail, k % 8 = 3
+    (12, 256, 48),
+];
+
+#[test]
+fn dense_kernels_bit_identical_at_every_level() {
+    for level in levels() {
+        for (i, &(m, k, n)) in DENSE_SHAPES.iter().enumerate() {
+            let seed = 100 + i as u64;
+            let a = mat(m, k, seed);
+            let b = mat(k, n, seed ^ 0x5a);
+            let at = mat(k, m, seed ^ 0xa5);
+            let bt = mat(n, k, seed ^ 0x3c);
+            let name = level.name();
+
+            let mut c = Matrix::empty();
+            matmul_into_with(level, &a, &b, &mut c);
+            assert_bits_eq(&c, &matmul_reference(&a, &b), &format!("matmul/{name}"));
+
+            let mut scratch = Vec::new();
+            matmul_tn_into_with(level, &at, &b, &mut c, &mut scratch);
+            assert_bits_eq(
+                &c,
+                &matmul_tn_reference(&at, &b),
+                &format!("matmul_tn/{name}"),
+            );
+
+            matmul_nt_into_with(level, &a, &bt, &mut c, &mut scratch);
+            assert_bits_eq(
+                &c,
+                &matmul_nt_reference(&a, &bt),
+                &format!("matmul_nt/{name}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_matrices_at_every_level() {
+    for level in levels() {
+        for (m, k, n) in [(0usize, 4usize, 4usize), (4, 0, 4), (4, 4, 0), (0, 0, 0)] {
+            let a = mat(m, k, 9);
+            let b = mat(k, n, 10);
+            let mut c = Matrix::empty();
+            matmul_into_with(level, &a, &b, &mut c);
+            assert_bits_eq(&c, &matmul_reference(&a, &b), "matmul empty");
+
+            let at = mat(k, m, 11);
+            let mut scratch = Vec::new();
+            matmul_tn_into_with(level, &at, &b, &mut c, &mut scratch);
+            assert_bits_eq(&c, &matmul_tn_reference(&at, &b), "matmul_tn empty");
+
+            let bt = mat(n, k, 12);
+            matmul_nt_into_with(level, &a, &bt, &mut c, &mut scratch);
+            assert_bits_eq(&c, &matmul_nt_reference(&a, &bt), "matmul_nt empty");
+        }
+        // An all-empty graph block: every dst has zero edges.
+        let b = block(6, 9, 0, 13);
+        assert!(b.indices.is_empty());
+        let x = mat(9, 17, 14);
+        let mut out = Matrix::empty();
+        spmm_into_with(level, &b, &x, None, 1, Agg::Mean, &mut out);
+        assert_bits_eq(
+            &out,
+            &spmm_reference(&b, &x, None, 1, Agg::Mean),
+            "spmm empty",
+        );
+    }
+}
+
+#[test]
+fn spmm_kernels_bit_identical_at_every_level() {
+    for level in levels() {
+        for (dst, src, fanout, channels, heads, seed) in [
+            (1usize, 2usize, 1usize, 1usize, 1usize, 20u64),
+            (7, 15, 3, 9, 1, 21),    // one lane + tail
+            (23, 60, 5, 31, 1, 22),  // just under a lane block
+            (40, 100, 8, 33, 3, 23), // multi-head, 32 + tail
+            (16, 50, 4, 64, 4, 24),
+        ] {
+            let b = block(dst, src, fanout, seed);
+            let x = mat(src, channels, seed ^ 0x77);
+            let w = mat(b.num_edges(), heads, seed ^ 0x88);
+            let name = level.name();
+            for agg in [Agg::Mean, Agg::Sum] {
+                for weights in [None, Some(&w)] {
+                    let mut y = Matrix::empty();
+                    spmm_into_with(level, &b, &x, weights, heads, agg, &mut y);
+                    assert_bits_eq(
+                        &y,
+                        &spmm_reference(&b, &x, weights, heads, agg),
+                        &format!("spmm/{name}"),
+                    );
+                    let mut g = Matrix::empty();
+                    let mut rev = ReverseScratch::default();
+                    spmm_backward_src_into_with(
+                        level, &b, &y, weights, heads, agg, &mut g, &mut rev,
+                    );
+                    assert_bits_eq(
+                        &g,
+                        &spmm_backward_src_reference(&b, &y, weights, heads, agg),
+                        &format!("spmm_backward/{name}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The load-bearing test of the whole scheme: the forced-AVX2 path must
+/// produce the same bits as the forced-scalar path, kernel by kernel —
+/// not merely both matching the reference. Skipped (trivially green) on
+/// hosts without AVX2; the scalar-vs-reference leg above still runs.
+#[test]
+fn forced_scalar_and_forced_avx2_agree_bitwise() {
+    if !simd::avx2_available() {
+        eprintln!("host has no AVX2 — forced-level cross-check skipped");
+        return;
+    }
+    for (i, &(m, k, n)) in DENSE_SHAPES.iter().enumerate() {
+        let seed = 300 + i as u64;
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed ^ 0x11);
+        let (mut cs, mut cv) = (Matrix::empty(), Matrix::empty());
+        matmul_into_with(Level::Scalar, &a, &b, &mut cs);
+        matmul_into_with(Level::Avx2, &a, &b, &mut cv);
+        assert_bits_eq(&cs, &cv, "matmul scalar-vs-avx2");
+
+        let at = mat(k, m, seed ^ 0x22);
+        let (mut ss, mut sv) = (Vec::new(), Vec::new());
+        matmul_tn_into_with(Level::Scalar, &at, &b, &mut cs, &mut ss);
+        matmul_tn_into_with(Level::Avx2, &at, &b, &mut cv, &mut sv);
+        assert_bits_eq(&cs, &cv, "matmul_tn scalar-vs-avx2");
+
+        let bt = mat(n, k, seed ^ 0x33);
+        matmul_nt_into_with(Level::Scalar, &a, &bt, &mut cs, &mut ss);
+        matmul_nt_into_with(Level::Avx2, &a, &bt, &mut cv, &mut sv);
+        assert_bits_eq(&cs, &cv, "matmul_nt scalar-vs-avx2");
+    }
+    let b = block(31, 77, 6, 40);
+    for channels in [1usize, 8, 17, 33, 64] {
+        let x = mat(77, channels, 41);
+        for agg in [Agg::Mean, Agg::Sum] {
+            let (mut ys, mut yv) = (Matrix::empty(), Matrix::empty());
+            spmm_into_with(Level::Scalar, &b, &x, None, 1, agg, &mut ys);
+            spmm_into_with(Level::Avx2, &b, &x, None, 1, agg, &mut yv);
+            assert_bits_eq(&ys, &yv, "spmm scalar-vs-avx2");
+
+            let (mut gs, mut gv) = (Matrix::empty(), Matrix::empty());
+            let mut rev = ReverseScratch::default();
+            spmm_backward_src_into_with(Level::Scalar, &b, &ys, None, 1, agg, &mut gs, &mut rev);
+            spmm_backward_src_into_with(Level::Avx2, &b, &ys, None, 1, agg, &mut gv, &mut rev);
+            assert_bits_eq(&gs, &gv, "spmm_backward scalar-vs-avx2");
+        }
+    }
+}
+
+#[test]
+fn copy_slice_matches_at_every_level_and_width() {
+    let mut rng = SmallRng::seed_from_u64(50);
+    // Widths straddle the 32-byte lane and the 128-byte unroll of the
+    // AVX2 byte-stream copy, in both f32 (4 B) and u64 (8 B) elements.
+    for level in levels() {
+        for n in [0usize, 1, 3, 7, 8, 9, 31, 32, 33, 100, 256, 1000] {
+            let src: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let mut dst = vec![f32::NAN; n];
+            simd::copy_slice(level, &mut dst, &src);
+            for (x, y) in dst.iter().zip(&src) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            let src64: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+            let mut dst64 = vec![0u64; n];
+            simd::copy_slice(level, &mut dst64, &src64);
+            assert_eq!(dst64, src64);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random unaligned shapes: every level matches the reference, and
+    /// (on AVX2 hosts) the two forced levels match each other.
+    #[test]
+    fn matmul_levels_agree_on_random_shapes(
+        m in 1usize..48,
+        k in 1usize..80,
+        n in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed ^ 0xbeef);
+        let reference = matmul_reference(&a, &b);
+        for level in levels() {
+            let mut c = Matrix::empty();
+            matmul_into_with(level, &a, &b, &mut c);
+            for (x, y) in c.data().iter().zip(reference.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_levels_agree_on_random_blocks(
+        dst in 1usize..40,
+        src in 1usize..90,
+        fanout in 0usize..7,
+        channels in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let b = block(dst, src, fanout, seed);
+        let x = mat(src, channels, seed ^ 0xfeed);
+        for agg in [Agg::Mean, Agg::Sum] {
+            let reference = spmm_reference(&b, &x, None, 1, agg);
+            for level in levels() {
+                let mut y = Matrix::empty();
+                spmm_into_with(level, &b, &x, None, 1, agg, &mut y);
+                for (p, q) in y.data().iter().zip(reference.data()) {
+                    prop_assert_eq!(p.to_bits(), q.to_bits());
+                }
+            }
+        }
+    }
+
+    /// The unrolled checksum is byte-identical to the naive serial fold
+    /// (one word-sized `(h ^ w) * prime` step per element — the repo's
+    /// witness convention) for any length, including the 0..3 remainder
+    /// cases, and chains across arbitrary split points exactly like one
+    /// flat pass.
+    #[test]
+    fn fnv1a_unroll_matches_naive_fold(
+        data in proptest::collection::vec(-1.0e30f32..1.0e30, 0..200),
+        split in 0usize..200,
+    ) {
+        let naive = data.iter().fold(simd::FNV_OFFSET, |h, v| {
+            (h ^ v.to_bits() as u64).wrapping_mul(simd::FNV_PRIME)
+        });
+        prop_assert_eq!(simd::fnv1a_f32(simd::FNV_OFFSET, &data), naive);
+        let split = split.min(data.len());
+        let chained = simd::fnv1a_f32(
+            simd::fnv1a_f32(simd::FNV_OFFSET, &data[..split]),
+            &data[split..],
+        );
+        prop_assert_eq!(chained, naive);
+    }
+}

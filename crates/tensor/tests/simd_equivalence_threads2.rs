@@ -1,0 +1,76 @@
+//! The two-worker pool leg of the SIMD bit-identity contract.
+//!
+//! `simd_equivalence.rs` pins the levels against each other at whatever
+//! width its process runs (tier-1: natural width and `WG_THREADS=1`).
+//! This binary requests a **two-worker** pool before any kernel runs —
+//! the SIMD lane blocking is inside each worker's tile, orthogonal to
+//! the pool schedule, so forced-scalar and forced-AVX2 must still agree
+//! bitwise, and both must match the within-process sequential schedule.
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use wg_tensor::ops::{
+    matmul_into_with, matmul_nt_into_with, matmul_reference, matmul_tn_into_with,
+};
+use wg_tensor::simd::{self, Level};
+use wg_tensor::Matrix;
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
+}
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what}: shape");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn simd_levels_agree_on_two_workers() {
+    let width = rayon::init_threads(2);
+    let mut levels = vec![Level::Scalar];
+    if simd::avx2_available() {
+        levels.push(Level::Avx2);
+    }
+    for (m, k, n, seed) in [
+        (1usize, 1usize, 1usize, 60u64),
+        (9, 21, 33, 61),
+        (64, 67, 57, 62),
+        (130, 50, 96, 63),
+    ] {
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed ^ 0x44);
+        let at = mat(k, m, seed ^ 0x55);
+        let bt = mat(n, k, seed ^ 0x66);
+        let reference = matmul_reference(&a, &b);
+        let mut outs = Vec::new();
+        for &level in &levels {
+            let name = level.name();
+            let mut c = Matrix::empty();
+            matmul_into_with(level, &a, &b, &mut c);
+            assert_bits_eq(&c, &reference, &format!("matmul/{name} 2-worker"));
+            // Pool schedule vs sequential schedule, same level.
+            let seq = rayon::run_sequential(|| {
+                let mut c = Matrix::empty();
+                matmul_into_with(level, &a, &b, &mut c);
+                c
+            });
+            assert_bits_eq(&c, &seq, &format!("matmul/{name} pool-vs-seq"));
+
+            let mut scratch = Vec::new();
+            let (mut tn, mut nt) = (Matrix::empty(), Matrix::empty());
+            matmul_tn_into_with(level, &at, &b, &mut tn, &mut scratch);
+            matmul_nt_into_with(level, &a, &bt, &mut nt, &mut scratch);
+            outs.push((c, tn, nt));
+        }
+        // Cross-level: every level produced the same bits on this pool.
+        for pair in outs.windows(2) {
+            assert_bits_eq(&pair[0].0, &pair[1].0, "matmul cross-level 2-worker");
+            assert_bits_eq(&pair[0].1, &pair[1].1, "matmul_tn cross-level 2-worker");
+            assert_bits_eq(&pair[0].2, &pair[1].2, "matmul_nt cross-level 2-worker");
+        }
+    }
+    assert!(width >= 1);
+}

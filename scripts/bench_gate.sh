@@ -20,9 +20,11 @@
 #
 # Leaves in <out-dir>: baseline.json (committed numbers), current.json
 # (this run), wallclock_trace.json (merged host/sim Chrome trace — load
-# in chrome://tracing or ui.perfetto.dev), multinode.json and
-# multinode_trace.json (executed sweep + 4-node cluster trace, one
-# Chrome process per node). CI uploads the directory.
+# in chrome://tracing or ui.perfetto.dev), criterion_benches.txt (the
+# SIMD-vs-scalar criterion microbenchmarks — informational, never
+# gated), multinode.json and multinode_trace.json (executed sweep +
+# 4-node cluster trace, one Chrome process per node). CI uploads the
+# directory.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -51,6 +53,15 @@ cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
 echo "bench_gate: time drift vs committed baseline (warn-only)"
 cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
     compare "$OUT_DIR/baseline.json" "$OUT_DIR/current.json" --warn-pct 25
+
+# Criterion microbenchmarks for the kernels the wallclock stages are
+# built from: dispatched vs forced-scalar vs naive-reference matmul, and
+# the gather row-copy / checksum loops. The criterion shim prints
+# "bench <label>: best N ns" lines to stdout; keep them as an artifact
+# so SIMD speedups are inspectable per-kernel, not just per-stage.
+echo "bench_gate: criterion kernel microbenchmarks (matmul, gather_copy)"
+cargo bench -q "${OFFLINE_FLAGS[@]}" -p wg-bench --bench matmul --bench gather_copy \
+    | tee "$OUT_DIR/criterion_benches.txt"
 
 echo "bench_gate: executed multi-node sweep (4-node trace on)"
 cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin multinode_sweep -- \

@@ -11,6 +11,21 @@
 # comparison against the committed baseline is skipped — shared runners
 # are too noisy for time assertions — while the bit-exactness checksums
 # and allocation budgets (machine-independent) are still enforced.
+#
+# Baseline refresh (after a commit that legitimately step-changes a bench
+# time, e.g. a SIMD or cache-blocking optimization):
+#   1. on the reference machine run
+#        cargo run --release -p wg-bench --bin wallclock
+#      (the harness asserts bit-identical checksums and the allocation
+#      budgets itself; checksums must NOT move for a perf-only change);
+#   2. `check_bench gate BENCH_wallclock.json` must pass — if a commit
+#      intentionally moved numerics, update the pinned checksums in
+#      crates/bench/src/bin/check_bench.rs in the same commit;
+#   3. commit the regenerated BENCH_wallclock.json with the code change.
+#   Until the refreshed baseline lands, `check_bench compare` accepts
+#   `--expect-improvement <bench>` to exempt the intentionally-faster
+#   bench from the drift thresholds (it warns if the bench did NOT
+#   improve instead).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
