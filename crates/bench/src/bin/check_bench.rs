@@ -37,6 +37,15 @@
 //!     checksum equal to the single-pipeline one, node counts strictly
 //!     increasing from 1, positive epoch times, no halo traffic at N=1
 //!     (and some at N>1), and a genuine end-to-end speedup.
+//!
+//! check_bench cache <bench.json>
+//!     Validate `BENCH_cache.json` (the feature-cache sweep): every
+//!     cached point's loss/accuracy bits equal the uncached baseline's,
+//!     bus bytes are conserved (`bus + saved == baseline bus`), static
+//!     hit rates grow monotonically with cache size, points with hits
+//!     strictly improve epoch time — and on the hot-set stream a static
+//!     cache of at most 10% of the rows cuts remote gather rows by at
+//!     least half.
 //! ```
 //!
 //! Exit codes: 0 pass, 1 gate/threshold violation, 2 usage or IO error.
@@ -55,14 +64,19 @@ const EXPECT: [(&str, &str, u64); 4] = [
     ("sample", "f0d397b0ce92dc84", 0),
     ("gather", "2b272988158bae37", 0),
     ("spmm", "9ca0fe519fc2bdf1", 0),
-    ("epoch", "08f1c9d74e8dc560", 16),
+    // The epoch checksum covers loss + train-accuracy bits only (not
+    // epoch_time): the feature-cache tier moves simulated time without
+    // touching a trained bit, and this pin is the witness. The budget is
+    // the measured steady-state figure with warm pools — cache lookups
+    // included.
+    ("epoch", "2f1ecc574fe94d6a", 9),
 ];
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  check_bench gate <bench.json>\n  check_bench compare <baseline.json> \
          <current.json> [--warn-pct N] [--fail-pct N] [--expect-improvement <bench>]...\n  \
-         check_bench multinode <bench.json>"
+         check_bench multinode <bench.json>\n  check_bench cache <bench.json>"
     );
     exit(2);
 }
@@ -223,6 +237,145 @@ fn multinode(path: &str) -> i32 {
     }
 }
 
+/// Validate the feature-cache sweep artifact.
+fn cache(path: &str) -> i32 {
+    let doc = load(path);
+    let mut failures = 0u32;
+    let mut fail = |msg: String| {
+        eprintln!("CACHE FAIL: {msg}");
+        failures += 1;
+    };
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("wg-cache-sweep-v1") => {}
+        got => fail(format!(
+            "schema {} != wg-cache-sweep-v1",
+            got.unwrap_or("<missing>")
+        )),
+    }
+    let str_field = |p: &Json, key: &str| -> String {
+        p.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .unwrap_or_else(|| {
+                eprintln!("check_bench: cache point missing {key} in {path}");
+                exit(2);
+            })
+    };
+    let num_field = |p: &Json, key: &str| -> f64 {
+        p.get(key).and_then(Json::as_f64).unwrap_or_else(|| {
+            eprintln!("check_bench: cache point missing {key} in {path}");
+            exit(2);
+        })
+    };
+    // Epoch-workload section: numerics pinned to the baseline, bytes
+    // conserved, static hit rate monotone in cache size, time improving
+    // whenever the cache actually hit.
+    let Some(base) = doc.get("baseline") else {
+        fail("baseline missing".to_string());
+        eprintln!("check_bench cache: {failures} failure(s) in {path}");
+        return 1;
+    };
+    let points: Vec<&Json> = doc
+        .get("points")
+        .and_then(Json::as_array)
+        .map(|p| p.iter().collect())
+        .unwrap_or_default();
+    if points.len() < 5 {
+        fail(format!("need >= 5 epoch points, got {}", points.len()));
+    }
+    let base_bus = num_field(base, "bus_bytes");
+    let mut prev_static_rate = -1.0;
+    for p in &points {
+        let mode = str_field(p, "mode");
+        let rows = num_field(p, "rows");
+        if str_field(p, "loss_bits") != str_field(base, "loss_bits") {
+            fail(format!("{mode}/{rows}: loss bits differ from baseline"));
+        }
+        if str_field(p, "accuracy_bits") != str_field(base, "accuracy_bits") {
+            fail(format!("{mode}/{rows}: accuracy bits differ from baseline"));
+        }
+        if mode == "off" {
+            continue;
+        }
+        let conserved = num_field(p, "bus_bytes") + num_field(p, "saved_bus_bytes");
+        if conserved != base_bus {
+            fail(format!(
+                "{mode}/{rows}: bus bytes not conserved ({conserved} != {base_bus})"
+            ));
+        }
+        if mode == "static" {
+            let rate = num_field(p, "hit_rate");
+            if rate < prev_static_rate {
+                fail(format!(
+                    "static hit rate not monotone at {rows} rows ({rate} < {prev_static_rate})"
+                ));
+            }
+            prev_static_rate = rate;
+        }
+        if num_field(p, "hits") > 0.0
+            && num_field(p, "epoch_time_s") >= num_field(base, "epoch_time_s")
+        {
+            fail(format!("{mode}/{rows}: hits but no epoch-time improvement"));
+        }
+    }
+    // Hot-set section: the headline claim. A static cache of <= 10% of
+    // the rows must cut remote gather rows by >= 50%, values and bytes
+    // accounted for exactly.
+    match doc.get("hotset") {
+        None => fail("hotset section missing".to_string()),
+        Some(hs) => {
+            let Some(hbase) = hs.get("baseline") else {
+                fail("hotset.baseline missing".to_string());
+                eprintln!("check_bench cache: {failures} failure(s) in {path}");
+                return 1;
+            };
+            let hpoints: Vec<&Json> = hs
+                .get("points")
+                .and_then(Json::as_array)
+                .map(|p| p.iter().collect())
+                .unwrap_or_default();
+            let hbase_bus = num_field(hbase, "bus_bytes");
+            let mut headline = false;
+            for p in &hpoints {
+                let mode = str_field(p, "mode");
+                let rows = num_field(p, "rows");
+                if str_field(p, "checksum") != str_field(hbase, "checksum") {
+                    fail(format!("hotset {mode}/{rows}: gathered values diverged"));
+                }
+                if mode == "off" {
+                    continue;
+                }
+                let conserved = num_field(p, "bus_bytes") + num_field(p, "saved_bus_bytes");
+                if conserved != hbase_bus {
+                    fail(format!("hotset {mode}/{rows}: bus bytes not conserved"));
+                }
+                if mode == "static"
+                    && num_field(p, "frac") <= 0.10
+                    && num_field(p, "remote_row_reduction") >= 0.50
+                {
+                    headline = true;
+                }
+            }
+            if !headline {
+                fail(
+                    "no static hot-set point with frac <= 0.10 cuts remote rows by >= 50%"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    if failures == 0 {
+        println!(
+            "check_bench cache: OK ({} epoch points; numerics pinned, bytes conserved, >=50% remote-row cut at <=10% cache)",
+            points.len()
+        );
+        0
+    } else {
+        eprintln!("check_bench cache: {failures} failure(s) in {path}");
+        1
+    }
+}
+
 /// `--flag N` style option, or the default.
 fn pct_flag(args: &[String], flag: &str, default: Option<f64>) -> Option<f64> {
     match args.iter().position(|a| a == flag) {
@@ -330,6 +483,10 @@ fn main() {
         },
         Some("multinode") => match args.get(1) {
             Some(path) => multinode(path),
+            None => usage(),
+        },
+        Some("cache") => match args.get(1) {
+            Some(path) => cache(path),
             None => usage(),
         },
         _ => usage(),

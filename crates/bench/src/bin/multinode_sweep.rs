@@ -53,8 +53,16 @@ fn dataset() -> Arc<SyntheticDataset> {
     ))
 }
 
-fn pipe_cfg() -> PipelineConfig {
-    let mut cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage).with_seed(7);
+/// The swept pipeline config. The cache defaults to pinned *off* (not
+/// the environment) so the committed artifact never depends on ambient
+/// `WG_CACHE_*`; `--cache-rows`/`--cache-mode` turn it on for both the
+/// single-pipeline witness and every cluster replica — N=1 equivalence
+/// must hold at any cache setting.
+fn pipe_cfg(cache: Option<(usize, CacheMode)>) -> PipelineConfig {
+    let (rows, mode) = cache.unwrap_or((0, CacheMode::Static));
+    let mut cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage)
+        .with_seed(7)
+        .with_cache(rows, mode);
     cfg.batch_size = 16;
     cfg
 }
@@ -98,12 +106,29 @@ fn main() {
         "multi-node sweep",
         "executed data-parallel scaling, 1 -> 64 nodes",
     );
-    let trace_path = {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        args.iter()
-            .position(|a| a == "--trace")
-            .and_then(|i| args.get(i + 1).cloned())
-    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned());
+    let cache = args
+        .iter()
+        .position(|a| a == "--cache-rows")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            let rows: usize = v.parse().expect("--cache-rows expects a row count");
+            let mode = args
+                .iter()
+                .position(|a| a == "--cache-mode")
+                .and_then(|i| args.get(i + 1))
+                .map_or(CacheMode::Static, |m| {
+                    CacheMode::parse(m).expect("--cache-mode expects static|clock")
+                });
+            (rows, mode)
+        });
+    if let Some((rows, mode)) = cache {
+        println!("feature cache: {rows} rows/device, {} mode", mode.as_str());
+    }
 
     let ds = dataset();
     println!(
@@ -116,13 +141,14 @@ fn main() {
     // epoch; the executed cluster at N=1 must reproduce its numbers bit
     // for bit.
     let machine = Machine::new(MachineConfig::dgx_like(1));
-    let mut single = Pipeline::new(machine, Arc::clone(&ds), pipe_cfg()).expect("single pipeline");
+    let mut single =
+        Pipeline::new(machine, Arc::clone(&ds), pipe_cfg(cache)).expect("single pipeline");
     let s = single.train_epoch(0);
     let single_sum = epoch_checksum(s.loss, s.train_accuracy, s.epoch_time);
 
     let points = executed_sweep(
         Arc::clone(&ds),
-        pipe_cfg(),
+        pipe_cfg(cache),
         MultiNodeConfig::new(1).with_gpus(1),
         &NODE_COUNTS,
     )
@@ -168,7 +194,7 @@ fn main() {
         wg_trace::enable_all();
         let mut mn = MultiNode::new(
             Arc::clone(&ds),
-            pipe_cfg(),
+            pipe_cfg(cache),
             MultiNodeConfig::new(4).with_gpus(1),
         )
         .expect("traced cluster");

@@ -19,7 +19,7 @@ use wholegraph::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  wg gen   --dataset <products|papers100m|friendster|uk> --scale <N> --out <file> [--seed <N>]\n  wg train [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--framework <wholegraph|dgl|pyg>] [--epochs <N>] [--batch <N>] [--hidden <N>]\n           [--layers <N>] [--fanout <N>] [--gpus <N>] [--seed <N>] [--overlap]\n           [--trace <out.json>]\n  wg multinode --nodes <N> [--compress topk:<frac>] [--delayed-agg [<period>]]\n           [--gpus <per-node>] [--epochs <N>] [--trace <out.json>]\n           [dataset/model/batch/seed flags as in train]\n  wg info  --data <file>"
+        "usage:\n  wg gen   --dataset <products|papers100m|friendster|uk> --scale <N> --out <file> [--seed <N>]\n  wg train [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--framework <wholegraph|dgl|pyg>] [--epochs <N>] [--batch <N>] [--hidden <N>]\n           [--layers <N>] [--fanout <N>] [--gpus <N>] [--seed <N>] [--overlap]\n           [--cache-rows <N>] [--cache-mode <static|clock>] [--trace <out.json>]\n  wg multinode --nodes <N> [--compress topk:<frac>] [--delayed-agg [<period>]]\n           [--gpus <per-node>] [--epochs <N>] [--trace <out.json>]\n           [--cache-rows <N>] [--cache-mode <static|clock>]\n           [dataset/model/batch/seed flags as in train]\n  wg info  --data <file>"
     );
     exit(2);
 }
@@ -91,6 +91,26 @@ fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
             usage();
         }),
     }
+}
+
+/// Parse `--cache-rows <N>` / `--cache-mode <static|clock>` into a
+/// [`CacheConfig`]. Absent flags return `None`, leaving the pipeline on
+/// its environment default (`WG_CACHE_ROWS`/`WG_CACHE_MODE`);
+/// `--cache-rows 0` pins the cache off regardless of the environment.
+fn cache_config(flags: &HashMap<String, String>) -> Option<CacheConfig> {
+    let rows = flags.get("cache-rows")?;
+    let rows: usize = rows.parse().unwrap_or_else(|_| {
+        eprintln!("--cache-rows expects a row count, got {rows}");
+        usage();
+    });
+    let mode = match flags.get("cache-mode").map(String::as_str) {
+        None => CacheMode::Static,
+        Some(m) => CacheMode::parse(m).unwrap_or_else(|| {
+            eprintln!("--cache-mode expects static|clock, got {m}");
+            usage();
+        }),
+    };
+    Some(CacheConfig { rows, mode })
 }
 
 fn load_or_generate(flags: &HashMap<String, String>) -> Arc<SyntheticDataset> {
@@ -174,7 +194,7 @@ fn cmd_train(flags: HashMap<String, String>) {
     } else {
         ExecMode::Serial
     };
-    let cfg = PipelineConfig {
+    let mut cfg = PipelineConfig {
         batch_size: num(&flags, "batch", 128),
         hidden: num(&flags, "hidden", 64),
         num_layers: layers,
@@ -183,10 +203,17 @@ fn cmd_train(flags: HashMap<String, String>) {
     }
     .with_seed(num(&flags, "seed", 0))
     .with_exec(exec);
+    if let Some(cc) = cache_config(&flags) {
+        cfg.cache = Some(cc);
+    }
 
     let machine = Machine::new(MachineConfig::dgx_like(gpus));
+    let cache_desc = match cfg.resolved_cache() {
+        Some(cc) => format!(", {} cache of {} rows/device", cc.mode.as_str(), cc.rows),
+        None => String::new(),
+    };
     println!(
-        "training {} with {} on {} ({} GPUs simulated, {} executor)",
+        "training {} with {} on {} ({} GPUs simulated, {} executor{cache_desc})",
         model.name(),
         fw.name(),
         dataset.kind.name(),
@@ -290,7 +317,7 @@ fn cmd_multinode(flags: HashMap<String, String>) {
     let epochs: u64 = num(&flags, "epochs", 3);
     let layers: usize = num(&flags, "layers", 2);
     let fanout: usize = num(&flags, "fanout", 10);
-    let pipe_cfg = PipelineConfig {
+    let mut pipe_cfg = PipelineConfig {
         batch_size: num(&flags, "batch", 128),
         hidden: num(&flags, "hidden", 64),
         num_layers: layers,
@@ -298,6 +325,9 @@ fn cmd_multinode(flags: HashMap<String, String>) {
         ..PipelineConfig::tiny(fw, model)
     }
     .with_seed(num(&flags, "seed", 0));
+    if let Some(cc) = cache_config(&flags) {
+        pipe_cfg.cache = Some(cc);
+    }
     let sync = sync_config(&flags);
     let mode = if let Some(f) = sync.compress_topk {
         format!("top-k {:.0}% compressed sync", f * 100.0)

@@ -63,8 +63,8 @@ pub mod trainer;
 
 pub use framework::Framework;
 pub use pipeline::{
-    EpochOccupancy, EpochReport, ExecMode, FeaturePlacement, InferenceReport, Pipeline,
-    PipelineConfig,
+    CacheConfig, EpochOccupancy, EpochReport, ExecMode, FeaturePlacement, InferenceReport,
+    Pipeline, PipelineConfig,
 };
 pub use trainer::{TrainOutcome, Trainer, TrainerConfig};
 
@@ -73,11 +73,13 @@ pub mod prelude {
     pub use crate::framework::Framework;
     pub use crate::multinode::{MultiNode, MultiNodeConfig, MultiNodeEpochReport, SyncConfig};
     pub use crate::pipeline::{
-        EpochOccupancy, EpochReport, ExecMode, FeaturePlacement, Pipeline, PipelineConfig,
+        CacheConfig, EpochOccupancy, EpochReport, ExecMode, FeaturePlacement, Pipeline,
+        PipelineConfig,
     };
     pub use crate::trainer::{TrainOutcome, Trainer, TrainerConfig};
     pub use wg_gnn::{GnnConfig, GnnModel, LayerProvider, ModelKind};
     pub use wg_graph::{DatasetKind, SyntheticDataset};
+    pub use wg_mem::CacheMode;
     pub use wg_sample::SamplerConfig;
     pub use wg_sim::{Machine, MachineConfig, SimTime};
 }

@@ -2,8 +2,44 @@
 //! placement, and the executor mode.
 
 use wg_gnn::{GnnConfig, LayerProvider, ModelKind};
+use wg_mem::CacheMode;
 
 use crate::framework::Framework;
+
+/// Per-device feature-cache configuration (ROADMAP item 2): `rows` row
+/// slots per device, filled by static top-K replication or dynamic CLOCK
+/// eviction. Caching changes gather *cost only, never values* — every
+/// checksum is bit-identical with the cache on or off.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Cache row slots per device. Zero disables the cache.
+    pub rows: usize,
+    /// Replacement policy.
+    pub mode: CacheMode,
+}
+
+impl CacheConfig {
+    /// Read the cache configuration from `WG_CACHE_ROWS` /
+    /// `WG_CACHE_MODE` (the CI matrix's cache-enabled leg runs the whole
+    /// suite this way). Absent or empty `WG_CACHE_ROWS` → `None` (CI
+    /// matrices export unset legs as `""`); a present but malformed value
+    /// panics at startup, same convention as `WG_SIMD` — a typo must not
+    /// silently run the uncached path.
+    pub fn from_env() -> Option<CacheConfig> {
+        let rows = std::env::var("WG_CACHE_ROWS")
+            .ok()
+            .filter(|v| !v.is_empty())?;
+        let rows: usize = rows
+            .parse()
+            .unwrap_or_else(|_| panic!("WG_CACHE_ROWS: expected a row count, got {rows:?}"));
+        let mode = match std::env::var("WG_CACHE_MODE") {
+            Ok(m) if !m.is_empty() => CacheMode::parse(&m)
+                .unwrap_or_else(|| panic!("WG_CACHE_MODE: expected static|clock, got {m:?}")),
+            _ => CacheMode::Static,
+        };
+        Some(CacheConfig { rows, mode })
+    }
+}
 
 /// Where the node features physically live and how the training GPU
 /// reaches them — the design space the paper's introduction lays out
@@ -98,6 +134,10 @@ pub struct PipelineConfig {
     /// How epochs are scheduled onto the machine (timing only — the
     /// numerics are identical across modes).
     pub exec: ExecMode,
+    /// Per-device feature cache (WholeGraph DSM placements only).
+    /// `None` defers to the `WG_CACHE_ROWS`/`WG_CACHE_MODE` environment;
+    /// `Some` pins it programmatically (use `rows: 0` to force-disable).
+    pub cache: Option<CacheConfig>,
 }
 
 impl PipelineConfig {
@@ -117,6 +157,7 @@ impl PipelineConfig {
             provider_override: None,
             feature_placement: FeaturePlacement::DeviceP2p,
             exec: ExecMode::Serial,
+            cache: None,
         }
     }
 
@@ -136,6 +177,7 @@ impl PipelineConfig {
             provider_override: None,
             feature_placement: FeaturePlacement::DeviceP2p,
             exec: ExecMode::Serial,
+            cache: None,
         }
     }
 
@@ -161,6 +203,21 @@ impl PipelineConfig {
     pub fn with_exec(mut self, mode: ExecMode) -> Self {
         self.exec = mode;
         self
+    }
+
+    /// Pin the feature-cache configuration (overrides the environment).
+    pub fn with_cache(mut self, rows: usize, mode: CacheMode) -> Self {
+        self.cache = Some(CacheConfig { rows, mode });
+        self
+    }
+
+    /// The effective cache configuration: the explicit setting if
+    /// present, else the `WG_CACHE_*` environment, normalized so a
+    /// zero-row cache reads as disabled.
+    pub fn resolved_cache(&self) -> Option<CacheConfig> {
+        self.cache
+            .or_else(CacheConfig::from_env)
+            .filter(|c| c.rows > 0)
     }
 
     pub(crate) fn gnn_config(&self, in_dim: usize, num_classes: usize) -> GnnConfig {

@@ -46,7 +46,7 @@ pub mod executor;
 pub mod report;
 pub mod stages;
 
-pub use config::{ExecMode, FeaturePlacement, PipelineConfig};
+pub use config::{CacheConfig, ExecMode, FeaturePlacement, PipelineConfig};
 pub use executor::{executor_for, Executor, OverlappedExecutor, SerialExecutor};
 pub use report::{
     EpochOccupancy, EpochReport, InferenceReport, IterTimes, IterationResult, PhaseOccupancy,
@@ -62,7 +62,10 @@ use rand::rngs::SmallRng;
 use wg_autograd::{Adam, Optimizer, Tape};
 use wg_gnn::{GnnModel, LayerProvider};
 use wg_graph::{GlobalId, HostGraph, MultiGpuGraph, NodeId, SyntheticDataset};
-use wg_mem::gather::{global_gather_planned, plan_gather, RowPlan};
+use wg_mem::gather::{
+    global_gather_planned, global_gather_planned_cached, plan_gather, plan_gather_cached, RowPlan,
+};
+use wg_mem::{CacheMode, FeatureCache};
 use wg_sample::{
     sample_minibatch_into, GraphAccess, HostGraphAccess, MiniBatch, MultiGpuAccess, SampleScratch,
     SampleStats, SamplerConfig,
@@ -169,6 +172,11 @@ pub struct Pipeline {
     setup_time: SimTime,
     sampler_cfg: SamplerConfig,
     scratch: IterScratch,
+    /// The per-device feature cache over the DSM store (ROADMAP item 2).
+    /// Present only for WholeGraph device placements with a non-zero
+    /// [`CacheConfig`]; cost-only — numerics are identical with or
+    /// without it.
+    cache: Option<FeatureCache<f32>>,
     /// Present when this pipeline is one replica of a multi-node run.
     pub(crate) dist: Option<DistContext>,
     /// Snapshot of the freshly initialized parameters, so
@@ -247,6 +255,17 @@ impl Pipeline {
             .ids()
             .map(|id| model.params.value(id).clone())
             .collect();
+        // The feature cache sits over the DSM store only: host pipelines
+        // gather on the CPU, and HostMapped keeps no device features to
+        // cache.
+        let cache = match (&store, cfg.resolved_cache()) {
+            (StoreImpl::Dsm(s), Some(cc))
+                if cfg.feature_placement != FeaturePlacement::HostMapped =>
+            {
+                Some(Self::build_cache(s, cc, machine.num_gpus()))
+            }
+            _ => None,
+        };
         Ok(Pipeline {
             cfg,
             machine,
@@ -258,9 +277,29 @@ impl Pipeline {
             setup_time,
             sampler_cfg,
             scratch: IterScratch::default(),
+            cache,
             dist: None,
             init_params,
         })
+    }
+
+    /// Build the configured feature cache over the DSM feature store.
+    /// Static mode ranks rows by vertex degree — the load-time hotness
+    /// signal: neighbor sampling revisits high-degree vertices far more
+    /// often than the tail. The `+1` keeps isolated real vertices ahead
+    /// of the DSM padding rows (which stay at hotness 0 and are never
+    /// pinned).
+    fn build_cache(store: &MultiGpuGraph, cc: CacheConfig, gpus: u32) -> FeatureCache<f32> {
+        match cc.mode {
+            CacheMode::Static => {
+                let mut hotness = vec![0u64; store.features().rows()];
+                for v in 0..store.num_nodes() as NodeId {
+                    hotness[store.feature_row(v)] = store.degree(v) as u64 + 1;
+                }
+                FeatureCache::new_static(store.features(), &hotness, cc.rows)
+            }
+            CacheMode::Clock => FeatureCache::new_clock(store.features(), gpus, cc.rows),
+        }
     }
 
     /// Attach the multi-node execution context (machine rank, feature
@@ -414,7 +453,14 @@ impl Pipeline {
     /// (no `dist` context, one rank, or no halo rows) — the numerics are
     /// untouched either way (the values come from the local replica; the
     /// exchange only costs time, per the repo's caching convention).
-    fn halo_time(&mut self, input: &[u64]) -> SimTime {
+    ///
+    /// `rank` is the GPU executing this iteration's gather: halo rows
+    /// already resident in that device's feature cache skip the IB fetch
+    /// (the cached copy serves them locally). Membership is tested
+    /// *before* this iteration's gather runs, so CLOCK inserts from the
+    /// current batch never retroactively discount its own halo cost —
+    /// the check stays deterministic.
+    fn halo_time(&mut self, input: &[u64], rank: u32) -> SimTime {
         let (nodes, home) = match &self.dist {
             Some(d) => (d.partition.ranks(), d.node),
             None => return SimTime::ZERO,
@@ -423,12 +469,17 @@ impl Pipeline {
             return SimTime::ZERO;
         }
         let dist = self.dist.as_ref().unwrap();
+        let cache = self.cache.as_ref();
         let halo = match &self.store {
             StoreImpl::Dsm(s) => input
                 .iter()
                 .filter(|&&h| {
-                    let v = s.partition().node_of(GlobalId::from_raw(h));
-                    dist.partition.rank_of(v) != home
+                    let g = GlobalId::from_raw(h);
+                    let v = s.partition().node_of(g);
+                    if dist.partition.rank_of(v) == home {
+                        return false;
+                    }
+                    !cache.is_some_and(|c| c.contains(rank, s.feature_row_of_global(g)))
                 })
                 .count() as u64,
             StoreImpl::Host(_) => input
@@ -457,7 +508,11 @@ impl Pipeline {
     /// simulated phase time (including any machine-level halo fetch).
     fn gather(&mut self, mb: &MiniBatch, iter: u64) -> (Matrix, SimTime) {
         let feat_dim = self.dataset.feature_dim;
-        let t_halo = self.halo_time(mb.input_nodes());
+        // The GPU executing this iteration's gather (iterations round-robin
+        // across the data-parallel ranks) — also the device whose feature
+        // cache the halo accounting consults.
+        let rank = (iter % self.machine.num_gpus() as u64) as u32;
+        let t_halo = self.halo_time(mb.input_nodes(), rank);
         let input = mb.input_nodes();
         wg_trace::counter!(
             "pipeline.gather.feature_bytes",
@@ -499,21 +554,35 @@ impl Pipeline {
                 let mut out = std::mem::take(&mut self.scratch.feature_buf);
                 out.clear();
                 out.resize(rows.len() * feat_dim, 0.0);
-                let rank = (iter % self.machine.num_gpus() as u64) as u32;
                 // Planned gather: row locations are resolved once into the
                 // pooled plan (division-free locator, guards hoisted out of
                 // the copy loop), then the copy kernel runs straight off
-                // the plan's slots.
+                // the plan's slots. With a feature cache attached, planning
+                // consults it first: hits are priced at local-HBM cost and
+                // skip the bus; misses fall through to the DSM path.
                 let mut plan = std::mem::take(&mut self.scratch.plan);
-                plan_gather(s.features(), &rows, &mut plan);
-                let stats = global_gather_planned(
-                    s.features(),
-                    &plan,
-                    &mut out,
-                    rank,
-                    self.machine.cost(),
-                    self.machine.spec(wg_sim::DeviceId::Gpu(rank)),
-                );
+                let stats = if let Some(cache) = self.cache.as_mut() {
+                    plan_gather_cached(s.features(), &rows, &mut plan, cache, rank);
+                    global_gather_planned_cached(
+                        s.features(),
+                        &plan,
+                        &mut out,
+                        rank,
+                        self.machine.cost(),
+                        self.machine.spec(wg_sim::DeviceId::Gpu(rank)),
+                        cache,
+                    )
+                } else {
+                    plan_gather(s.features(), &rows, &mut plan);
+                    global_gather_planned(
+                        s.features(),
+                        &plan,
+                        &mut out,
+                        rank,
+                        self.machine.cost(),
+                        self.machine.spec(wg_sim::DeviceId::Gpu(rank)),
+                    )
+                };
                 let num_rows = rows.len();
                 self.scratch.plan = plan;
                 self.scratch.gather_rows = rows;
@@ -931,6 +1000,7 @@ mod tests {
             provider_override: None,
             feature_placement: FeaturePlacement::DeviceP2p,
             exec: ExecMode::Serial,
+            cache: None,
         };
         Pipeline::new(machine, dataset, cfg).unwrap()
     }
@@ -1145,6 +1215,66 @@ mod tests {
         let um = results[2].1.times.gather;
         assert!(p2p < mapped, "P2P {p2p} !< host-mapped {mapped}");
         assert!(mapped < um, "host-mapped {mapped} !< UM {um}");
+    }
+
+    /// Train two epochs with an explicitly pinned cache config (`None`
+    /// pins the cache *off* — these tests must not inherit a CI matrix
+    /// leg's `WG_CACHE_ROWS`) and return the second epoch's report: the
+    /// small batch gives every rank several iterations, so epoch 0 warms
+    /// a CLOCK cache and epoch 1 measures it in steady state.
+    fn epoch_with_cache(cache: Option<(usize, CacheMode)>) -> EpochReport {
+        let machine = Machine::new(MachineConfig::dgx_like(4));
+        let (rows, mode) = cache.unwrap_or((0, CacheMode::Static));
+        let mut cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage)
+            .with_seed(11)
+            .with_cache(rows, mode);
+        cfg.batch_size = 16;
+        let mut p = Pipeline::new(machine, dataset(), cfg).unwrap();
+        p.train_epoch(0);
+        p.train_epoch(1)
+    }
+
+    #[test]
+    fn epoch_numerics_are_bit_identical_with_any_cache() {
+        // The cache contract at pipeline scope: every mode × size
+        // (disabled, small, ≥ working set) trains to bit-identical loss
+        // and accuracy — caching moves cost, never values.
+        let base = epoch_with_cache(None);
+        for mode in [CacheMode::Static, CacheMode::Clock] {
+            for rows in [0usize, 64, 1_000_000] {
+                let r = epoch_with_cache(Some((rows, mode)));
+                assert_eq!(
+                    base.loss.to_bits(),
+                    r.loss.to_bits(),
+                    "{mode:?} cache of {rows} rows changed the loss"
+                );
+                assert_eq!(base.train_accuracy, r.train_accuracy, "{mode:?}/{rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_cut_gather_and_epoch_time() {
+        let base = epoch_with_cache(None);
+        for mode in [CacheMode::Static, CacheMode::Clock] {
+            let cached = epoch_with_cache(Some((512, mode)));
+            assert!(
+                cached.gather_time < base.gather_time,
+                "{mode:?}: cached gather {} !< uncached {}",
+                cached.gather_time,
+                base.gather_time
+            );
+            assert!(
+                cached.epoch_time < base.epoch_time,
+                "{mode:?}: cached epoch {} !< uncached {}",
+                cached.epoch_time,
+                base.epoch_time
+            );
+        }
+        // A zero-capacity cache is cost-identical to no cache at all.
+        let off = epoch_with_cache(Some((0, CacheMode::Clock)));
+        assert_eq!(off.gather_time, base.gather_time);
+        assert_eq!(off.epoch_time, base.epoch_time);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use wg_sim::device::DeviceSpec;
 use wg_sim::{CostModel, SimTime};
 
 use crate::access::{ChunkLocator, Element};
+use crate::cache::{CacheMode, FeatureCache};
 use crate::handle::WholeMemory;
 
 /// Statistics of one global gather.
@@ -25,7 +26,8 @@ use crate::handle::WholeMemory;
 pub struct GatherStats {
     /// Rows gathered.
     pub rows: usize,
-    /// Rows that were local to the executing device.
+    /// Rows that were local to the executing device (cache hits count as
+    /// local — they are served from the device's own HBM).
     pub local_rows: usize,
     /// Rows pulled from peer devices (these cross the bus).
     pub remote_rows: usize,
@@ -34,6 +36,13 @@ pub struct GatherStats {
     /// Bytes that actually crossed NVLink (remote rows only) — the
     /// numerator of BusBW.
     pub bus_bytes: u64,
+    /// Rows served out of the per-device feature cache (zero on the
+    /// uncached path).
+    pub cache_hits: usize,
+    /// Bytes that would have crossed the bus had their rows not been
+    /// cached: cache hits whose owning rank is not the executing device,
+    /// times the row size.
+    pub saved_bus_bytes: u64,
     /// Simulated duration of the gather kernel.
     pub sim_time: SimTime,
 }
@@ -48,13 +57,38 @@ impl GatherStats {
     pub fn bus_bandwidth(&self) -> f64 {
         self.bus_bytes as f64 / self.sim_time.as_secs()
     }
+
+    /// Fraction of gathered rows served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.rows as f64
+        }
+    }
 }
+
+/// Sentinel "owning rank" marking a planned row served from the
+/// executing device's feature cache; `start` is then an offset into the
+/// cache store rather than a region.
+const CACHE_RANK: u32 = u32::MAX;
 
 /// One gather row resolved to its owning region and element offset.
 #[derive(Clone, Copy, Debug)]
 struct PlannedRow {
     rank: u32,
     start: usize,
+}
+
+/// A CLOCK fill scheduled at plan time: at execute time the row at
+/// `src_start` of `src_rank`'s region is copied into cache slot `slot`
+/// *before* the output copy loop, so later same-batch hits on the row
+/// read valid data.
+#[derive(Clone, Copy, Debug)]
+struct PlannedInsert {
+    slot: u32,
+    src_rank: u32,
+    src_start: usize,
 }
 
 /// A precomputed gather plan: the address translation of
@@ -71,12 +105,28 @@ pub struct RowPlan {
     rank_counts: Vec<usize>,
     locator: Option<ChunkLocator>,
     width: usize,
+    /// CLOCK fills scheduled this batch (empty on the uncached path and
+    /// in static mode).
+    inserts: Vec<PlannedInsert>,
+    /// Planned rows served from the cache.
+    cache_hits: usize,
+    /// Cache hits whose owning rank is not the executing device (the
+    /// rows whose bus crossing the cache saved).
+    cache_remote_hits: usize,
+    /// Whether this plan was built by [`plan_gather_cached`] — routes the
+    /// per-call stats into the `mem.cache.*` metrics.
+    cached: bool,
 }
 
 impl RowPlan {
     /// Rows this plan gathers.
     pub fn rows(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Rows this plan serves from the feature cache.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
     }
 }
 
@@ -97,6 +147,10 @@ pub fn plan_gather<T: Element>(wm: &WholeMemory<T>, indices: &[usize], plan: &mu
     plan.rank_counts.resize(partition.ranks as usize, 0);
     plan.slots.clear();
     plan.slots.reserve(indices.len());
+    plan.inserts.clear();
+    plan.cache_hits = 0;
+    plan.cache_remote_hits = 0;
+    plan.cached = false;
     for &row in indices {
         let loc = locator.locate(row);
         plan.rank_counts[loc.device_rank as usize] += 1;
@@ -104,6 +158,79 @@ pub fn plan_gather<T: Element>(wm: &WholeMemory<T>, indices: &[usize], plan: &mu
             rank: loc.device_rank,
             start: loc.local_row * width,
         });
+    }
+}
+
+/// Resolve `indices` into a [`RowPlan`], consulting `cache` (the cache
+/// of the device `executing_rank`) first: hits are planned against the
+/// cache store, misses fall through to the owning region exactly as in
+/// [`plan_gather`]. In [`CacheMode::Clock`] mode, misses also claim a
+/// cache slot here — the whole consult/insert loop is sequential, so
+/// eviction order is identical at any worker count.
+///
+/// The plan is bound to `executing_rank`'s cache: execute it with
+/// [`global_gather_planned_cached`] passing the same cache and rank.
+/// With a warm plan this path is allocation-free except for CLOCK
+/// insert-list growth beyond previously seen capacity.
+pub fn plan_gather_cached<T: Element>(
+    wm: &WholeMemory<T>,
+    indices: &[usize],
+    plan: &mut RowPlan,
+    cache: &mut FeatureCache<T>,
+    executing_rank: u32,
+) {
+    let partition = wm.partition();
+    if plan
+        .locator
+        .as_ref()
+        .is_none_or(|l| l.partition() != partition)
+    {
+        plan.locator = Some(ChunkLocator::new(partition));
+    }
+    let locator = plan.locator.as_ref().unwrap();
+    let width = wm.width();
+    assert_eq!(cache.width(), width, "cache built for a different width");
+    plan.width = width;
+    plan.rank_counts.clear();
+    plan.rank_counts.resize(partition.ranks as usize, 0);
+    plan.slots.clear();
+    plan.slots.reserve(indices.len());
+    plan.inserts.clear();
+    plan.cache_hits = 0;
+    plan.cache_remote_hits = 0;
+    plan.cached = true;
+    let fill_on_miss = cache.mode() == CacheMode::Clock;
+    let dc = cache.device_mut(executing_rank);
+    dc.begin_batch();
+    for &row in indices {
+        let loc = locator.locate(row);
+        if let Some(slot) = dc.lookup(row) {
+            dc.touch(slot);
+            plan.cache_hits += 1;
+            if loc.device_rank != executing_rank {
+                plan.cache_remote_hits += 1;
+            }
+            plan.slots.push(PlannedRow {
+                rank: CACHE_RANK,
+                start: slot as usize * width,
+            });
+        } else {
+            plan.rank_counts[loc.device_rank as usize] += 1;
+            let start = loc.local_row * width;
+            plan.slots.push(PlannedRow {
+                rank: loc.device_rank,
+                start,
+            });
+            if fill_on_miss {
+                if let Some(slot) = dc.insert(row) {
+                    plan.inserts.push(PlannedInsert {
+                        slot,
+                        src_rank: loc.device_rank,
+                        src_start: start,
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -137,6 +264,39 @@ pub fn global_gather_planned<T: Element>(
     model: &CostModel,
     spec: &DeviceSpec,
 ) -> GatherStats {
+    assert!(
+        !plan.cached,
+        "plan consulted a cache; execute it with global_gather_planned_cached"
+    );
+    execute_planned(wm, plan, out, executing_rank, model, spec, None)
+}
+
+/// Execute a plan built by [`plan_gather_cached`]: cache hits copy out
+/// of `cache`'s store at local-HBM cost, misses copy from their owning
+/// regions at DSM cost, and this batch's CLOCK fills land in the cache
+/// first so same-batch re-references read valid data. `cache` and
+/// `executing_rank` must be the ones the plan was built with.
+pub fn global_gather_planned_cached<T: Element>(
+    wm: &WholeMemory<T>,
+    plan: &RowPlan,
+    out: &mut [T],
+    executing_rank: u32,
+    model: &CostModel,
+    spec: &DeviceSpec,
+    cache: &mut FeatureCache<T>,
+) -> GatherStats {
+    execute_planned(wm, plan, out, executing_rank, model, spec, Some(cache))
+}
+
+fn execute_planned<T: Element>(
+    wm: &WholeMemory<T>,
+    plan: &RowPlan,
+    out: &mut [T],
+    executing_rank: u32,
+    model: &CostModel,
+    spec: &DeviceSpec,
+    mut cache: Option<&mut FeatureCache<T>>,
+) -> GatherStats {
     let _span = wg_trace::span!("mem.gather");
     let width = wm.width();
     assert_eq!(plan.width, width, "plan was built for a different width");
@@ -148,31 +308,71 @@ pub fn global_gather_planned<T: Element>(
     let regions = wm.read_all();
     let level = wg_tensor::simd::level();
 
+    // Apply this batch's CLOCK fills before the copy loop: a hit planned
+    // after the miss that claimed the slot must read the freshly cached
+    // values. Slots in the insert list are unique (a just-filled slot is
+    // stamped with the current batch and cannot be re-evicted), so the
+    // sequential fill order is immaterial.
+    if let Some(cache) = cache.as_deref_mut() {
+        if !plan.inserts.is_empty() {
+            let dc = cache.device_mut(executing_rank);
+            for ins in &plan.inserts {
+                let src = regions.region(ins.src_rank as usize);
+                let slot = ins.slot as usize;
+                wg_tensor::simd::copy_slice(
+                    level,
+                    &mut dc.data[slot * width..(slot + 1) * width],
+                    &src[ins.src_start..ins.src_start + width],
+                );
+            }
+        }
+    }
+    let cache_store: &[T] = cache
+        .as_deref()
+        .map(|c| c.device(executing_rank).data.as_slice())
+        .unwrap_or(&[]);
+
     // The "kernel": every thread block copies one output row from the
-    // owning region through the pointer table. All address translation
-    // already happened at plan time; the guard table is inline (no heap
-    // allocation at ≤ 16 ranks) and the row copy streams through the
-    // SIMD path.
+    // owning region through the pointer table (or from the device's own
+    // cache store for hits). All address translation already happened at
+    // plan time; the guard table is inline (no heap allocation at ≤ 16
+    // ranks) and the row copy streams through the SIMD path.
     out.par_chunks_mut(width.max(1))
         .zip(plan.slots.par_iter())
         .for_each(|(dst, slot)| {
-            let src = regions.region(slot.rank as usize);
+            let src = if slot.rank == CACHE_RANK {
+                cache_store
+            } else {
+                regions.region(slot.rank as usize)
+            };
             wg_tensor::simd::copy_slice(level, dst, &src[slot.start..slot.start + width]);
         });
 
     let rows = plan.rows();
-    let local_rows = plan
+    let hit_rows = plan.cache_hits;
+    let miss_rows = rows - hit_rows;
+    let miss_local = plan
         .rank_counts
         .get(executing_rank as usize)
         .copied()
         .unwrap_or(0);
+    // Cache hits are served from the executing device's HBM: local by
+    // construction, whoever owns the row's home region.
+    let local_rows = miss_local + hit_rows;
     let remote_rows = rows - local_rows;
     let row_bytes = width * std::mem::size_of::<T>();
     let algo_bytes = (rows * row_bytes) as u64;
     let bus_bytes = (remote_rows * row_bytes) as u64;
+    let saved_bus_bytes = (plan.cache_remote_hits * row_bytes) as u64;
 
+    // Hits ride the same kernel but stream out of local HBM; only the
+    // misses pay the DSM price. With no cache (hit_rows == 0) both terms
+    // reduce to exactly the uncached formula.
+    let hit_time = model.hbm_gather_time(hit_rows as u64, row_bytes, spec);
     let sim_time = match wm.mode() {
-        AccessMode::PeerAccess => model.dsm_gather_time(rows as u64, row_bytes, spec),
+        AccessMode::PeerAccess => {
+            model.dsm_gather_time(miss_rows as u64, row_bytes, spec) + hit_time
+        }
         AccessMode::UnifiedMemory => {
             // Every remote row triggers a page fault serviced by the host;
             // faults for distinct rows overlap poorly because the fault
@@ -186,7 +386,7 @@ pub fn global_gather_planned<T: Element>(
             let pages = remote_rows as u64 * row_bytes.div_ceil(page) as u64;
             let migrate =
                 SimTime::from_secs((pages * page as u64) as f64 / model.topology.nvlink_bandwidth);
-            SimTime::from_secs(spec.kernel_launch_overhead_s) + fault_time + migrate
+            SimTime::from_secs(spec.kernel_launch_overhead_s) + fault_time + migrate + hit_time
         }
     };
 
@@ -196,15 +396,24 @@ pub fn global_gather_planned<T: Element>(
         remote_rows,
         algo_bytes,
         bus_bytes,
+        cache_hits: hit_rows,
+        saved_bus_bytes,
         sim_time,
     };
     record_gather_metrics(&stats, model);
+    if plan.cached {
+        record_cache_metrics(&stats);
+    }
     stats
 }
 
 /// Rows-per-gather histogram bucket bounds (mini-batch input sets run
-/// from hundreds of rows at toy scale to ~100k at paper fanouts).
-const ROWS_BUCKETS: [f64; 8] = [256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1e6, 4e6];
+/// from hundreds of rows at toy scale to ~100k at paper fanouts). The
+/// 2048/8192 edges split the band where the wallclock epoch's batches
+/// land — without them 90% of calls piled into one `le: 4096` bucket.
+const ROWS_BUCKETS: [f64; 10] = [
+    256.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0, 65536.0, 262144.0, 1e6, 4e6,
+];
 /// Link-utilization histogram bounds (fraction of peak NVLink bandwidth
 /// the gather's bus traffic achieved).
 const LINK_UTIL_BUCKETS: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
@@ -229,6 +438,25 @@ fn record_gather_metrics(stats: &GatherStats, model: &CostModel) {
             &LINK_UTIL_BUCKETS,
             stats.bus_bandwidth() / model.topology.nvlink_bandwidth
         );
+    }
+}
+
+/// Per-call hit-rate histogram bounds.
+const HIT_RATE_BUCKETS: [f64; 6] = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+
+/// Accrue one cached gather's statistics into the `mem.cache.*` metrics.
+/// Hits and misses partition the gathered rows, so summed over a run
+/// `mem.cache.hits + mem.cache.misses == mem.gather.rows` whenever every
+/// gather went through the cached path.
+fn record_cache_metrics(stats: &GatherStats) {
+    if !wg_trace::metrics_enabled() {
+        return;
+    }
+    wg_trace::counter!("mem.cache.hits", stats.cache_hits as f64);
+    wg_trace::counter!("mem.cache.misses", (stats.rows - stats.cache_hits) as f64);
+    wg_trace::counter!("mem.cache.saved_bus_bytes", stats.saved_bus_bytes as f64);
+    if stats.rows > 0 {
+        wg_trace::histogram!("mem.cache.hit_rate", &HIT_RATE_BUCKETS, stats.hit_rate());
     }
 }
 
@@ -408,6 +636,133 @@ mod tests {
         }
     }
 
+    /// Gather `indices` through a cache and through the plain path; the
+    /// values must be bit-identical. Returns (cached stats, plain stats).
+    fn gather_both_ways(
+        wm: &WholeMemory<f32>,
+        cache: &mut FeatureCache<f32>,
+        indices: &[usize],
+        rank: u32,
+        model: &CostModel,
+        spec: &DeviceSpec,
+    ) -> (GatherStats, GatherStats) {
+        let width = wm.width();
+        let mut plan = RowPlan::default();
+        let mut cached = vec![0.0f32; indices.len() * width];
+        let mut plain = vec![0.0f32; indices.len() * width];
+        plan_gather_cached(wm, indices, &mut plan, cache, rank);
+        let sc = global_gather_planned_cached(wm, &plan, &mut cached, rank, model, spec, cache);
+        let sp = global_gather(wm, indices, &mut plain, rank, model, spec);
+        assert_eq!(cached, plain, "cache changed gathered values");
+        (sc, sp)
+    }
+
+    #[test]
+    fn static_cache_preserves_values_and_cuts_remote_rows() {
+        let (wm, model, spec) = setup(1000, 16, 8, AccessMode::PeerAccess);
+        // Hot set = rows 0..100; the access stream is 80% hot.
+        let hot: Vec<u64> = (0..1000).map(|r| if r < 100 { 10 } else { 0 }).collect();
+        let mut cache = FeatureCache::new_static(&wm, &hot, 100);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let indices: Vec<usize> = (0..500)
+            .map(|_| {
+                if rng.gen_bool(0.8) {
+                    rng.gen_range(0..100)
+                } else {
+                    rng.gen_range(100..1000)
+                }
+            })
+            .collect();
+        let (sc, sp) = gather_both_ways(&wm, &mut cache, &indices, 2, &model, &spec);
+        let expected_hits = indices.iter().filter(|&&r| r < 100).count();
+        assert_eq!(sc.cache_hits, expected_hits);
+        assert_eq!(sc.rows, sp.rows);
+        assert_eq!(sc.local_rows + sc.remote_rows, sc.rows);
+        assert!(
+            sc.remote_rows < sp.remote_rows / 2,
+            "hot-set cache should halve remote rows: {} vs {}",
+            sc.remote_rows,
+            sp.remote_rows
+        );
+        assert!(sc.bus_bytes < sp.bus_bytes);
+        assert!(sc.sim_time < sp.sim_time, "hits must be cheaper than DSM");
+        // Saved bytes = remote-owned hits × row bytes; rank 2 owns rows
+        // 250..375, so every hit (rows < 100) was remote-owned.
+        assert_eq!(sc.saved_bus_bytes, (expected_hits * 16 * 4) as u64);
+        assert_eq!(sc.bus_bytes + sc.saved_bus_bytes, sp.bus_bytes);
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_cost_identical_to_uncached() {
+        let (wm, model, spec) = setup(500, 8, 4, AccessMode::PeerAccess);
+        let mut cache = FeatureCache::new_clock(&wm, 4, 0);
+        let indices: Vec<usize> = (0..300).map(|i| (i * 7) % 500).collect();
+        let (sc, sp) = gather_both_ways(&wm, &mut cache, &indices, 1, &model, &spec);
+        assert_eq!(sc.cache_hits, 0);
+        assert_eq!(sc.saved_bus_bytes, 0);
+        assert_eq!(sc.remote_rows, sp.remote_rows);
+        assert_eq!(sc.bus_bytes, sp.bus_bytes);
+        assert_eq!(sc.sim_time, sp.sim_time);
+    }
+
+    #[test]
+    fn clock_cache_warms_to_full_hits_at_working_set_size() {
+        let (wm, model, spec) = setup(400, 8, 4, AccessMode::PeerAccess);
+        // Capacity ≥ working set: after one pass everything is resident.
+        let mut cache = FeatureCache::new_clock(&wm, 4, 128);
+        let working_set: Vec<usize> = (0..100).map(|i| i * 3).collect();
+        let (first, _) = gather_both_ways(&wm, &mut cache, &working_set, 0, &model, &spec);
+        assert_eq!(first.cache_hits, 0, "cold cache");
+        let (second, plain) = gather_both_ways(&wm, &mut cache, &working_set, 0, &model, &spec);
+        assert_eq!(second.cache_hits, working_set.len());
+        assert_eq!(second.remote_rows, 0);
+        assert_eq!(second.bus_bytes, 0);
+        assert!(second.sim_time < plain.sim_time);
+        // A different device's cache is still cold.
+        let (other, _) = gather_both_ways(&wm, &mut cache, &working_set, 3, &model, &spec);
+        assert_eq!(other.cache_hits, 0);
+    }
+
+    #[test]
+    fn clock_same_batch_reuse_hits_the_fresh_insert() {
+        let (wm, model, spec) = setup(100, 4, 4, AccessMode::PeerAccess);
+        let mut cache = FeatureCache::new_clock(&wm, 1, 16);
+        // Row 42 appears three times in one batch: miss+insert, then two
+        // hits that must read the values the insert wrote.
+        let indices = vec![42usize, 7, 42, 42, 9];
+        let (stats, _) = gather_both_ways(&wm, &mut cache, &indices, 0, &model, &spec);
+        assert_eq!(stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn um_mode_cache_hits_skip_fault_costs() {
+        let (wm, model, spec) = setup(512, 16, 8, AccessMode::UnifiedMemory);
+        let hot: Vec<u64> = (0..512).map(|r| if r < 64 { 1 } else { 0 }).collect();
+        let mut cache = FeatureCache::new_static(&wm, &hot, 64);
+        // Execute on rank 3: rows 0..64 all live on rank 0, so every
+        // uncached access is a remote fault.
+        let indices: Vec<usize> = (0..256).map(|i| i % 64).collect();
+        let (sc, sp) = gather_both_ways(&wm, &mut cache, &indices, 3, &model, &spec);
+        assert_eq!(sc.cache_hits, indices.len());
+        assert!(
+            sp.sim_time / sc.sim_time > 10.0,
+            "UM fault storm should dwarf HBM hits: {} vs {}",
+            sp.sim_time,
+            sc.sim_time
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "global_gather_planned_cached")]
+    fn cached_plan_rejected_by_plain_execute() {
+        let (wm, model, spec) = setup(100, 4, 4, AccessMode::PeerAccess);
+        let mut cache = FeatureCache::new_clock(&wm, 4, 8);
+        let mut plan = RowPlan::default();
+        plan_gather_cached(&wm, &[1, 2, 3], &mut plan, &mut cache, 0);
+        let mut out = vec![0.0f32; 12];
+        global_gather_planned(&wm, &plan, &mut out, 0, &model, &spec);
+    }
+
     #[test]
     #[should_panic(expected = "wrong size")]
     fn wrong_output_size_panics() {
@@ -442,6 +797,56 @@ mod tests {
             for (i, &row) in indices.iter().enumerate() {
                 for j in 0..width {
                     prop_assert_eq!(out[i * width + j], (row * 37 + j) as f32);
+                }
+            }
+        }
+
+        /// For any shape, mode and capacity: cached gathers return the
+        /// exact uncached values, and hits + misses partition the rows
+        /// (`stats.cache_hits + (mem.cache.misses contribution) == rows`).
+        #[test]
+        fn cached_gather_preserves_values_and_partitions_rows(
+            rows in 1usize..300,
+            width in 1usize..16,
+            ranks in 1u32..8,
+            capacity in 0usize..64,
+            seed in 0u64..1000,
+        ) {
+            let clock = seed % 2 == 0;
+            let model = CostModel::dgx_a100();
+            let wm = WholeMemory::<f32>::allocate(&model, ranks, rows, width, AccessMode::PeerAccess);
+            wm.init_rows(|row, out| {
+                for (j, v) in out.iter_mut().enumerate() {
+                    *v = (row * 37 + j) as f32;
+                }
+            });
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let hot: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..10)).collect();
+            let mut cache = if clock {
+                FeatureCache::new_clock(&wm, ranks, capacity)
+            } else {
+                FeatureCache::new_static(&wm, &hot, capacity)
+            };
+            let spec = DeviceSpec::a100_40gb();
+            let mut plan = RowPlan::default();
+            // Several batches so CLOCK actually warms and evicts.
+            for _ in 0..3 {
+                let n = rng.gen_range(1..=rows * 2);
+                let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..rows)).collect();
+                let rank = rng.gen_range(0..ranks);
+                let mut out = vec![0.0f32; n * width];
+                plan_gather_cached(&wm, &indices, &mut plan, &mut cache, rank);
+                let stats =
+                    global_gather_planned_cached(&wm, &plan, &mut out, rank, &model, &spec, &mut cache);
+                prop_assert_eq!(stats.rows, n);
+                prop_assert!(stats.cache_hits <= n);
+                prop_assert_eq!(stats.cache_hits + (stats.rows - stats.cache_hits), stats.rows);
+                prop_assert_eq!(stats.local_rows + stats.remote_rows, n);
+                prop_assert!(stats.saved_bus_bytes <= (stats.cache_hits * width * 4) as u64);
+                for (i, &row) in indices.iter().enumerate() {
+                    for j in 0..width {
+                        prop_assert_eq!(out[i * width + j], (row * 37 + j) as f32);
+                    }
                 }
             }
         }

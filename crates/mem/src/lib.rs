@@ -18,6 +18,10 @@
 //!   translation;
 //! * [`gather`] — the **one-kernel global gather** of §III-C3 (each GPU
 //!   directly reads peer memory; NVLink handles the communication);
+//! * [`cache`] — the hotness-aware per-device feature cache (static
+//!   replication of the top-K hot set, or dynamic CLOCK eviction) that
+//!   turns remote gathers into local-HBM hits — cost changes, values
+//!   never do;
 //! * [`nccl`] — the 5-step distributed-memory gather baseline of Figure 4
 //!   (bucket → exchange counts → alltoallv IDs → local gather → alltoallv
 //!   features → reorder), used by Figure 10;
@@ -30,6 +34,7 @@
 //! [`wg_sim`].
 
 pub mod access;
+pub mod cache;
 pub mod embedding;
 pub mod gather;
 pub mod halo;
@@ -39,8 +44,12 @@ pub mod nccl;
 pub mod probe;
 
 pub use access::{ChunkLocator, Element};
+pub use cache::{CacheMode, FeatureCache};
 pub use embedding::EmbeddingTable;
-pub use gather::{global_gather_planned, plan_gather, GatherStats, RowPlan};
+pub use gather::{
+    global_gather_planned, global_gather_planned_cached, plan_gather, plan_gather_cached,
+    GatherStats, RowPlan,
+};
 pub use halo::{count_halo_rows, halo_exchange, HaloStats};
 pub use handle::{RegionView, WholeMemory};
 pub use ipc::{IpcHandle, MemoryPointerTable, SetupReport};

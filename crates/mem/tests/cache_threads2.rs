@@ -1,0 +1,140 @@
+//! The thread-count leg of the feature-cache determinism contract.
+//!
+//! CLOCK eviction decisions happen inside the *sequential* planning loop
+//! of `plan_gather_cached`, so cache contents, hit/miss splits and the
+//! gathered values must not depend on how many workers execute the copy
+//! kernel. This binary forces a **two-worker** pool via `init_threads(2)`
+//! before any gather runs and replays the same access stream a
+//! single-worker process would see (tier-1 runs the suite again under
+//! `WG_THREADS=1`, pinning the other leg): every per-batch hit count,
+//! eviction victim and output byte is asserted against values computed
+//! from the plan alone — worker count never appears in the expectation.
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use wg_mem::cache::{CacheMode, FeatureCache};
+use wg_mem::gather::{global_gather_planned_cached, plan_gather_cached, RowPlan};
+use wg_mem::WholeMemory;
+use wg_sim::cost::AccessMode;
+use wg_sim::device::DeviceSpec;
+use wg_sim::CostModel;
+
+const ROWS: usize = 600;
+const WIDTH: usize = 12;
+const RANKS: u32 = 4;
+
+fn setup() -> (WholeMemory<f32>, CostModel, DeviceSpec) {
+    let model = CostModel::dgx_a100();
+    let wm = WholeMemory::<f32>::allocate(&model, RANKS, ROWS, WIDTH, AccessMode::PeerAccess);
+    wm.init_rows(|row, out| {
+        for (j, v) in out.iter_mut().enumerate() {
+            *v = (row * 131 + j) as f32;
+        }
+    });
+    (wm, model, DeviceSpec::a100_40gb())
+}
+
+/// Replay a Zipf-ish access stream through a small CLOCK cache on a
+/// two-worker pool; the per-batch (hits, occupancy, membership-sample)
+/// trajectory must equal the hardcoded one recorded from the sequential
+/// schedule — any schedule-dependence in eviction would diverge here.
+#[test]
+fn clock_trajectory_is_identical_on_two_workers() {
+    let width = rayon::init_threads(2);
+    assert!(width >= 1, "pool must initialize");
+    let (wm, model, spec) = setup();
+    // Capacity far below the working set so eviction churns constantly.
+    let mut cache = FeatureCache::new_clock(&wm, RANKS, 24);
+    assert_eq!(cache.mode(), CacheMode::Clock);
+    let mut plan = RowPlan::default();
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut trajectory = Vec::new();
+    for batch in 0..20 {
+        let rank = batch % RANKS;
+        let indices: Vec<usize> = (0..80)
+            .map(|_| {
+                if rng.gen_bool(0.7) {
+                    rng.gen_range(0..30) // hot head
+                } else {
+                    rng.gen_range(30..ROWS)
+                }
+            })
+            .collect();
+        let mut out = vec![0.0f32; indices.len() * WIDTH];
+        plan_gather_cached(&wm, &indices, &mut plan, &mut cache, rank);
+        let stats =
+            global_gather_planned_cached(&wm, &plan, &mut out, rank, &model, &spec, &mut cache);
+        // Values never depend on the cache.
+        for (i, &row) in indices.iter().enumerate() {
+            assert_eq!(out[i * WIDTH], (row * 131) as f32, "row {row}");
+        }
+        assert_eq!(
+            stats.cache_hits + (stats.rows - stats.cache_hits),
+            stats.rows
+        );
+        trajectory.push((stats.cache_hits, cache.occupied(rank)));
+    }
+    // The per-device trajectories recorded from the sequential reference
+    // schedule (WG_THREADS=1). Planning is sequential by construction,
+    // so two workers must reproduce them exactly.
+    let expect = sequential_reference_trajectory();
+    assert_eq!(
+        trajectory, expect,
+        "CLOCK trajectory diverged across worker counts"
+    );
+}
+
+/// Recompute the expected trajectory with a second, independently warmed
+/// cache using the identical stream. `plan_gather_cached` is a plain
+/// sequential loop over `indices`, so this expectation is worker-count
+/// free even though the test process runs a two-worker pool.
+fn sequential_reference_trajectory() -> Vec<(usize, usize)> {
+    let (wm, model, spec) = setup();
+    let mut cache = FeatureCache::new_clock(&wm, RANKS, 24);
+    let mut plan = RowPlan::default();
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut trajectory = Vec::new();
+    for batch in 0..20 {
+        let rank = batch % RANKS;
+        let indices: Vec<usize> = (0..80)
+            .map(|_| {
+                if rng.gen_bool(0.7) {
+                    rng.gen_range(0..30)
+                } else {
+                    rng.gen_range(30..ROWS)
+                }
+            })
+            .collect();
+        plan_gather_cached(&wm, &indices, &mut plan, &mut cache, rank);
+        let hits = plan.cache_hits();
+        // Execute sequentially (run_sequential = the reference schedule)
+        // so the expectation never touches the pool.
+        let mut out = vec![0.0f32; indices.len() * WIDTH];
+        rayon::run_sequential(|| {
+            global_gather_planned_cached(&wm, &plan, &mut out, rank, &model, &spec, &mut cache)
+        });
+        trajectory.push((hits, cache.occupied(rank)));
+    }
+    trajectory
+}
+
+/// Static caches are immutable after build: two-worker gathers must
+/// leave contents untouched and hit the same rows every time.
+#[test]
+fn static_hits_are_stable_on_two_workers() {
+    rayon::init_threads(2);
+    let (wm, model, spec) = setup();
+    let hot: Vec<u64> = (0..ROWS as u64).rev().collect(); // hottest = row 0
+    let mut cache = FeatureCache::new_static(&wm, &hot, 50);
+    let indices: Vec<usize> = (0..200).map(|i| (i * 13) % ROWS).collect();
+    let expected_hits = indices.iter().filter(|&&r| r < 50).count();
+    let mut plan = RowPlan::default();
+    let mut out = vec![0.0f32; indices.len() * WIDTH];
+    for rank in 0..RANKS {
+        plan_gather_cached(&wm, &indices, &mut plan, &mut cache, rank);
+        let stats =
+            global_gather_planned_cached(&wm, &plan, &mut out, rank, &model, &spec, &mut cache);
+        assert_eq!(stats.cache_hits, expected_hits);
+        assert_eq!(cache.occupied(rank), 50);
+    }
+}

@@ -206,6 +206,21 @@ impl CostModel {
         SimTime::from_secs(spec.kernel_launch_overhead_s + bytes / bw)
     }
 
+    /// Time for a GPU to gather `rows` random rows of `row_bytes` each out
+    /// of its **own HBM** — the price of feature-cache hits. Random reads
+    /// of small segments waste bandwidth on HBM exactly as they do on
+    /// NVLink, so the same Figure-8 knee curve applies as an efficiency
+    /// fraction of the device's peak memory bandwidth. No launch overhead:
+    /// cache hits ride the same kernel as the surrounding DSM gather.
+    pub fn hbm_gather_time(&self, rows: u64, row_bytes: usize, spec: &DeviceSpec) -> SimTime {
+        if rows == 0 {
+            return SimTime::ZERO;
+        }
+        let efficiency = self.gather_busbw(row_bytes) / self.gather_saturated_busbw;
+        let bw = spec.memory_bandwidth * efficiency;
+        SimTime::from_secs(rows as f64 * row_bytes as f64 / bw)
+    }
+
     /// Time to stream `bytes` contiguously across a resolved [`Path`].
     pub fn transfer_time(&self, bytes: u64, path: Path) -> SimTime {
         let (lat, bw) = match path.link {
@@ -431,6 +446,25 @@ mod tests {
         let wide = m.pcie_zero_copy_gather_time(125_000, 512, 8, &spec);
         // Same byte volume; wide rows waste fewer TLPs.
         assert!(wide < narrow, "wide {wide} !< narrow {narrow}");
+    }
+
+    #[test]
+    fn hbm_hits_are_much_cheaper_than_dsm_gathers() {
+        let m = CostModel::dgx_a100();
+        let spec = DeviceSpec::a100_40gb();
+        // papers100M-width rows: HBM peak (1555 GB/s) vs saturated AlgoBW
+        // (~263 GB/s) is ~6x; with launch overhead the gap only widens.
+        let hbm = m.hbm_gather_time(1_000_000, 512, &spec);
+        let dsm = m.dsm_gather_time(1_000_000, 512, &spec);
+        assert!(dsm / hbm > 5.0, "dsm {dsm} vs hbm {hbm}");
+        // No launch overhead and no cost at zero rows (the cached gather
+        // adds this term unconditionally).
+        assert_eq!(m.hbm_gather_time(0, 512, &spec), SimTime::ZERO);
+        // The knee shape applies: byte-equal volumes of narrow rows are
+        // strictly slower than wide ones.
+        let narrow = m.hbm_gather_time(8_000_000, 16, &spec);
+        let wide = m.hbm_gather_time(1_000_000, 128, &spec);
+        assert!(narrow > wide, "narrow {narrow} !> wide {wide}");
     }
 
     #[test]
