@@ -46,6 +46,16 @@
 //!     strictly improve epoch time — and on the hot-set stream a static
 //!     cache of at most 10% of the rows cuts remote gather rows by at
 //!     least half.
+//!
+//! check_bench serving <bench.json>
+//!     Validate `BENCH_serving.json` (the serving sweep): schema string,
+//!     `bit_identical` true (coalesced == sequential per-request bits),
+//!     no shedding on the main legs with every offered request answered,
+//!     coalesced QPS at least 2x sequential at equal-or-better exact
+//!     p99, a QPS floor (coalesced sustains >= 80% of the offered
+//!     rate), a p99 ceiling (<= 4x the coalescing window), a genuine
+//!     dedup factor, live histogram quantile estimates, and balanced
+//!     shed accounting on the overload leg.
 //! ```
 //!
 //! Exit codes: 0 pass, 1 gate/threshold violation, 2 usage or IO error.
@@ -76,7 +86,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  check_bench gate <bench.json>\n  check_bench compare <baseline.json> \
          <current.json> [--warn-pct N] [--fail-pct N] [--expect-improvement <bench>]...\n  \
-         check_bench multinode <bench.json>\n  check_bench cache <bench.json>"
+         check_bench multinode <bench.json>\n  check_bench cache <bench.json>\n  \
+         check_bench serving <bench.json>"
     );
     exit(2);
 }
@@ -376,6 +387,129 @@ fn cache(path: &str) -> i32 {
     }
 }
 
+/// Validate the serving sweep artifact.
+fn serving(path: &str) -> i32 {
+    let doc = load(path);
+    let mut failures = 0u32;
+    let mut fail = |msg: String| {
+        eprintln!("SERVING FAIL: {msg}");
+        failures += 1;
+    };
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("wg-serving-v1") => {}
+        got => fail(format!(
+            "schema {} != wg-serving-v1",
+            got.unwrap_or("<missing>")
+        )),
+    }
+    if doc.get("bit_identical").and_then(Json::as_bool) != Some(true) {
+        fail("bit_identical is not true (coalesced must equal sequential per-request)".to_string());
+    }
+    let num = |p: &Json, key: &str| -> f64 {
+        p.get(key).and_then(Json::as_f64).unwrap_or_else(|| {
+            eprintln!("check_bench: serving block missing {key} in {path}");
+            exit(2);
+        })
+    };
+    let (Some(seq), Some(coal)) = (doc.get("sequential"), doc.get("coalesced")) else {
+        fail("sequential/coalesced blocks missing".to_string());
+        eprintln!("check_bench serving: {failures} failure(s) in {path}");
+        return 1;
+    };
+    // Main legs: open-loop but not overloaded — every offered request
+    // answered, none shed, so the two QPS figures cover identical work.
+    for (name, leg) in [("sequential", seq), ("coalesced", coal)] {
+        if num(leg, "shed") != 0.0 {
+            fail(format!(
+                "{name}: main leg shed {} requests",
+                num(leg, "shed")
+            ));
+        }
+        if num(leg, "admitted") != num(leg, "offered") {
+            fail(format!(
+                "{name}: admitted {} != offered {}",
+                num(leg, "admitted"),
+                num(leg, "offered")
+            ));
+        }
+        if num(leg, "hist_p50_us") <= 0.0 || num(leg, "hist_p99_us") <= 0.0 {
+            fail(format!("{name}: histogram quantile estimates missing"));
+        }
+    }
+    // The headline: >= 2x sustained QPS at equal-or-better exact p99.
+    let (sq, cq) = (num(seq, "qps"), num(coal, "qps"));
+    if cq < 2.0 * sq {
+        fail(format!("coalesced {cq:.0} qps < 2x sequential {sq:.0} qps"));
+    }
+    if num(coal, "p99_us") > num(seq, "p99_us") {
+        fail(format!(
+            "coalesced p99 {}us worse than sequential {}us",
+            num(coal, "p99_us"),
+            num(seq, "p99_us")
+        ));
+    }
+    // Absolute service-quality bounds: the coalesced engine must sustain
+    // most of the offered rate, with tail latency bounded by a small
+    // multiple of the coalescing window it deliberately introduces.
+    let rate = doc
+        .get("traffic")
+        .map(|t| num(t, "rate_qps"))
+        .unwrap_or_else(|| {
+            fail("traffic block missing".to_string());
+            f64::INFINITY
+        });
+    if cq < 0.8 * rate {
+        fail(format!(
+            "qps floor: coalesced {cq:.0} qps < 80% of offered {rate:.0}"
+        ));
+    }
+    if let Some(c) = doc.get("coalescing") {
+        let ceiling = 4.0 * num(c, "max_delay_us");
+        if num(coal, "p99_us") > ceiling {
+            fail(format!(
+                "p99 ceiling: coalesced {}us > {ceiling}us (4x window)",
+                num(coal, "p99_us")
+            ));
+        }
+    } else {
+        fail("coalescing block missing".to_string());
+    }
+    if num(coal, "dedup_factor") <= 1.0 {
+        fail("coalesced run collapsed no duplicate queries".to_string());
+    }
+    if num(coal, "batches") >= num(seq, "batches") {
+        fail("coalescing did not reduce dispatch count".to_string());
+    }
+    // Overload leg: shedding happened and the books balance exactly.
+    match doc.get("overload") {
+        None => fail("overload block missing".to_string()),
+        Some(o) => {
+            if num(o, "shed") <= 0.0 {
+                fail("overload leg shed nothing".to_string());
+            }
+            if num(o, "admitted") + num(o, "shed") != num(o, "offered") {
+                fail(format!(
+                    "overload books: {} admitted + {} shed != {} offered",
+                    num(o, "admitted"),
+                    num(o, "shed"),
+                    num(o, "offered")
+                ));
+            }
+        }
+    }
+    if failures == 0 {
+        println!(
+            "check_bench serving: OK ({:.2}x qps at {:.2}x p99, bit-identical, shed books balance)",
+            cq / sq,
+            num(coal, "p99_us") / num(seq, "p99_us")
+        );
+        0
+    } else {
+        eprintln!("check_bench serving: {failures} failure(s) in {path}");
+        1
+    }
+}
+
 /// `--flag N` style option, or the default.
 fn pct_flag(args: &[String], flag: &str, default: Option<f64>) -> Option<f64> {
     match args.iter().position(|a| a == flag) {
@@ -487,6 +621,10 @@ fn main() {
         },
         Some("cache") => match args.get(1) {
             Some(path) => cache(path),
+            None => usage(),
+        },
+        Some("serving") => match args.get(1) {
+            Some(path) => serving(path),
             None => usage(),
         },
         _ => usage(),

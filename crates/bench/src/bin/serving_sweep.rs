@@ -1,0 +1,260 @@
+//! Serving sweep — the evidence behind the adaptive micro-batching
+//! claim. Replays one seeded open-loop Zipf query stream through the
+//! serving engine twice — sequential (one request per forward pass) and
+//! coalesced (dedup + shared pass per window) — against identically
+//! trained pipelines, then verifies the coalesced run answered every
+//! request with bit-identical predictions and logits checksums before
+//! writing `BENCH_serving.json` (gated by `check_bench serving`).
+//!
+//! Latencies are reported two ways on purpose: exact order statistics
+//! over the per-request completions (what the ≥2x-at-equal-p99 gate
+//! compares) and interpolated estimates from the `serve.latency_us`
+//! histogram (what a production scrape would see) — keeping the cheap
+//! estimator honest against ground truth in the same artifact.
+//!
+//! A second short leg runs a hard burst into a tiny admission queue to
+//! record shed accounting under overload: `admitted + shed == offered`
+//! exactly, with `shed > 0`.
+//!
+//! `--trace <out.json>` re-runs the coalesced leg with span tracing on
+//! and writes the Chrome trace (per-batch `serve.batch` spans over the
+//! sample/gather/forward children).
+
+use std::sync::Arc;
+
+use wg_bench::{banner, Table};
+use wg_graph::{DatasetKind, SyntheticDataset};
+use wg_serve::{
+    ArrivalProcess, BatchMode, Request, ServeConfig, ServeEngine, ServeReport, TrafficConfig,
+};
+use wg_trace::metrics::HistogramSnapshot;
+use wholegraph::prelude::*;
+
+/// Requests in the main open-loop stream.
+const REQUESTS: usize = 2000;
+/// Offered rate — hot enough that sequential serving queues.
+const RATE_QPS: f64 = 50_000.0;
+/// Query-node skew (real serving traffic concentrates on hot entities).
+const ZIPF_S: f64 = 1.1;
+/// Traffic seed (pipeline seed stays the wallclock harness's 11).
+const TRAFFIC_SEED: u64 = 13;
+/// Coalescing window: at most this many requests per dispatch...
+const MAX_BATCH: usize = 64;
+/// ...waiting at most this long (µs) for company.
+const MAX_DELAY_US: f64 = 2000.0;
+
+/// The serving pipeline: ogbn-products stand-in at 1/1500, tiny
+/// GraphSage warmed by one training epoch, 4 simulated GPUs, cache
+/// pinned *off* so the artifact never depends on ambient `WG_CACHE_*`
+/// (bit-identity across cache modes is covered by the serve tests).
+fn pipeline(dataset: &Arc<SyntheticDataset>) -> Pipeline {
+    let machine = Machine::new(MachineConfig::dgx_like(4));
+    let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage)
+        .with_seed(11)
+        .with_cache(0, CacheMode::Static);
+    let mut p = Pipeline::new(machine, Arc::clone(dataset), cfg).expect("pipeline");
+    p.train_epoch(0);
+    p
+}
+
+/// Run `traffic` through a fresh engine and sort completions by request
+/// id (dispatch order differs between modes; identity is per-request).
+fn run_mode(dataset: &Arc<SyntheticDataset>, cfg: ServeConfig, traffic: &[Request]) -> ServeReport {
+    let mut pipe = pipeline(dataset);
+    let mut report = ServeEngine::new(cfg).run(&mut pipe, traffic);
+    report.completions.sort_by_key(|c| c.id);
+    report
+}
+
+/// `serve.latency_us` bucket-count delta between two snapshots, as a
+/// standalone histogram the interpolated quantile estimator runs on —
+/// the registry is cumulative, so each mode's estimate needs its own
+/// window.
+fn latency_hist_delta(
+    before: &wg_trace::metrics::Snapshot,
+    after: &wg_trace::metrics::Snapshot,
+) -> Option<HistogramSnapshot> {
+    let find = |s: &wg_trace::metrics::Snapshot| {
+        s.histograms
+            .iter()
+            .find(|h| h.name == "serve.latency_us")
+            .cloned()
+    };
+    let a = find(after)?;
+    let mut d = a.clone();
+    if let Some(b) = find(before) {
+        for (i, c) in b.buckets.iter().enumerate() {
+            d.buckets[i] -= c;
+        }
+        d.count -= b.count;
+        d.sum -= b.sum;
+    }
+    (d.count > 0).then_some(d)
+}
+
+/// One mode's JSON block.
+fn mode_json(name: &str, r: &ServeReport, hist: Option<&HistogramSnapshot>) -> String {
+    let us = |t: Option<SimTime>| t.map_or(0.0, |t| t.as_micros());
+    format!(
+        "  \"{name}\": {{\n    \"offered\": {}, \"admitted\": {}, \"shed\": {}, \
+         \"expired\": {},\n    \"batches\": {}, \"batched_rows\": {}, \"unique_rows\": {}, \
+         \"dedup_factor\": {:.6},\n    \"qps\": {:.3}, \"makespan_s\": {:.9},\n    \
+         \"p50_us\": {:.3}, \"p99_us\": {:.3},\n    \
+         \"hist_p50_us\": {:.3}, \"hist_p99_us\": {:.3},\n    \
+         \"sample_s\": {:.9}, \"gather_s\": {:.9}, \"compute_s\": {:.9}\n  }}",
+        r.offered,
+        r.admitted,
+        r.shed,
+        r.expired,
+        r.batches,
+        r.batched_rows,
+        r.unique_rows,
+        r.dedup_factor(),
+        r.qps(),
+        r.makespan.as_secs(),
+        us(r.p50()),
+        us(r.p99()),
+        hist.and_then(|h| h.p50()).unwrap_or(0.0),
+        hist.and_then(|h| h.p99()).unwrap_or(0.0),
+        r.sample_time.as_secs(),
+        r.gather_time.as_secs(),
+        r.compute_time.as_secs(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    banner(
+        "serving sweep",
+        "sequential vs coalesced micro-batching on open-loop Zipf traffic",
+    );
+    wg_trace::enable_metrics();
+    let dataset = Arc::new(SyntheticDataset::generate(
+        DatasetKind::OgbnProducts,
+        1500,
+        5,
+    ));
+    let traffic = TrafficConfig {
+        requests: REQUESTS,
+        process: ArrivalProcess::Poisson { rate_qps: RATE_QPS },
+        zipf_s: ZIPF_S,
+        num_nodes: dataset.num_nodes() as u64,
+        seed: TRAFFIC_SEED,
+        deadline: None,
+    }
+    .generate();
+    println!(
+        "workload: {REQUESTS} requests, Poisson {RATE_QPS:.0} qps, Zipf({ZIPF_S}) over {} nodes\n",
+        dataset.num_nodes()
+    );
+
+    let coalesced_cfg = ServeConfig::coalesced(MAX_BATCH, SimTime::from_micros(MAX_DELAY_US));
+    let s0 = wg_trace::metrics::snapshot();
+    let seq = run_mode(&dataset, ServeConfig::sequential(), &traffic);
+    let s1 = wg_trace::metrics::snapshot();
+    let coal = run_mode(&dataset, coalesced_cfg, &traffic);
+    let s2 = wg_trace::metrics::snapshot();
+    let seq_hist = latency_hist_delta(&s0, &s1);
+    let coal_hist = latency_hist_delta(&s1, &s2);
+
+    // The tentpole invariant: coalescing moved time, not values.
+    assert_eq!(seq.admitted, coal.admitted);
+    let bit_identical =
+        seq.completions.iter().zip(&coal.completions).all(|(a, b)| {
+            a.id == b.id && a.pred == b.pred && a.logits_checksum == b.logits_checksum
+        });
+    assert!(bit_identical, "coalesced serving diverged from sequential");
+
+    let mut t = Table::new(&["mode", "batches", "dedup", "qps", "p50", "p99", "shed"]);
+    for (name, r) in [("sequential", &seq), ("coalesced", &coal)] {
+        t.row(&[
+            name.to_string(),
+            r.batches.to_string(),
+            format!("{:.2}x", r.dedup_factor()),
+            format!("{:.0}", r.qps()),
+            format!("{}", r.p50().unwrap_or(SimTime::ZERO)),
+            format!("{}", r.p99().unwrap_or(SimTime::ZERO)),
+            r.shed.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nbit-identical per-request results; coalescing speedup {:.2}x qps at {:.2}x p99",
+        coal.qps() / seq.qps(),
+        coal.p99().unwrap_or(SimTime::ZERO).as_secs()
+            / seq.p99().unwrap_or(SimTime::ZERO).as_secs().max(1e-12),
+    );
+
+    // Overload leg: a 50-deep burst train into a 16-deep queue must shed,
+    // and the books must balance exactly.
+    let burst_traffic = TrafficConfig {
+        requests: 400,
+        process: ArrivalProcess::Bursty {
+            rate_qps: 100_000.0,
+            burst: 50,
+        },
+        zipf_s: ZIPF_S,
+        num_nodes: dataset.num_nodes() as u64,
+        seed: TRAFFIC_SEED ^ 0xb0,
+        deadline: None,
+    }
+    .generate();
+    let overload = run_mode(
+        &dataset,
+        ServeConfig {
+            mode: BatchMode::Coalesced {
+                max_batch: 8,
+                max_delay: SimTime::from_micros(50.0),
+            },
+            queue_capacity: 16,
+        },
+        &burst_traffic,
+    );
+    assert_eq!(overload.admitted + overload.shed, overload.offered);
+    println!(
+        "\noverload leg: {} offered, {} admitted, {} shed (books balance)",
+        overload.offered, overload.admitted, overload.shed
+    );
+
+    if let Some(path) = &trace_path {
+        // A traced coalesced replay: per-batch serve.batch spans with
+        // sample/gather/forward children on the simulated timeline.
+        wg_trace::enable_all();
+        let machine = Machine::new(MachineConfig::dgx_like(4));
+        let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage)
+            .with_seed(11)
+            .with_cache(0, CacheMode::Static);
+        let mut pipe = Pipeline::new(machine, Arc::clone(&dataset), cfg).expect("traced pipeline");
+        pipe.train_epoch(0);
+        ServeEngine::new(coalesced_cfg).run(&mut pipe, &traffic);
+        wg_trace::disable_all();
+        wg_trace::enable_metrics();
+        wholegraph::observability::write_chrome_trace(path, pipe.machine())
+            .expect("write serving trace");
+        println!("serving chrome trace written to {path}");
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"wg-serving-v1\",\n  \"dataset\": \"ogbn-products\",\n  \
+         \"scale\": 1500,\n  \"pipeline_seed\": 11,\n  \"traffic\": {{\n    \
+         \"requests\": {REQUESTS}, \"rate_qps\": {RATE_QPS}, \"zipf_s\": {ZIPF_S}, \
+         \"seed\": {TRAFFIC_SEED}\n  }},\n  \"coalescing\": {{\n    \
+         \"max_batch\": {MAX_BATCH}, \"max_delay_us\": {MAX_DELAY_US}, \
+         \"queue_capacity\": 4096\n  }},\n  \"bit_identical\": {bit_identical},\n  \
+         \"qps_speedup\": {:.6},\n{},\n{},\n  \"overload\": {{\n    \
+         \"offered\": {}, \"admitted\": {}, \"shed\": {}, \"queue_capacity\": 16\n  }}\n}}\n",
+        coal.qps() / seq.qps(),
+        mode_json("sequential", &seq, seq_hist.as_ref()),
+        mode_json("coalesced", &coal, coal_hist.as_ref()),
+        overload.offered,
+        overload.admitted,
+        overload.shed,
+    );
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("Wrote BENCH_serving.json");
+}

@@ -4,6 +4,7 @@
 //! wg gen   --dataset products --scale 800 --out data.wgds     generate + save a stand-in
 //! wg train --data data.wgds --model sage --framework wholegraph --epochs 5
 //! wg train --dataset products --scale 800 --model gat ...      (generate on the fly)
+//! wg serve --dataset products --scale 800 --rate 20000 --zipf 1.1  online inference
 //! wg info  --data data.wgds                                    dataset summary
 //! ```
 //!
@@ -19,7 +20,7 @@ use wholegraph::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  wg gen   --dataset <products|papers100m|friendster|uk> --scale <N> --out <file> [--seed <N>]\n  wg train [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--framework <wholegraph|dgl|pyg>] [--epochs <N>] [--batch <N>] [--hidden <N>]\n           [--layers <N>] [--fanout <N>] [--gpus <N>] [--seed <N>] [--overlap]\n           [--cache-rows <N>] [--cache-mode <static|clock>] [--trace <out.json>]\n  wg multinode --nodes <N> [--compress topk:<frac>] [--delayed-agg [<period>]]\n           [--gpus <per-node>] [--epochs <N>] [--trace <out.json>]\n           [--cache-rows <N>] [--cache-mode <static|clock>]\n           [dataset/model/batch/seed flags as in train]\n  wg info  --data <file>"
+        "usage:\n  wg gen   --dataset <products|papers100m|friendster|uk> --scale <N> --out <file> [--seed <N>]\n  wg train [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--framework <wholegraph|dgl|pyg>] [--epochs <N>] [--batch <N>] [--hidden <N>]\n           [--layers <N>] [--fanout <N>] [--gpus <N>] [--seed <N>] [--overlap]\n           [--cache-rows <N>] [--cache-mode <static|clock>] [--trace <out.json>]\n  wg multinode --nodes <N> [--compress topk:<frac>] [--delayed-agg [<period>]]\n           [--gpus <per-node>] [--epochs <N>] [--trace <out.json>]\n           [--cache-rows <N>] [--cache-mode <static|clock>]\n           [dataset/model/batch/seed flags as in train]\n  wg serve [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--epochs <warmup-epochs>] [--gpus <N>] [--seed <N>]\n           [--requests <N>] [--rate <qps>] [--burst <N>] [--zipf <s>]\n           [--max-batch <N>] [--max-delay-us <f>] [--queue-cap <N>] [--sequential]\n           [--deadline-us <f>] [--cache-rows <N>] [--cache-mode <static|clock>]\n           [--trace <out.json>]\n  wg info  --data <file>"
     );
     exit(2);
 }
@@ -407,6 +408,145 @@ fn cmd_multinode(flags: HashMap<String, String>) {
     }
 }
 
+fn cmd_serve(flags: HashMap<String, String>) {
+    use wg_serve::{ArrivalProcess, ServeConfig, ServeEngine, TrafficConfig};
+
+    let dataset = load_or_generate(&flags);
+    let model = model_kind(flags.get("model").map(String::as_str).unwrap_or("sage"));
+    let warmup: u64 = num(&flags, "epochs", 1);
+    let gpus: u32 = num(&flags, "gpus", 8);
+    let layers: usize = num(&flags, "layers", 2);
+    let fanout: usize = num(&flags, "fanout", 10);
+    let seed: u64 = num(&flags, "seed", 0);
+    let mut cfg = PipelineConfig {
+        batch_size: num(&flags, "batch", 128),
+        hidden: num(&flags, "hidden", 64),
+        num_layers: layers,
+        fanouts: vec![fanout; layers],
+        ..PipelineConfig::tiny(Framework::WholeGraph, model)
+    }
+    .with_seed(seed);
+    if let Some(cc) = cache_config(&flags) {
+        cfg.cache = Some(cc);
+    }
+
+    let rate_qps: f64 = num(&flags, "rate", 10_000.0);
+    let burst: usize = num(&flags, "burst", 0);
+    let process = if burst > 1 {
+        ArrivalProcess::Bursty { rate_qps, burst }
+    } else {
+        ArrivalProcess::Poisson { rate_qps }
+    };
+    let traffic_cfg = TrafficConfig {
+        requests: num(&flags, "requests", 2000),
+        process,
+        zipf_s: num(&flags, "zipf", 1.1),
+        num_nodes: dataset.num_nodes() as u64,
+        seed: seed ^ 0x5e21,
+        deadline: flags.get("deadline-us").map(|v| match v.parse::<f64>() {
+            Ok(us) => SimTime::from_micros(us),
+            Err(_) => {
+                eprintln!("--deadline-us expects microseconds, got {v}");
+                usage();
+            }
+        }),
+    };
+    let serve_cfg = if flags.contains_key("sequential") {
+        ServeConfig {
+            queue_capacity: num(&flags, "queue-cap", 4096),
+            ..ServeConfig::sequential()
+        }
+    } else {
+        ServeConfig {
+            queue_capacity: num(&flags, "queue-cap", 4096),
+            ..ServeConfig::coalesced(
+                num(&flags, "max-batch", 64),
+                SimTime::from_micros(num(&flags, "max-delay-us", 1000.0)),
+            )
+        }
+    };
+
+    let machine = Machine::new(MachineConfig::dgx_like(gpus));
+    let cache_desc = match cfg.resolved_cache() {
+        Some(cc) => format!(", {} cache of {} rows/device", cc.mode.as_str(), cc.rows),
+        None => String::new(),
+    };
+    println!(
+        "serving {} on {} ({} GPUs simulated{cache_desc}); {} requests at {} qps, zipf {}",
+        model.name(),
+        dataset.kind.name(),
+        gpus,
+        traffic_cfg.requests,
+        rate_qps,
+        traffic_cfg.zipf_s,
+    );
+    let trace_path = flags.get("trace").cloned();
+    if trace_path.is_some() {
+        wg_trace::enable_all();
+    }
+    let mut pipe = match Pipeline::new(machine, dataset, cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pipeline setup failed: {e}");
+            exit(1);
+        }
+    };
+    for epoch in 0..warmup {
+        let r = pipe.train_epoch(epoch);
+        println!("warmup epoch {epoch}: loss {:.4}", r.loss);
+    }
+    let traffic = traffic_cfg.generate();
+    let report = ServeEngine::new(serve_cfg).run(&mut pipe, &traffic);
+    let fmt_lat = |t: Option<SimTime>| match t {
+        Some(t) => format!("{:.0} us", t.as_micros()),
+        None => "n/a".to_string(),
+    };
+    println!(
+        "served {}/{} requests ({} shed, {} expired) in {} batches: {:.0} qps sustained",
+        report.admitted,
+        report.offered,
+        report.shed,
+        report.expired,
+        report.batches,
+        report.qps()
+    );
+    println!(
+        "  latency p50 {} | p99 {}  (dedup factor {:.2}; sample {} | gather {} | forward {})",
+        fmt_lat(report.p50()),
+        fmt_lat(report.p99()),
+        report.dedup_factor(),
+        report.sample_time,
+        report.gather_time,
+        report.compute_time
+    );
+    if let Some(path) = trace_path {
+        wg_trace::disable_all();
+        if let Err(e) = wholegraph::observability::write_chrome_trace(&path, pipe.machine()) {
+            eprintln!("failed to write trace {path}: {e}");
+            exit(1);
+        }
+        let snap = wg_trace::metrics::snapshot();
+        // The serve.latency_us histogram's interpolated quantiles sanity-
+        // check the exact ones above (satellite: HistogramSnapshot::quantile).
+        if let Some(h) = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "serve.latency_us")
+        {
+            println!(
+                "  histogram-estimated p50 {:.0} us | p99 {:.0} us (from {} observations)",
+                h.p50().unwrap_or(0.0),
+                h.p99().unwrap_or(0.0),
+                h.count
+            );
+        }
+        println!(
+            "chrome trace written to {path} ({} metric series; load in chrome://tracing or ui.perfetto.dev)",
+            snap.counters.len() + snap.gauges.len() + snap.histograms.len()
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -418,6 +558,7 @@ fn main() {
         "info" => cmd_info(flags),
         "train" => cmd_train(flags),
         "multinode" => cmd_multinode(flags),
+        "serve" => cmd_serve(flags),
         _ => usage(),
     }
 }

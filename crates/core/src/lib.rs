@@ -48,8 +48,8 @@
 //!   contrast case);
 //! * [`metrics`] — confusion matrix / precision / recall / macro-F1.
 //!
-//! The `wg` binary (`src/bin/wg.rs`) exposes dataset generation, IO and
-//! training from the command line.
+//! The `wg` binary (the `wg-cli` crate) exposes dataset generation, IO,
+//! training, and online serving from the command line.
 
 pub mod convert;
 pub mod framework;
@@ -64,7 +64,7 @@ pub mod trainer;
 pub use framework::Framework;
 pub use pipeline::{
     CacheConfig, EpochOccupancy, EpochReport, ExecMode, FeaturePlacement, InferenceReport,
-    Pipeline, PipelineConfig,
+    Pipeline, PipelineConfig, ServeTimes, SERVE_EPOCH,
 };
 pub use trainer::{TrainOutcome, Trainer, TrainerConfig};
 
@@ -74,11 +74,11 @@ pub mod prelude {
     pub use crate::multinode::{MultiNode, MultiNodeConfig, MultiNodeEpochReport, SyncConfig};
     pub use crate::pipeline::{
         CacheConfig, EpochOccupancy, EpochReport, ExecMode, FeaturePlacement, Pipeline,
-        PipelineConfig,
+        PipelineConfig, ServeTimes, SERVE_EPOCH,
     };
     pub use crate::trainer::{TrainOutcome, Trainer, TrainerConfig};
     pub use wg_gnn::{GnnConfig, GnnModel, LayerProvider, ModelKind};
-    pub use wg_graph::{DatasetKind, SyntheticDataset};
+    pub use wg_graph::{DatasetKind, DegreeProfile, SyntheticDataset};
     pub use wg_mem::CacheMode;
     pub use wg_sample::SamplerConfig;
     pub use wg_sim::{Machine, MachineConfig, SimTime};

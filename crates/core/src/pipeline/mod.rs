@@ -121,6 +121,32 @@ struct IterScratch {
 /// and evaluation interleaving with training.
 const ITER_POOL_CAP: usize = 4;
 
+/// The fixed sampling epoch for [`Pipeline::serve_forward`]. Evaluation
+/// samples at `u64::MAX` and batched inference at `u64::MAX - 1`;
+/// serving takes the next slot down so its per-node RNG streams collide
+/// with neither. Every serving pass also pins the iteration index to 0,
+/// making a query node's sampled ego-graph a pure function of its stable
+/// id — the property `wg-serve`'s coalescer relies on for bit-identity.
+pub const SERVE_EPOCH: u64 = u64::MAX - 2;
+
+/// Simulated phase times of one [`Pipeline::serve_forward`] pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeTimes {
+    /// Neighbor-sampling kernel time.
+    pub sample: SimTime,
+    /// Feature-gather time (cache hits priced at local-HBM cost).
+    pub gather: SimTime,
+    /// Forward-pass compute time.
+    pub compute: SimTime,
+}
+
+impl ServeTimes {
+    /// Sum of the three phases — the batch's service time on its GPU.
+    pub fn total(&self) -> SimTime {
+        self.sample + self.gather + self.compute
+    }
+}
+
 /// Multi-node execution context attached to a pipeline replica by the
 /// [`crate::multinode`] executor: which machine this replica is, the
 /// machine-level feature partition, pre-built per-node counter names
@@ -857,6 +883,88 @@ impl Pipeline {
             ExecMode::Overlapped => executor::pipelined_wall_time(&batch_times),
         };
         (preds, report)
+    }
+
+    /// One serving forward pass over a (possibly coalesced) set of query
+    /// nodes: sample → cached gather → forward, no backward, no
+    /// collective communication. Appends one prediction and one per-row
+    /// logits checksum (FNV-1a over the output row's bit patterns) per
+    /// query node, in input order, and returns the simulated phase times.
+    ///
+    /// Sampling runs at the **fixed** coordinates (`SERVE_EPOCH`,
+    /// iteration 0), so each node's per-node RNG stream — keyed on its
+    /// stable id, never its batch position — draws the same neighbors no
+    /// matter which other nodes share the batch. Combined with the
+    /// per-row-local forward pass (dropout off; `dup_count` is consumed
+    /// only by backward), this makes a coalesced batch bit-identical to
+    /// running each request alone, which is the correctness contract of
+    /// `wg-serve`'s micro-batching coalescer. The per-row checksums are
+    /// the witness: row-position-invariant, so the serve layer can
+    /// compare coalesced and sequential executions request by request.
+    ///
+    /// `rank` is the GPU whose timeline (and feature cache) this pass
+    /// uses. `nodes` must be duplicate-free (the sampler's frontier
+    /// contract); `wg-serve`'s coalescer dedups via `append_unique`.
+    pub fn serve_forward(
+        &mut self,
+        nodes: &[NodeId],
+        rank: u32,
+        out_preds: &mut Vec<u32>,
+        out_checksums: &mut Vec<u64>,
+    ) -> ServeTimes {
+        use wg_tensor::simd::{fnv1a_f32, FNV_OFFSET};
+        debug_assert!(rank < self.machine.num_gpus());
+        let gpu_spec = self.machine.spec(wg_sim::DeviceId::Gpu(rank)).clone();
+        let handles = self.handles_for(nodes);
+        let (mb, stats) = {
+            let _s = wg_trace::span!("serve.sample");
+            self.sample(&handles, SERVE_EPOCH, 0)
+        };
+        let sample_time =
+            self.cfg
+                .framework
+                .sampler_backend()
+                .sample_time(self.machine.cost(), &gpu_spec, stats);
+        let (features, gather_time) = {
+            let _s = wg_trace::span!("serve.gather");
+            // `gather` derives its executing rank as `iter % num_gpus`;
+            // passing the rank itself pins it (rank < num_gpus).
+            self.gather(&mb, rank as u64)
+        };
+        let compute_time;
+        {
+            let _s = wg_trace::span!("serve.forward");
+            let mut blocks = std::mem::take(&mut self.scratch.blocks);
+            minibatch_blocks_into(&mb, &mut blocks);
+            let shapes = crate::convert::minibatch_shapes(&mb);
+            let mut tape = std::mem::take(&mut self.scratch.tape);
+            tape.reset();
+            let out = self.model.forward(&mut tape, &blocks, features, false, 0);
+            let logits = tape.value(out);
+            let mut batch_preds = std::mem::take(&mut self.scratch.preds);
+            argmax_rows_into(logits, &mut batch_preds);
+            out_preds.extend_from_slice(&batch_preds);
+            out_checksums.extend((0..nodes.len()).map(|i| fnv1a_f32(FNV_OFFSET, logits.row(i))));
+            self.scratch.preds = batch_preds;
+            compute_time = wg_gnn::cost::eval_step_time(
+                &self
+                    .cfg
+                    .gnn_config(self.dataset.feature_dim, self.dataset.num_classes),
+                &shapes,
+                self.provider,
+                self.machine.cost(),
+                &gpu_spec,
+            );
+            self.reclaim_feature_buf(tape.take_value(wg_autograd::NodeId::first()).into_vec());
+            self.scratch.tape = tape;
+            self.scratch.blocks = blocks;
+        }
+        self.recycle_iter_buffers(Some(mb), handles);
+        ServeTimes {
+            sample: sample_time,
+            gather: gather_time,
+            compute: compute_time,
+        }
     }
 
     /// Evaluate accuracy on a node set (validation or test split) with

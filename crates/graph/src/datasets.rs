@@ -85,6 +85,31 @@ impl DatasetKind {
     }
 }
 
+/// Degree profile for the learnable (SBM-backed) stand-ins.
+///
+/// The default [`Uniform`](DegreeProfile::Uniform) profile draws SBM
+/// edge endpoints uniformly — simple, but it flattens the degree
+/// distribution real OGB graphs have, which in turn flattens node
+/// *access* skew downstream (a feature cache over a uniform-degree
+/// graph sees an artificially cold epoch stream). The opt-in
+/// [`PowerLaw`](DegreeProfile::PowerLaw) profile draws endpoints with
+/// probability ∝ `(rank+1)^-alpha` over a seeded permutation
+/// ([`gen::sbm_powerlaw`]), restoring the calibrated heavy tail. The
+/// R-MAT stand-ins (Friendster/UK_domain) are heavy-tailed either way
+/// and ignore the profile.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum DegreeProfile {
+    /// Uniform endpoint choice — byte-identical to the historical
+    /// [`SyntheticDataset::generate`] output.
+    Uniform,
+    /// Power-law endpoint weights `(rank+1)^-alpha`; `alpha` ≈ 1.05
+    /// reproduces an ogbn-products-like tail at reduced scale.
+    PowerLaw {
+        /// Power-law exponent (0 = uniform weights).
+        alpha: f64,
+    },
+}
+
 /// A generated dataset: graph, features, labels and splits.
 #[derive(Clone, Debug)]
 pub struct SyntheticDataset {
@@ -111,8 +136,22 @@ pub struct SyntheticDataset {
 }
 
 impl SyntheticDataset {
-    /// Generate the stand-in for `kind` at `1/scale` of paper size.
+    /// Generate the stand-in for `kind` at `1/scale` of paper size with
+    /// the default [`DegreeProfile::Uniform`] profile.
     pub fn generate(kind: DatasetKind, scale: u64, seed: u64) -> Self {
+        Self::generate_with_profile(kind, scale, seed, DegreeProfile::Uniform)
+    }
+
+    /// Generate with an explicit degree profile. `Uniform` is
+    /// byte-identical to [`generate`](Self::generate); `PowerLaw` swaps
+    /// the learnable graphs' SBM for [`gen::sbm_powerlaw`] (labels,
+    /// features, and splits are derived the same way in both).
+    pub fn generate_with_profile(
+        kind: DatasetKind,
+        scale: u64,
+        seed: u64,
+        profile: DegreeProfile,
+    ) -> Self {
         assert!(scale >= 1);
         let (paper_nodes, paper_edges, feature_dim) = kind.paper_stats();
         let n = (paper_nodes / scale).max(1000) as usize;
@@ -122,7 +161,12 @@ impl SyntheticDataset {
         let num_classes = kind.num_classes();
 
         let (graph, labels, features) = if kind.learnable() {
-            let (g, labels) = gen::sbm(n, num_classes, avg_degree, 0.85, seed);
+            let (g, labels) = match profile {
+                DegreeProfile::Uniform => gen::sbm(n, num_classes, avg_degree, 0.85, seed),
+                DegreeProfile::PowerLaw { alpha } => {
+                    gen::sbm_powerlaw(n, num_classes, avg_degree, 0.85, alpha, seed)
+                }
+            };
             let features =
                 gen::class_features(&labels, num_classes, feature_dim, 0.8, seed ^ 0xfeed);
             (g, labels, features)
@@ -232,6 +276,48 @@ mod tests {
         let frac = d.train.len() as f64 / d.num_nodes() as f64;
         assert!(frac < 0.02, "train fraction {frac}");
         assert!(!DatasetKind::Friendster.learnable());
+    }
+
+    #[test]
+    fn uniform_profile_matches_default_generate() {
+        let a = SyntheticDataset::generate(DatasetKind::OgbnProducts, 1500, 5);
+        let b = SyntheticDataset::generate_with_profile(
+            DatasetKind::OgbnProducts,
+            1500,
+            5,
+            DegreeProfile::Uniform,
+        );
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.train, b.train);
+    }
+
+    #[test]
+    fn powerlaw_profile_grows_a_heavy_tail() {
+        let uniform = SyntheticDataset::generate(DatasetKind::OgbnProducts, 1500, 5);
+        let skewed = SyntheticDataset::generate_with_profile(
+            DatasetKind::OgbnProducts,
+            1500,
+            5,
+            DegreeProfile::PowerLaw { alpha: 1.05 },
+        );
+        // Same shape, very different tail.
+        assert_eq!(skewed.num_nodes(), uniform.num_nodes());
+        assert!(
+            (skewed.graph.avg_degree() - uniform.graph.avg_degree()).abs()
+                / uniform.graph.avg_degree()
+                < 0.15
+        );
+        assert!(skewed.graph.max_degree() > 2 * uniform.graph.max_degree());
+        // Still deterministic.
+        let again = SyntheticDataset::generate_with_profile(
+            DatasetKind::OgbnProducts,
+            1500,
+            5,
+            DegreeProfile::PowerLaw { alpha: 1.05 },
+        );
+        assert_eq!(skewed.graph, again.graph);
+        assert_eq!(skewed.features, again.features);
     }
 
     #[test]

@@ -107,6 +107,83 @@ pub fn sbm(n: usize, num_classes: usize, avg_degree: f64, p_in: f64, seed: u64) 
     (Csr::from_edges(n, &edges, true), labels)
 }
 
+/// Cumulative power-law weights `(rank+1)^-alpha` over `nodes`, for
+/// inverse-CDF endpoint sampling. `nodes[i]`'s weight depends on its
+/// *position* in the slice, so callers control which nodes are hot by
+/// ordering the slice (we pass seeded permutations).
+fn powerlaw_cdf(len: usize, alpha: f64) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(len);
+    let mut acc = 0.0f64;
+    for rank in 0..len {
+        acc += ((rank + 1) as f64).powf(-alpha);
+        cum.push(acc);
+    }
+    cum
+}
+
+/// Draw an index in `0..cum.len()` with probability proportional to the
+/// power-law weights behind `cum`.
+fn powerlaw_pick(cum: &[f64], rng: &mut SmallRng) -> usize {
+    let u = rng.gen::<f64>() * cum[cum.len() - 1];
+    cum.partition_point(|&c| c <= u).min(cum.len() - 1)
+}
+
+/// Stochastic block model with a power-law degree profile: identical
+/// block/homophily structure to [`sbm`], but edge endpoints are drawn
+/// with probability ∝ `(rank+1)^-alpha` over a seeded node permutation
+/// instead of uniformly, so the degree distribution grows the heavy
+/// tail real OGB graphs have (ogbn-products' max degree is ~17k against
+/// an average of ~52). Intra-class endpoints use the same power-law
+/// ranks restricted to the class, preserving `p_in` homophily.
+///
+/// `alpha = 0` degenerates to uniform endpoint choice (structurally
+/// [`sbm`], though not bit-identical — the RNG draw sequence differs).
+pub fn sbm_powerlaw(
+    n: usize,
+    num_classes: usize,
+    avg_degree: f64,
+    p_in: f64,
+    alpha: f64,
+    seed: u64,
+) -> (Csr, Vec<u32>) {
+    assert!(num_classes >= 2 && n >= num_classes);
+    assert!(alpha >= 0.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let labels: Vec<u32> = (0..n)
+        .map(|_| rng.gen_range(0..num_classes as u32))
+        .collect();
+    // Hotness ranks: a seeded permutation decouples "hot" from node-id
+    // order (CSR locality would otherwise make the hot set trivially
+    // contiguous and overstate cache wins downstream).
+    let mut perm: Vec<NodeId> = (0..n as u64).collect();
+    perm.shuffle(&mut SmallRng::seed_from_u64(seed ^ 0x9e37));
+    let global_cdf = powerlaw_cdf(n, alpha);
+    // Per-class views keep each class's members in global-rank order so
+    // intra-class picks reuse the same hotness profile.
+    let mut by_class: Vec<Vec<NodeId>> = vec![Vec::new(); num_classes];
+    for &v in &perm {
+        by_class[labels[v as usize] as usize].push(v);
+    }
+    let class_cdf: Vec<Vec<f64>> = by_class
+        .iter()
+        .map(|members| powerlaw_cdf(members.len(), alpha))
+        .collect();
+    let m = ((n as f64 * avg_degree) / 2.0) as usize;
+    let edges: Vec<(NodeId, NodeId)> = (0..m)
+        .map(|_| {
+            let s = perm[powerlaw_pick(&global_cdf, &mut rng)];
+            let t = if rng.gen::<f64>() < p_in {
+                let c = labels[s as usize] as usize;
+                by_class[c][powerlaw_pick(&class_cdf[c], &mut rng)]
+            } else {
+                perm[powerlaw_pick(&global_cdf, &mut rng)]
+            };
+            (s, t)
+        })
+        .collect();
+    (Csr::from_edges(n, &edges, true), labels)
+}
+
 /// Standard-normal sample via Box–Muller.
 fn normal(rng: &mut SmallRng) -> f32 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -200,6 +277,52 @@ mod tests {
         }
         let rate = same as f64 / total as f64;
         assert!(rate > 0.6, "homophily rate {rate}");
+    }
+
+    #[test]
+    fn sbm_powerlaw_is_heavy_tailed_and_homophilous() {
+        let (g, labels) = sbm_powerlaw(4000, 8, 16.0, 0.9, 1.05, 6);
+        assert_eq!(labels.len(), 4000);
+        // Tail: a calibrated power-law's max degree vastly exceeds its
+        // average, unlike the uniform-endpoint SBM.
+        assert!(
+            g.max_degree() as f64 > 8.0 * g.avg_degree(),
+            "max {} avg {}",
+            g.max_degree(),
+            g.avg_degree()
+        );
+        let (uniform, _) = sbm(4000, 8, 16.0, 0.9, 6);
+        assert!(g.max_degree() > 2 * uniform.max_degree());
+        // Homophily survives the reweighting.
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for v in 0..4000u64 {
+            for &t in g.neighbors(v) {
+                total += 1;
+                same += usize::from(labels[v as usize] == labels[t as usize]);
+            }
+        }
+        let rate = same as f64 / total as f64;
+        assert!(rate > 0.6, "homophily rate {rate}");
+    }
+
+    #[test]
+    fn sbm_powerlaw_concentrates_edges_on_a_hot_set() {
+        let (g, _) = sbm_powerlaw(4000, 8, 16.0, 0.85, 1.05, 11);
+        let mut degs: Vec<usize> = (0..4000u64).map(|v| g.neighbors(v).len()).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let hot: usize = degs[..40].iter().sum(); // top 1% of nodes
+        let all: usize = degs.iter().sum();
+        let share = hot as f64 / all as f64;
+        assert!(share > 0.15, "top-1% edge share {share}");
+    }
+
+    #[test]
+    fn sbm_powerlaw_is_deterministic() {
+        let (g1, l1) = sbm_powerlaw(800, 4, 8.0, 0.8, 1.1, 9);
+        let (g2, l2) = sbm_powerlaw(800, 4, 8.0, 0.8, 1.1, 9);
+        assert_eq!(g1, g2);
+        assert_eq!(l1, l2);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod store;
 pub type NodeId = u64;
 
 pub use csr::Csr;
-pub use datasets::{DatasetKind, SyntheticDataset};
+pub use datasets::{DatasetKind, DegreeProfile, SyntheticDataset};
 pub use global_id::GlobalId;
 pub use partition::{HashPartition, PartitionQuality};
 pub use store::{AdjacencyView, HostGraph, MultiGpuGraph};

@@ -409,10 +409,13 @@ fn execute_planned<T: Element>(
 
 /// Rows-per-gather histogram bucket bounds (mini-batch input sets run
 /// from hundreds of rows at toy scale to ~100k at paper fanouts). The
-/// 2048/8192 edges split the band where the wallclock epoch's batches
-/// land — without them 90% of calls piled into one `le: 4096` bucket.
-const ROWS_BUCKETS: [f64; 10] = [
-    256.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0, 65536.0, 262144.0, 1e6, 4e6,
+/// wallclock epoch's training batches gather ~1.7k rows each, so the
+/// 1024–2048 band carries 1280/1536/1792 edges to resolve it — with a
+/// bare 1024→2048 step, 90 of 99 calls piled into one `le: 2048`
+/// bucket above an empty `le: 1024`.
+const ROWS_BUCKETS: [f64; 13] = [
+    256.0, 1024.0, 1280.0, 1536.0, 1792.0, 2048.0, 4096.0, 8192.0, 16384.0, 65536.0, 262144.0, 1e6,
+    4e6,
 ];
 /// Link-utilization histogram bounds (fraction of peak NVLink bandwidth
 /// the gather's bus traffic achieved).

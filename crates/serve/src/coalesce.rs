@@ -1,0 +1,78 @@
+//! Micro-batch coalescing: merge a window of query nodes into one
+//! deduplicated frontier, remembering how to scatter results back.
+//!
+//! This is the paper's AppendUnique op (§III-C2) applied one level up:
+//! instead of deduplicating sampled neighbors inside one mini-batch, it
+//! deduplicates *query nodes across requests*, so ten requests for the
+//! same hot node cost one ego-graph. The per-input index map AppendUnique
+//! already produces is exactly the scatter-back table.
+
+use wg_graph::NodeId;
+use wg_sample::append_unique::{append_unique_into, AppendUniqueScratch};
+
+/// Reusable coalescing state: warm buffers make a steady-state coalesce
+/// allocation-free, matching the pipeline's scratch-arena discipline.
+#[derive(Default)]
+pub struct Coalescer {
+    scratch: AppendUniqueScratch,
+    unique: Vec<NodeId>,
+    map: Vec<u32>,
+    dup: Vec<u32>,
+}
+
+impl Coalescer {
+    /// Deduplicate `nodes` (first-occurrence order). After the call,
+    /// [`unique`](Self::unique) is the merged frontier to run one shared
+    /// forward pass over, and [`map`](Self::map)`[i]` is the frontier row
+    /// holding request `i`'s result.
+    pub fn coalesce(&mut self, nodes: &[NodeId]) {
+        // No targets: every query node goes through the neighbor path,
+        // which dedups and emits the per-input index map.
+        append_unique_into(
+            &[],
+            nodes,
+            &mut self.scratch,
+            &mut self.unique,
+            &mut self.map,
+            &mut self.dup,
+        );
+    }
+
+    /// The deduplicated frontier of the last [`coalesce`](Self::coalesce).
+    pub fn unique(&self) -> &[NodeId] {
+        &self.unique
+    }
+
+    /// Per-input scatter map of the last [`coalesce`](Self::coalesce):
+    /// input `i`'s result lives at frontier row `map()[i]`.
+    pub fn map(&self) -> &[u32] {
+        &self.map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_dedups_and_maps_back() {
+        let mut c = Coalescer::default();
+        c.coalesce(&[7, 3, 7, 9, 3, 7]);
+        assert_eq!(c.unique(), &[7, 3, 9]);
+        let map = c.map();
+        for (i, &node) in [7u64, 3, 7, 9, 3, 7].iter().enumerate() {
+            assert_eq!(c.unique()[map[i] as usize], node);
+        }
+    }
+
+    #[test]
+    fn coalesce_reuses_buffers_and_handles_singletons() {
+        let mut c = Coalescer::default();
+        c.coalesce(&[1, 1, 1]);
+        assert_eq!(c.unique(), &[1]);
+        assert_eq!(c.map(), &[0, 0, 0]);
+        c.coalesce(&[5]);
+        assert_eq!(c.unique(), &[5]);
+        assert_eq!(c.map(), &[0]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Request and completion records.
+
+use wg_graph::NodeId;
+use wg_sim::SimTime;
+
+/// One inference request: "predict the class of `node`".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Request {
+    /// Submission-order id (unique per workload).
+    pub id: u64,
+    /// The query node.
+    pub node: NodeId,
+    /// Arrival time on the simulated clock.
+    pub arrival: SimTime,
+    /// Absolute deadline, if the client set one. A request finishing
+    /// after its deadline is still answered but counted as expired.
+    pub deadline: Option<SimTime>,
+}
+
+/// A served request's outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// The request's id.
+    pub id: u64,
+    /// The query node.
+    pub node: NodeId,
+    /// When the request arrived.
+    pub arrival: SimTime,
+    /// When its batch launched on the GPU.
+    pub start: SimTime,
+    /// When its batch's forward pass finished.
+    pub finish: SimTime,
+    /// Dispatch sequence number of the batch that served it.
+    pub batch: u64,
+    /// Predicted class.
+    pub pred: u32,
+    /// FNV-1a checksum of the request's logits row — the bit-identity
+    /// witness comparing coalesced and per-request execution.
+    pub logits_checksum: u64,
+    /// Whether the batch finished after the request's deadline.
+    pub expired: bool,
+}
+
+impl Completion {
+    /// Queueing delay plus service time.
+    pub fn latency(&self) -> SimTime {
+        self.finish - self.arrival
+    }
+}

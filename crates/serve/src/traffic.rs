@@ -1,0 +1,245 @@
+//! Synthetic open-loop traffic: seeded arrival processes over
+//! Zipf-skewed query nodes.
+//!
+//! Open-loop means arrivals do not wait for responses — the generator
+//! lays the full request timeline out up front, and the engine serves it
+//! as fast as admission control allows. That is the honest way to
+//! measure a serving system: a closed loop self-throttles and hides
+//! queueing collapse.
+
+use rand::prelude::*;
+use wg_graph::NodeId;
+use wg_sim::SimTime;
+
+use crate::request::Request;
+
+/// How request arrival times are drawn.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential inter-arrival gaps at `rate_qps`.
+    Poisson {
+        /// Mean offered load, requests per simulated second.
+        rate_qps: f64,
+    },
+    /// Bursty arrivals: bursts of `burst` simultaneous requests, with
+    /// exponential gaps between bursts sized so the *mean* offered load
+    /// is still `rate_qps`. Stresses admission control and gives the
+    /// coalescer full windows.
+    Bursty {
+        /// Mean offered load, requests per simulated second.
+        rate_qps: f64,
+        /// Requests per burst.
+        burst: usize,
+    },
+}
+
+/// Traffic generator configuration.
+#[derive(Clone, Debug)]
+pub struct TrafficConfig {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Arrival process.
+    pub process: ArrivalProcess,
+    /// Zipf exponent for query-node popularity (`0.0` = uniform). Rank
+    /// `r` (0-based) is drawn with weight `(r+1)^-s`; ranks map to node
+    /// ids through a seeded shuffle, so the hot set is not simply the
+    /// lowest ids.
+    pub zipf_s: f64,
+    /// Query nodes are drawn from `0..num_nodes`.
+    pub num_nodes: u64,
+    /// Master seed: the same (config, seed) pair reproduces the exact
+    /// request sequence, bit for bit.
+    pub seed: u64,
+    /// Relative deadline attached to every request (`None` = no SLO).
+    pub deadline: Option<SimTime>,
+}
+
+impl TrafficConfig {
+    /// Generate the request timeline: arrivals are non-decreasing, ids
+    /// follow submission order.
+    pub fn generate(&self) -> Vec<Request> {
+        assert!(self.num_nodes > 0, "traffic needs a non-empty node set");
+        let mut arr_rng = SmallRng::seed_from_u64(self.seed ^ 0xa11e);
+        let mut node_rng = SmallRng::seed_from_u64(self.seed ^ 0x21bf);
+        let picker = ZipfPicker::new(self.num_nodes, self.zipf_s, self.seed);
+        let mut out = Vec::with_capacity(self.requests);
+        let mut now = 0.0f64;
+        let mut in_burst = 0usize;
+        for id in 0..self.requests as u64 {
+            match self.process {
+                ArrivalProcess::Poisson { rate_qps } => {
+                    now += exp_gap(&mut arr_rng, rate_qps);
+                }
+                ArrivalProcess::Bursty { rate_qps, burst } => {
+                    let burst = burst.max(1);
+                    if in_burst == 0 {
+                        // Gap between bursts: rate_qps/burst bursts/sec.
+                        now += exp_gap(&mut arr_rng, rate_qps / burst as f64);
+                        in_burst = burst;
+                    }
+                    in_burst -= 1;
+                }
+            }
+            let arrival = SimTime::from_secs(now);
+            out.push(Request {
+                id,
+                node: picker.pick(&mut node_rng),
+                arrival,
+                deadline: self.deadline.map(|d| arrival + d),
+            });
+        }
+        out
+    }
+}
+
+/// One exponential inter-arrival gap at `rate` events per second.
+/// `1 - U` keeps the argument in `(0, 1]` (the shim's `gen::<f64>()` is
+/// `[0, 1)`), so the log never sees zero.
+fn exp_gap(rng: &mut SmallRng, rate: f64) -> f64 {
+    assert!(rate > 0.0, "arrival rate must be positive");
+    -(1.0 - rng.gen::<f64>()).ln() / rate
+}
+
+/// Inverse-CDF Zipf sampler over a seeded permutation of the node ids.
+struct ZipfPicker {
+    num_nodes: u64,
+    /// Rank → node id (seeded shuffle, so the hot set is not id order);
+    /// empty when uniform.
+    perm: Vec<NodeId>,
+    /// Cumulative rank weights; empty when uniform.
+    cum: Vec<f64>,
+}
+
+impl ZipfPicker {
+    fn new(num_nodes: u64, s: f64, seed: u64) -> Self {
+        if s == 0.0 {
+            return ZipfPicker {
+                num_nodes,
+                perm: Vec::new(),
+                cum: Vec::new(),
+            };
+        }
+        let mut perm: Vec<NodeId> = (0..num_nodes).collect();
+        perm.shuffle(&mut SmallRng::seed_from_u64(seed ^ 0x217f));
+        let mut cum = Vec::with_capacity(num_nodes as usize);
+        let mut total = 0.0;
+        for r in 0..num_nodes {
+            total += ((r + 1) as f64).powf(-s);
+            cum.push(total);
+        }
+        ZipfPicker {
+            num_nodes,
+            perm,
+            cum,
+        }
+    }
+
+    fn pick(&self, rng: &mut SmallRng) -> NodeId {
+        if self.cum.is_empty() {
+            return rng.gen_range(0..self.num_nodes);
+        }
+        let u = rng.gen::<f64>() * self.cum.last().copied().unwrap_or(1.0);
+        let rank = self.cum.partition_point(|&c| c <= u);
+        self.perm[rank.min(self.perm.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(process: ArrivalProcess, seed: u64) -> TrafficConfig {
+        TrafficConfig {
+            requests: 500,
+            process,
+            zipf_s: 1.1,
+            num_nodes: 1000,
+            seed,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn poisson_and_bursty_are_seed_deterministic() {
+        for process in [
+            ArrivalProcess::Poisson { rate_qps: 200.0 },
+            ArrivalProcess::Bursty {
+                rate_qps: 200.0,
+                burst: 16,
+            },
+        ] {
+            let a = cfg(process, 7).generate();
+            let b = cfg(process, 7).generate();
+            assert_eq!(a, b, "{process:?} not reproducible");
+            let c = cfg(process, 8).generate();
+            assert_ne!(a, c, "{process:?} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_rate_is_roughly_honoured() {
+        for process in [
+            ArrivalProcess::Poisson { rate_qps: 100.0 },
+            ArrivalProcess::Bursty {
+                rate_qps: 100.0,
+                burst: 10,
+            },
+        ] {
+            let reqs = cfg(process, 3).generate();
+            assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+            assert!(reqs.iter().all(|r| (r.node) < 1000));
+            // 500 requests at 100 qps ≈ 5 s of traffic; allow wide slack.
+            let span = reqs.last().unwrap().arrival.as_secs();
+            assert!((2.5..10.0).contains(&span), "{process:?}: span {span}");
+        }
+    }
+
+    #[test]
+    fn bursts_share_an_arrival_instant() {
+        let reqs = cfg(
+            ArrivalProcess::Bursty {
+                rate_qps: 100.0,
+                burst: 10,
+            },
+            5,
+        )
+        .generate();
+        // Every burst of 10 shares one arrival time.
+        for chunk in reqs.chunks(10) {
+            assert!(chunk.iter().all(|r| r.arrival == chunk[0].arrival));
+        }
+    }
+
+    #[test]
+    fn zipf_skews_and_uniform_does_not() {
+        let mut skewed = cfg(ArrivalProcess::Poisson { rate_qps: 100.0 }, 11);
+        skewed.requests = 4000;
+        let hot = top_share(&skewed.generate());
+        let mut uniform = skewed.clone();
+        uniform.zipf_s = 0.0;
+        let flat = top_share(&uniform.generate());
+        assert!(
+            hot > 3.0 * flat,
+            "zipf top-node share {hot} vs uniform {flat}"
+        );
+    }
+
+    /// Fraction of requests hitting the single most-queried node.
+    fn top_share(reqs: &[Request]) -> f64 {
+        let mut counts = std::collections::HashMap::new();
+        for r in reqs {
+            *counts.entry(r.node).or_insert(0usize) += 1;
+        }
+        *counts.values().max().unwrap() as f64 / reqs.len() as f64
+    }
+
+    #[test]
+    fn deadlines_are_arrival_relative() {
+        let mut c = cfg(ArrivalProcess::Poisson { rate_qps: 50.0 }, 2);
+        c.deadline = Some(SimTime::from_millis(20.0));
+        for r in c.generate() {
+            let d = r.deadline.unwrap();
+            assert!((d - r.arrival).as_millis() - 20.0 < 1e-9);
+        }
+    }
+}

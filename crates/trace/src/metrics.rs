@@ -188,6 +188,60 @@ pub struct HistogramSnapshot {
     pub sum: f64,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-th quantile (`0.0 ≤ q ≤ 1.0`) from the bucket
+    /// counts, Prometheus-style: find the bucket holding the `q·count`-th
+    /// observation (ranks are 1-based; `q = 0` reads as the first
+    /// observation), then interpolate linearly between the bucket's lower
+    /// and upper bound under a uniform-within-bucket assumption. The
+    /// first bucket interpolates from 0; a quantile landing in the
+    /// overflow bucket returns the last finite bound (the histogram
+    /// cannot resolve beyond it). Returns `None` on an empty histogram.
+    ///
+    /// The estimate is deterministic — a pure function of the frozen
+    /// bucket counts — so serving-latency p50/p99 reported from it are
+    /// reproducible across runs with identical observations.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if (cum as f64) < rank {
+                continue;
+            }
+            let upper = match self.bounds.get(i) {
+                Some(&b) => b,
+                // Overflow bucket: unbounded above, so the best the
+                // fixed buckets can say is "at least the last bound".
+                None => return Some(self.bounds.last().copied().unwrap_or(0.0)),
+            };
+            let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+            let frac = if c == 0 {
+                1.0
+            } else {
+                (rank - prev as f64) / c as f64
+            };
+            return Some(lower + (upper - lower) * frac);
+        }
+        self.bounds.last().copied()
+    }
+
+    /// Median estimate — `quantile(0.5)`.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Tail-latency estimate — `quantile(0.99)`.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
 /// A frozen copy of the whole registry, each section sorted by name.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -349,6 +403,51 @@ mod tests {
         assert_eq!(snap.counters, vec![("m.node3.bytes".to_string(), 50.0)]);
         crate::disable_all();
         reset();
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate_within_buckets() {
+        // 10 observations ≤1, 80 in (1, 10], 10 in (10, 100]: the median
+        // rank (50) sits 40/80 of the way through the middle bucket.
+        let h = HistogramSnapshot {
+            name: "q".into(),
+            bounds: vec![1.0, 10.0, 100.0],
+            buckets: vec![10, 80, 10, 0],
+            count: 100,
+            sum: 0.0,
+        };
+        assert!((h.p50().unwrap() - 5.5).abs() < 1e-9);
+        // Rank 99 is the 89th observation past the first two buckets:
+        // 9/10 of the way through (10, 100].
+        assert!((h.p99().unwrap() - 91.0).abs() < 1e-9);
+        // Rank 10 closes out the first bucket exactly.
+        assert!((h.quantile(0.1).unwrap() - 1.0).abs() < 1e-9);
+        // q=0 reads the first observation's bucket, interpolated from 0.
+        assert!((h.quantile(0.0).unwrap() - 0.1).abs() < 1e-9);
+        assert!((h.quantile(1.0).unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        let empty = HistogramSnapshot {
+            name: "e".into(),
+            bounds: vec![1.0, 2.0],
+            buckets: vec![0, 0, 0],
+            count: 0,
+            sum: 0.0,
+        };
+        assert_eq!(empty.p50(), None);
+        // All mass in the overflow bucket: the histogram can only answer
+        // "at least the last bound".
+        let overflow = HistogramSnapshot {
+            name: "o".into(),
+            bounds: vec![1.0, 2.0],
+            buckets: vec![0, 0, 7],
+            count: 7,
+            sum: 0.0,
+        };
+        assert_eq!(overflow.p50(), Some(2.0));
+        assert_eq!(overflow.p99(), Some(2.0));
     }
 
     #[test]

@@ -27,13 +27,20 @@
 #     bytes conserved, monotone static hit rates, and a >=50% remote-row
 #     cut from a <=10% hot-set cache.
 #
+# The serving leg regenerates BENCH_serving.json and `check_bench
+# serving` gates it: coalesced micro-batching must answer every request
+# bit-identically to sequential serving, at >=2x the sustained QPS with
+# equal-or-better exact p99, shed nothing on the main legs, and balance
+# its shed books exactly on the overload leg.
+#
 # Leaves in <out-dir>: baseline.json (committed numbers), current.json
 # (this run), wallclock_trace.json (merged host/sim Chrome trace — load
 # in chrome://tracing or ui.perfetto.dev), criterion_benches.txt (the
 # SIMD-vs-scalar criterion microbenchmarks — informational, never
 # gated), multinode.json and multinode_trace.json (executed sweep +
-# 4-node cluster trace, one Chrome process per node). CI uploads the
-# directory.
+# 4-node cluster trace, one Chrome process per node), serving.json and
+# serving_trace.json (serving sweep + traced coalesced replay). CI
+# uploads the directory.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -94,6 +101,15 @@ echo "bench_gate: criterion kernel microbenchmarks (matmul, gather_copy)"
 cargo bench -q "${OFFLINE_FLAGS[@]}" -p wg-bench --bench matmul --bench gather_copy \
     | tee "$OUT_DIR/criterion_benches.txt"
 
+echo "bench_gate: serving sweep (coalesced trace on)"
+cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin serving_sweep -- \
+    --trace "$OUT_DIR/serving_trace.json"
+cp BENCH_serving.json "$OUT_DIR/serving.json"
+
+echo "bench_gate: serving sweep gate"
+cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
+    serving "$OUT_DIR/serving.json"
+
 echo "bench_gate: executed multi-node sweep (4-node trace on)"
 cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin multinode_sweep -- \
     --trace "$OUT_DIR/multinode_trace.json"
@@ -104,8 +120,10 @@ cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
     multinode "$OUT_DIR/multinode.json"
 
 # The benches rewrote BENCH_wallclock.json / BENCH_multinode.json /
-# BENCH_cache.json in place; restore the committed copies so the gate
-# leaves the tree clean (this run's copies live in $OUT_DIR).
-git checkout -- BENCH_wallclock.json BENCH_multinode.json BENCH_cache.json 2>/dev/null || true
+# BENCH_cache.json / BENCH_serving.json in place; restore the committed
+# copies so the gate leaves the tree clean (this run's copies live in
+# $OUT_DIR).
+git checkout -- BENCH_wallclock.json BENCH_multinode.json BENCH_cache.json \
+    BENCH_serving.json 2>/dev/null || true
 
 echo "bench_gate: OK (artifacts in $OUT_DIR/)"
