@@ -47,6 +47,15 @@
 //!     cache of at most 10% of the rows cuts remote gather rows by at
 //!     least half.
 //!
+//! check_bench storage <bench.json>
+//!     Validate `BENCH_storage.json` (the out-of-core residency sweep):
+//!     schema string, every point's loss/accuracy bits equal to the
+//!     tier-off baseline's, bytes conserved exactly between the DSM and
+//!     disk tiers (`storage + dsm == uncached total`), zero disk traffic
+//!     at full residency, disk rows monotone as residency shrinks, and
+//!     the prefetch-overlapped storage time strictly below the blocking
+//!     sum at every point with <= 50% residency.
+//!
 //! check_bench serving <bench.json>
 //!     Validate `BENCH_serving.json` (the serving sweep): schema string,
 //!     `bit_identical` true (coalesced == sequential per-request bits),
@@ -87,7 +96,7 @@ fn usage() -> ! {
         "usage:\n  check_bench gate <bench.json>\n  check_bench compare <baseline.json> \
          <current.json> [--warn-pct N] [--fail-pct N] [--expect-improvement <bench>]...\n  \
          check_bench multinode <bench.json>\n  check_bench cache <bench.json>\n  \
-         check_bench serving <bench.json>"
+         check_bench storage <bench.json>\n  check_bench serving <bench.json>"
     );
     exit(2);
 }
@@ -387,6 +396,124 @@ fn cache(path: &str) -> i32 {
     }
 }
 
+/// Validate the out-of-core storage sweep artifact.
+fn storage(path: &str) -> i32 {
+    let doc = load(path);
+    let mut failures = 0u32;
+    let mut fail = |msg: String| {
+        eprintln!("STORAGE FAIL: {msg}");
+        failures += 1;
+    };
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("wg-storage-sweep-v1") => {}
+        got => fail(format!(
+            "schema {} != wg-storage-sweep-v1",
+            got.unwrap_or("<missing>")
+        )),
+    }
+    let str_field = |p: &Json, key: &str| -> String {
+        p.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .unwrap_or_else(|| {
+                eprintln!("check_bench: storage point missing {key} in {path}");
+                exit(2);
+            })
+    };
+    let num_field = |p: &Json, key: &str| -> f64 {
+        p.get(key).and_then(Json::as_f64).unwrap_or_else(|| {
+            eprintln!("check_bench: storage point missing {key} in {path}");
+            exit(2);
+        })
+    };
+    let Some(base) = doc.get("baseline") else {
+        fail("baseline missing".to_string());
+        eprintln!("check_bench storage: {failures} failure(s) in {path}");
+        return 1;
+    };
+    let points: Vec<&Json> = doc
+        .get("points")
+        .and_then(Json::as_array)
+        .map(|p| p.iter().collect())
+        .unwrap_or_default();
+    if points.len() < 4 {
+        fail(format!("need >= 4 sweep points, got {}", points.len()));
+    }
+    let base_algo = num_field(base, "algo_bytes");
+    let mut prev_disk = -1.0;
+    let mut full_residency_seen = false;
+    let mut overlap_gated = 0u32;
+    for p in &points {
+        let frac = num_field(p, "frac");
+        // Values never move: the disk-served rows round-tripped through
+        // the spill file bit-identically.
+        if str_field(p, "loss_bits") != str_field(base, "loss_bits") {
+            fail(format!("{frac}: loss bits differ from tier-off baseline"));
+        }
+        if str_field(p, "accuracy_bits") != str_field(base, "accuracy_bits") {
+            fail(format!(
+                "{frac}: accuracy bits differ from tier-off baseline"
+            ));
+        }
+        // Bytes conserved: every gathered byte came from exactly one of
+        // the DSM or the disk tier.
+        let split = num_field(p, "storage_bytes") + num_field(p, "dsm_bytes");
+        if split != base_algo {
+            fail(format!(
+                "{frac}: storage + dsm bytes {split} != uncached total {base_algo}"
+            ));
+        }
+        let disk = num_field(p, "storage_rows");
+        if disk < prev_disk {
+            fail(format!("disk rows not monotone at frac {frac}"));
+        }
+        prev_disk = disk;
+        let (blocking, exposed) = (
+            num_field(p, "storage_blocking_s"),
+            num_field(p, "storage_exposed_s"),
+        );
+        if frac >= 1.0 {
+            full_residency_seen = true;
+            if disk != 0.0 || blocking != 0.0 {
+                fail(format!(
+                    "full residency still hit disk ({disk} rows, {blocking}s)"
+                ));
+            }
+        }
+        // The overlap claim: at <= 50% residency the tier serves real
+        // traffic, and the double-buffered prefetch must strictly beat
+        // charging every NVMe read as blocking.
+        if frac <= 0.50 {
+            if disk <= 0.0 || blocking <= 0.0 {
+                fail(format!("{frac}: expected disk traffic at <= 50% residency"));
+            }
+            if exposed >= blocking {
+                fail(format!(
+                    "{frac}: prefetch-overlapped {exposed}s not strictly below blocking {blocking}s"
+                ));
+            }
+            overlap_gated += 1;
+        }
+    }
+    if !full_residency_seen {
+        fail("no full-residency (frac = 1.0) point".to_string());
+    }
+    if overlap_gated == 0 {
+        fail("no point at <= 50% residency to gate the prefetch overlap".to_string());
+    }
+    if failures == 0 {
+        println!(
+            "check_bench storage: OK ({} points; numerics pinned, dsm + disk bytes conserved, \
+             prefetch overlap holds on {overlap_gated} low-residency points)",
+            points.len()
+        );
+        0
+    } else {
+        eprintln!("check_bench storage: {failures} failure(s) in {path}");
+        1
+    }
+}
+
 /// Validate the serving sweep artifact.
 fn serving(path: &str) -> i32 {
     let doc = load(path);
@@ -621,6 +748,10 @@ fn main() {
         },
         Some("cache") => match args.get(1) {
             Some(path) => cache(path),
+            None => usage(),
+        },
+        Some("storage") => match args.get(1) {
+            Some(path) => storage(path),
             None => usage(),
         },
         Some("serving") => match args.get(1) {

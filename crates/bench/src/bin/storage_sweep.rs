@@ -1,0 +1,253 @@
+//! Residency-fraction sweep over the out-of-core storage tier — the
+//! evidence behind ROADMAP item 1's disk tier. Runs the wallclock
+//! harness's epoch workload shape (ogbn-products stand-in at 1/300 with
+//! the power-law degree profile, tiny GraphSage, 4 simulated GPUs) once
+//! with the tier off and then with only a fraction of the feature rows
+//! DSM-resident (100% → 10%), and writes `BENCH_storage.json` with
+//! per-point disk traffic, NVMe time (blocking vs prefetch-overlapped),
+//! and epoch times.
+//!
+//! Three invariants make the artifact gateable (`check_bench storage`):
+//!
+//! * **Values never move** — every point's loss/accuracy bits equal the
+//!   tier-off baseline's, even though the non-resident rows genuinely
+//!   round-trip through the spill file. Tiering changes cost, never
+//!   numerics.
+//! * **Bytes are conserved** — each point's gathered bytes split exactly
+//!   into DSM-served and disk-served: `storage_bytes + dsm_bytes`
+//!   equals the baseline's `algo_bytes`. No row is dropped or fetched
+//!   twice at the accounting layer.
+//! * **Prefetch overlaps** — the storage time left exposed after
+//!   double-buffering each wave's NVMe reads against the previous
+//!   wave's compute is *strictly* below the blocking sum whenever the
+//!   tier actually serves rows from disk.
+//!
+//! Each configuration trains two epochs and reports the *second*, with
+//! per-point traffic numbers taken as metric-registry deltas over
+//! exactly that epoch. The feature cache is pinned off throughout so the
+//! DSM/disk split is not confounded by a third tier.
+
+use std::sync::Arc;
+
+use wg_bench::{banner, Table};
+use wg_graph::{DatasetKind, DegreeProfile, SyntheticDataset};
+use wholegraph::prelude::*;
+
+/// DSM residency fractions swept, largest first. 1.0 keeps everything
+/// resident (the tier is built but never read — its cost must be zero);
+/// the 0.5 and smaller points must show the prefetch-overlap win.
+const FRACTIONS: [f64; 4] = [1.0, 0.5, 0.25, 0.1];
+
+/// One swept configuration's measurements (`frac` < 0 = tier-off
+/// baseline).
+struct Point {
+    frac: f64,
+    budget_rows: usize,
+    /// Rows gathered over the measured epoch (all tiers combined).
+    rows: u64,
+    algo_bytes: u64,
+    bus_bytes: u64,
+    /// Rows / bytes served from the spill file.
+    storage_rows: u64,
+    storage_bytes: u64,
+    /// NVMe time charged as if every prefetch blocked its gather.
+    blocking: SimTime,
+    /// NVMe time left exposed after per-wave prefetch overlap.
+    exposed: SimTime,
+    epoch_time: SimTime,
+    gather_time: SimTime,
+    loss_bits: u32,
+    accuracy_bits: u64,
+}
+
+/// Counter value by exact name, zero when the counter never fired.
+fn counter(snap: &wg_trace::metrics::Snapshot, name: &str) -> f64 {
+    snap.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0.0, |&(_, v)| v)
+}
+
+/// Train two epochs of the wallclock-shaped pipeline with `budget_rows`
+/// DSM-resident rows (`None` = tier off) and measure the second one.
+fn run(dataset: &Arc<SyntheticDataset>, budget_rows: Option<usize>, frac: f64) -> Point {
+    let machine = Machine::new(MachineConfig::dgx_like(4));
+    let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage)
+        .with_seed(3)
+        .with_cache(0, CacheMode::Static)
+        .with_storage(budget_rows.unwrap_or(0));
+    let mut pipe = Pipeline::new(machine, Arc::clone(dataset), cfg).expect("pipeline");
+    pipe.train_epoch(0); // warm-up epoch: fills scratch pools
+    let before = wg_trace::metrics::snapshot();
+    let r = pipe.train_epoch(1);
+    let after = wg_trace::metrics::snapshot();
+    let delta = |name: &str| (counter(&after, name) - counter(&before, name)).round() as u64;
+    Point {
+        frac,
+        budget_rows: budget_rows.unwrap_or(0),
+        rows: delta("mem.gather.rows"),
+        algo_bytes: delta("mem.gather.algo_bytes"),
+        bus_bytes: delta("mem.gather.bus_bytes"),
+        storage_rows: delta("mem.storage.rows"),
+        storage_bytes: delta("mem.storage.bytes"),
+        blocking: r.storage_time,
+        exposed: r.storage_exposed_time,
+        epoch_time: r.epoch_time,
+        gather_time: r.gather_time,
+        loss_bits: r.loss.to_bits(),
+        accuracy_bits: r.train_accuracy.to_bits(),
+    }
+}
+
+fn point_json(p: &Point, row_bytes: u64) -> String {
+    format!(
+        "    {{\"frac\": {:.4}, \"budget_rows\": {}, \"rows\": {}, \
+         \"algo_bytes\": {}, \"bus_bytes\": {}, \"storage_rows\": {}, \
+         \"storage_bytes\": {}, \"dsm_bytes\": {}, \
+         \"storage_blocking_s\": {:.9}, \"storage_exposed_s\": {:.9}, \
+         \"epoch_time_s\": {:.9}, \"gather_time_s\": {:.9}, \
+         \"loss_bits\": \"{:08x}\", \"accuracy_bits\": \"{:016x}\"}}",
+        p.frac,
+        p.budget_rows,
+        p.rows,
+        p.algo_bytes,
+        p.bus_bytes,
+        p.storage_rows,
+        p.storage_bytes,
+        (p.rows - p.storage_rows) * row_bytes,
+        p.blocking.as_secs(),
+        p.exposed.as_secs(),
+        p.epoch_time.as_secs(),
+        p.gather_time.as_secs(),
+        p.loss_bits,
+        p.accuracy_bits,
+    )
+}
+
+fn main() {
+    banner(
+        "storage sweep",
+        "DSM residency fraction vs disk traffic and epoch time",
+    );
+    wg_trace::enable_metrics();
+    // Same heavy-tailed stand-in the cache sweep uses: residency is
+    // hotness-ranked, so the tail is what actually falls to disk.
+    let dataset = Arc::new(SyntheticDataset::generate_with_profile(
+        DatasetKind::OgbnProducts,
+        300,
+        8,
+        DegreeProfile::PowerLaw { alpha: 1.05 },
+    ));
+    let total_rows = dataset.num_nodes();
+    let row_bytes = (dataset.feature_dim * std::mem::size_of::<f32>()) as u64;
+    println!(
+        "dataset: ogbn-products stand-in at 1/300 (power-law degrees, alpha 1.05) — \
+         {total_rows} nodes x {row_bytes} B rows; tiny GraphSage, 4 GPUs\n",
+    );
+
+    let baseline = run(&dataset, None, -1.0);
+    let points: Vec<Point> = FRACTIONS
+        .iter()
+        .map(|&frac| {
+            let rows = ((total_rows as f64 * frac).round() as usize).max(1);
+            run(&dataset, Some(rows), frac)
+        })
+        .collect();
+
+    let mut t = Table::new(&[
+        "resident",
+        "budget rows",
+        "disk rows",
+        "disk MB",
+        "blocking",
+        "exposed",
+        "gather",
+        "epoch",
+    ]);
+    let row = |t: &mut Table, p: &Point| {
+        t.row(&[
+            if p.frac < 0.0 {
+                "off".to_string()
+            } else {
+                format!("{:.0}%", p.frac * 100.0)
+            },
+            p.budget_rows.to_string(),
+            p.storage_rows.to_string(),
+            format!("{:.2}", p.storage_bytes as f64 / 1e6),
+            format!("{}", p.blocking),
+            format!("{}", p.exposed),
+            format!("{}", p.gather_time),
+            format!("{}", p.epoch_time),
+        ]);
+    };
+    row(&mut t, &baseline);
+    for p in &points {
+        row(&mut t, p);
+    }
+    t.print();
+
+    for p in &points {
+        // Values never move: the staged rows really came back from disk
+        // bit-identical.
+        assert_eq!(
+            p.loss_bits,
+            baseline.loss_bits,
+            "{:.0}% resident: loss diverged from tier-off baseline",
+            p.frac * 100.0
+        );
+        assert_eq!(
+            p.accuracy_bits,
+            baseline.accuracy_bits,
+            "{:.0}% resident: accuracy diverged from tier-off baseline",
+            p.frac * 100.0
+        );
+        // Same gather work at every point...
+        assert_eq!(p.rows, baseline.rows, "gathered row count moved");
+        assert_eq!(p.algo_bytes, baseline.algo_bytes, "algorithmic bytes moved");
+        // ...split exactly between the DSM and the disk tier.
+        assert_eq!(
+            p.storage_bytes + (p.rows - p.storage_rows) * row_bytes,
+            baseline.algo_bytes,
+            "{:.0}% resident: dsm + disk bytes != uncached total",
+            p.frac * 100.0
+        );
+        assert_eq!(p.storage_bytes, p.storage_rows * row_bytes);
+        // The prefetch overlap must genuinely hide NVMe time behind
+        // compute whenever the tier serves rows.
+        if p.storage_rows > 0 {
+            assert!(
+                p.exposed < p.blocking,
+                "{:.0}% resident: prefetch-overlapped storage time {} not below blocking {}",
+                p.frac * 100.0,
+                p.exposed,
+                p.blocking
+            );
+        } else {
+            assert!(p.blocking.is_zero() && p.exposed.is_zero());
+        }
+    }
+    // Lower residency → monotonically nondecreasing disk traffic, and a
+    // fully-resident tier serves nothing from disk.
+    assert_eq!(points[0].storage_rows, 0, "100% resident still hit disk");
+    for w in points.windows(2) {
+        assert!(
+            w[1].storage_rows >= w[0].storage_rows,
+            "disk rows not monotone in residency"
+        );
+    }
+    println!(
+        "\nall points bit-identical to tier-off baseline; dsm + disk bytes == uncached total; \
+         prefetch overlap strictly hides NVMe time"
+    );
+
+    let points_json: Vec<String> = points.iter().map(|p| point_json(p, row_bytes)).collect();
+    let json = format!(
+        "{{\n  \"schema\": \"wg-storage-sweep-v1\",\n  \"dataset\": \"ogbn-products\",\n  \
+         \"scale\": 300,\n  \"seed\": 3,\n  \"total_rows\": {total_rows},\n  \
+         \"row_bytes\": {row_bytes},\n  \"baseline\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        point_json(&baseline, row_bytes),
+        points_json.join(",\n")
+    );
+    std::fs::write("BENCH_storage.json", &json).expect("write BENCH_storage.json");
+    println!("Wrote BENCH_storage.json");
+}

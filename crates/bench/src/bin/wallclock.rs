@@ -340,19 +340,27 @@ fn bench_spmm() -> Measurement {
 ///
 /// With `--trace <file>`, the last repetition's simulated device
 /// intervals are merged with the drained host spans into a Chrome trace.
-fn bench_epoch(trace: Option<&str>, cache: Option<(usize, CacheMode)>) -> Measurement {
+fn bench_epoch(
+    trace: Option<&str>,
+    cache: Option<(usize, CacheMode)>,
+    storage: Option<usize>,
+) -> Measurement {
     let dataset = Arc::new(SyntheticDataset::generate(
         DatasetKind::OgbnProducts,
         300,
         8,
     ));
     let machine = Machine::new(MachineConfig::dgx_like(4));
-    // Default to the cache pinned *off* (not the environment) so the
-    // published checksum and timings never depend on ambient WG_CACHE_*.
+    // Default to the cache and storage tiers pinned *off* (not the
+    // environment) so the published checksum and timings never depend on
+    // ambient WG_CACHE_* / WG_STORAGE_BUDGET_ROWS. With `--storage-rows`
+    // the epoch runs through the out-of-core tier — the pinned checksum
+    // must not move (values never move; only simulated cost does).
     let (cache_rows, cache_mode) = cache.unwrap_or((0, CacheMode::Static));
     let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::GraphSage)
         .with_seed(3)
-        .with_cache(cache_rows, cache_mode);
+        .with_cache(cache_rows, cache_mode)
+        .with_storage(storage.unwrap_or(0));
     let mut pipe = Pipeline::new(machine, dataset, cfg).unwrap();
     let batches = pipe.iters_per_epoch() as u64;
     let m = measure("epoch", batches, || {
@@ -414,6 +422,14 @@ fn main() {
                 });
             (rows, mode)
         });
+    let storage = args
+        .iter()
+        .position(|a| a == "--storage-rows")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse::<usize>()
+                .expect("--storage-rows expects a row count")
+        });
     if let Some((rows, mode)) = cache {
         println!(
             "feature cache: {} rows/device, {} mode\n",
@@ -421,12 +437,15 @@ fn main() {
             mode.as_str()
         );
     }
+    if let Some(rows) = storage {
+        println!("out-of-core tier: {rows} DSM-resident rows (epoch bench)\n");
+    }
 
     let results = [
         bench_sample(),
         bench_gather(cache),
         bench_spmm(),
-        bench_epoch(trace_path.as_deref(), cache),
+        bench_epoch(trace_path.as_deref(), cache, storage),
     ];
 
     // Steady-state allocation budgets (per batch, warm pools): the

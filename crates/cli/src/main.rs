@@ -20,7 +20,7 @@ use wholegraph::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  wg gen   --dataset <products|papers100m|friendster|uk> --scale <N> --out <file> [--seed <N>]\n  wg train [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--framework <wholegraph|dgl|pyg>] [--epochs <N>] [--batch <N>] [--hidden <N>]\n           [--layers <N>] [--fanout <N>] [--gpus <N>] [--seed <N>] [--overlap]\n           [--cache-rows <N>] [--cache-mode <static|clock>] [--trace <out.json>]\n  wg multinode --nodes <N> [--compress topk:<frac>] [--delayed-agg [<period>]]\n           [--gpus <per-node>] [--epochs <N>] [--trace <out.json>]\n           [--cache-rows <N>] [--cache-mode <static|clock>]\n           [dataset/model/batch/seed flags as in train]\n  wg serve [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--epochs <warmup-epochs>] [--gpus <N>] [--seed <N>]\n           [--requests <N>] [--rate <qps>] [--burst <N>] [--zipf <s>]\n           [--max-batch <N>] [--max-delay-us <f>] [--queue-cap <N>] [--sequential]\n           [--deadline-us <f>] [--cache-rows <N>] [--cache-mode <static|clock>]\n           [--trace <out.json>]\n  wg info  --data <file>"
+        "usage:\n  wg gen   --dataset <products|papers100m|friendster|uk> --scale <N> --out <file> [--seed <N>]\n           [--out-of-core <resident-frac>]   (heavy-tailed profile; prints WG_STORAGE_BUDGET_ROWS)\n  wg train [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--framework <wholegraph|dgl|pyg>] [--epochs <N>] [--batch <N>] [--hidden <N>]\n           [--layers <N>] [--fanout <N>] [--gpus <N>] [--seed <N>] [--overlap]\n           [--cache-rows <N>] [--cache-mode <static|clock>] [--storage-rows <N>]\n           [--trace <out.json>]\n  wg multinode --nodes <N> [--compress topk:<frac>] [--delayed-agg [<period>]]\n           [--gpus <per-node>] [--epochs <N>] [--trace <out.json>]\n           [--cache-rows <N>] [--cache-mode <static|clock>] [--storage-rows <N>]\n           [dataset/model/batch/seed flags as in train]\n  wg serve [--data <file> | --dataset <kind> --scale <N>] [--model <gcn|sage|gat>]\n           [--epochs <warmup-epochs>] [--gpus <N>] [--seed <N>]\n           [--requests <N>] [--rate <qps>] [--burst <N>] [--zipf <s>]\n           [--max-batch <N>] [--max-delay-us <f>] [--queue-cap <N>] [--sequential]\n           [--deadline-us <f>] [--cache-rows <N>] [--cache-mode <static|clock>]\n           [--storage-rows <N>] [--trace <out.json>]\n  wg info  --data <file>"
     );
     exit(2);
 }
@@ -114,6 +114,19 @@ fn cache_config(flags: &HashMap<String, String>) -> Option<CacheConfig> {
     Some(CacheConfig { rows, mode })
 }
 
+/// Parse `--storage-rows <N>` into a [`StorageConfig`]. An absent flag
+/// returns `None`, leaving the pipeline on its environment default
+/// (`WG_STORAGE_BUDGET_ROWS`); `--storage-rows 0` pins the out-of-core
+/// tier off regardless of the environment.
+fn storage_config(flags: &HashMap<String, String>) -> Option<StorageConfig> {
+    let rows = flags.get("storage-rows")?;
+    let budget_rows: usize = rows.parse().unwrap_or_else(|_| {
+        eprintln!("--storage-rows expects a row count, got {rows}");
+        usage();
+    });
+    Some(StorageConfig { budget_rows })
+}
+
 fn load_or_generate(flags: &HashMap<String, String>) -> Arc<SyntheticDataset> {
     if let Some(path) = flags.get("data") {
         match load_dataset(path) {
@@ -144,7 +157,27 @@ fn cmd_gen(flags: HashMap<String, String>) {
     let scale = num(&flags, "scale", 800u64);
     let seed = num(&flags, "seed", 0u64);
     let out = flags.get("out").cloned().unwrap_or_else(|| usage());
-    let d = SyntheticDataset::generate(kind, scale, seed);
+    // `--out-of-core <frac>` generates a larger-than-memory configuration:
+    // heavy-tailed degree profile plus a suggested DSM residency budget
+    // covering only <frac> of the feature rows.
+    let ooc_budget = flags.get("out-of-core").map(|v| {
+        let frac: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("--out-of-core expects a resident fraction in (0, 1], got {v}");
+            usage();
+        });
+        if !(frac > 0.0 && frac <= 1.0) {
+            eprintln!("--out-of-core expects a resident fraction in (0, 1], got {v}");
+            usage();
+        }
+        frac
+    });
+    let (d, budget) = match ooc_budget {
+        Some(frac) => {
+            let (d, budget) = SyntheticDataset::generate_out_of_core(kind, scale, seed, frac);
+            (d, Some(budget))
+        }
+        None => (SyntheticDataset::generate(kind, scale, seed), None),
+    };
     if let Err(e) = save_dataset(&d, &out) {
         eprintln!("failed to save {out}: {e}");
         exit(1);
@@ -157,6 +190,13 @@ fn cmd_gen(flags: HashMap<String, String>) {
         d.feature_dim,
         d.num_classes
     );
+    if let Some(budget) = budget {
+        println!(
+            "out-of-core: keep {budget} of {} feature rows DSM-resident — train with \
+             `--storage-rows {budget}` or `WG_STORAGE_BUDGET_ROWS={budget}`",
+            d.num_nodes()
+        );
+    }
 }
 
 fn cmd_info(flags: HashMap<String, String>) {
@@ -207,14 +247,21 @@ fn cmd_train(flags: HashMap<String, String>) {
     if let Some(cc) = cache_config(&flags) {
         cfg.cache = Some(cc);
     }
+    if let Some(sc) = storage_config(&flags) {
+        cfg.storage = Some(sc);
+    }
 
     let machine = Machine::new(MachineConfig::dgx_like(gpus));
     let cache_desc = match cfg.resolved_cache() {
         Some(cc) => format!(", {} cache of {} rows/device", cc.mode.as_str(), cc.rows),
         None => String::new(),
     };
+    let storage_desc = match cfg.resolved_storage() {
+        Some(sc) => format!(", out-of-core tier with {} resident rows", sc.budget_rows),
+        None => String::new(),
+    };
     println!(
-        "training {} with {} on {} ({} GPUs simulated, {} executor{cache_desc})",
+        "training {} with {} on {} ({} GPUs simulated, {} executor{cache_desc}{storage_desc})",
         model.name(),
         fw.name(),
         dataset.kind.name(),
@@ -245,6 +292,12 @@ fn cmd_train(flags: HashMap<String, String>) {
             r.train_time,
             r.comm_time
         );
+        if r.storage_time > SimTime::ZERO {
+            println!(
+                "  storage tier: {} of NVMe reads inside gather; {} exposed after prefetch overlap",
+                r.storage_time, r.storage_exposed_time
+            );
+        }
         let occ = r.occupancy;
         println!(
             "  gpu0 occupancy: {:.1}% busy ({} busy / {} idle; sampling {}+{} | gather {}+{} | train {}+{} | comm {}+{})",
@@ -328,6 +381,9 @@ fn cmd_multinode(flags: HashMap<String, String>) {
     .with_seed(num(&flags, "seed", 0));
     if let Some(cc) = cache_config(&flags) {
         pipe_cfg.cache = Some(cc);
+    }
+    if let Some(sc) = storage_config(&flags) {
+        pipe_cfg.storage = Some(sc);
     }
     let sync = sync_config(&flags);
     let mode = if let Some(f) = sync.compress_topk {
@@ -428,6 +484,9 @@ fn cmd_serve(flags: HashMap<String, String>) {
     .with_seed(seed);
     if let Some(cc) = cache_config(&flags) {
         cfg.cache = Some(cc);
+    }
+    if let Some(sc) = storage_config(&flags) {
+        cfg.storage = Some(sc);
     }
 
     let rate_qps: f64 = num(&flags, "rate", 10_000.0);

@@ -73,6 +73,7 @@ pub fn projected_sweep(
         gather: mean(|t| t.gather),
         train: mean(|t| t.train),
         comm: SimTime::ZERO, // replaced per node count below
+        storage: mean(|t| t.storage),
     };
 
     let total_iters = batches.len();

@@ -41,6 +41,43 @@ impl CacheConfig {
     }
 }
 
+/// Out-of-core storage-tier configuration (ROADMAP item 1): cap the
+/// DSM-resident feature rows at `budget_rows` and serve everything else
+/// from the file-backed tier below ([`wg_mem::OocTier`]), priced by the
+/// NVMe storage cost model. Like the cache above it, the tier changes
+/// gather *cost only, never values* — training through the disk tier is
+/// bit-identical to in-memory, at any residency.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StorageConfig {
+    /// DSM-resident feature-row budget. Zero disables the tier (pure
+    /// in-memory DSM, the default).
+    pub budget_rows: usize,
+}
+
+impl StorageConfig {
+    /// Read the storage configuration from `WG_STORAGE_BUDGET_ROWS` (the
+    /// CI matrix's storage leg runs the whole suite at ~25% residency
+    /// this way). Absent or empty → `None` (CI matrices export unset
+    /// legs as `""`); a present but malformed value panics at startup,
+    /// same convention as `WG_CACHE_ROWS` — a typo must not silently run
+    /// the in-memory path.
+    pub fn from_env() -> Option<StorageConfig> {
+        Self::parse(std::env::var("WG_STORAGE_BUDGET_ROWS").ok().as_deref())
+    }
+
+    /// The parsing seam behind [`from_env`](Self::from_env), separated so
+    /// the empty-string / malformed / absent conventions are testable
+    /// without mutating process-global environment in a parallel test
+    /// harness.
+    pub fn parse(rows: Option<&str>) -> Option<StorageConfig> {
+        let rows = rows.filter(|v| !v.is_empty())?;
+        let budget_rows: usize = rows.parse().unwrap_or_else(|_| {
+            panic!("WG_STORAGE_BUDGET_ROWS: expected a row count, got {rows:?}")
+        });
+        Some(StorageConfig { budget_rows })
+    }
+}
+
 /// Where the node features physically live and how the training GPU
 /// reaches them — the design space the paper's introduction lays out
 /// ("Either collecting sparse features on CPU before sending them to GPU
@@ -138,6 +175,11 @@ pub struct PipelineConfig {
     /// `None` defers to the `WG_CACHE_ROWS`/`WG_CACHE_MODE` environment;
     /// `Some` pins it programmatically (use `rows: 0` to force-disable).
     pub cache: Option<CacheConfig>,
+    /// Out-of-core storage tier below the DSM (WholeGraph DSM placements
+    /// only). `None` defers to the `WG_STORAGE_BUDGET_ROWS` environment;
+    /// `Some` pins it programmatically (use `budget_rows: 0` to
+    /// force-disable).
+    pub storage: Option<StorageConfig>,
 }
 
 impl PipelineConfig {
@@ -158,6 +200,7 @@ impl PipelineConfig {
             feature_placement: FeaturePlacement::DeviceP2p,
             exec: ExecMode::Serial,
             cache: None,
+            storage: None,
         }
     }
 
@@ -178,6 +221,7 @@ impl PipelineConfig {
             feature_placement: FeaturePlacement::DeviceP2p,
             exec: ExecMode::Serial,
             cache: None,
+            storage: None,
         }
     }
 
@@ -220,6 +264,21 @@ impl PipelineConfig {
             .filter(|c| c.rows > 0)
     }
 
+    /// Pin the storage-tier configuration (overrides the environment).
+    pub fn with_storage(mut self, budget_rows: usize) -> Self {
+        self.storage = Some(StorageConfig { budget_rows });
+        self
+    }
+
+    /// The effective storage configuration: the explicit setting if
+    /// present, else the `WG_STORAGE_BUDGET_ROWS` environment, normalized
+    /// so a zero-row budget reads as disabled.
+    pub fn resolved_storage(&self) -> Option<StorageConfig> {
+        self.storage
+            .or_else(StorageConfig::from_env)
+            .filter(|s| s.budget_rows > 0)
+    }
+
     pub(crate) fn gnn_config(&self, in_dim: usize, num_classes: usize) -> GnnConfig {
         GnnConfig {
             kind: self.model,
@@ -230,5 +289,62 @@ impl PipelineConfig {
             heads: self.heads,
             dropout: self.dropout,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::Framework;
+    use wg_gnn::ModelKind;
+
+    #[test]
+    fn storage_env_absent_or_empty_is_none() {
+        // CI matrices export unset legs as "" — both shapes read as off.
+        assert_eq!(StorageConfig::parse(None), None);
+        assert_eq!(StorageConfig::parse(Some("")), None);
+    }
+
+    #[test]
+    fn storage_env_parses_a_row_count() {
+        assert_eq!(
+            StorageConfig::parse(Some("400")),
+            Some(StorageConfig { budget_rows: 400 })
+        );
+        // "0" parses (it is not malformed) but resolves to disabled below.
+        assert_eq!(
+            StorageConfig::parse(Some("0")),
+            Some(StorageConfig { budget_rows: 0 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "WG_STORAGE_BUDGET_ROWS")]
+    fn storage_env_malformed_panics_at_startup() {
+        StorageConfig::parse(Some("lots"));
+    }
+
+    #[test]
+    fn explicit_storage_config_wins_over_env() {
+        // `resolved_storage` short-circuits on the explicit setting, so
+        // these hold regardless of the ambient WG_STORAGE_BUDGET_ROWS —
+        // including under the CI leg that forces ~25% residency.
+        let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::Gcn);
+        assert_eq!(
+            cfg.clone().with_storage(123).resolved_storage(),
+            Some(StorageConfig { budget_rows: 123 })
+        );
+        // Zero pins the tier off even when the environment enables it.
+        assert_eq!(cfg.with_storage(0).resolved_storage(), None);
+    }
+
+    #[test]
+    fn zero_row_cache_resolves_to_disabled() {
+        let cfg = PipelineConfig::tiny(Framework::WholeGraph, ModelKind::Gcn);
+        assert_eq!(
+            cfg.with_cache(0, wg_mem::CacheMode::Static)
+                .resolved_cache(),
+            None
+        );
     }
 }

@@ -59,21 +59,31 @@ pub fn executor_for(mode: ExecMode) -> &'static dyn Executor {
     }
 }
 
-/// Phase-time totals, mean loss and accuracy over the (cycled) waves —
-/// identical for every executor.
-fn aggregate(results: &[IterationResult], waves: usize) -> (IterTimes, f32, f64) {
+/// Phase-time totals, exposed storage time, mean loss and accuracy over
+/// the (cycled) waves — identical for every executor. The exposed sum
+/// prices the storage tier's async prefetch: wave `w`'s NVMe reads are
+/// double-buffered against wave `w-1`'s compute, so only the part of
+/// each wave's storage time exceeding its compute time surfaces as
+/// added wall clock.
+fn aggregate(results: &[IterationResult], waves: usize) -> (IterTimes, SimTime, f32, f64) {
     let mut totals = IterTimes::default();
+    let mut exposed = SimTime::ZERO;
     for w in 0..waves {
         let t = results[w % results.len()].times;
         totals.sample += t.sample;
         totals.gather += t.gather;
         totals.train += t.train;
         totals.comm += t.comm;
+        totals.storage += t.storage;
+        let compute = t.compute();
+        if t.storage > compute {
+            exposed += t.storage - compute;
+        }
     }
     let loss = results.iter().map(|r| r.loss).sum::<f32>() / results.len() as f32;
     let correct: usize = results.iter().map(|r| r.correct).sum();
     let seen: usize = results.iter().map(|r| r.batch).sum();
-    (totals, loss, correct as f64 / seen.max(1) as f64)
+    (totals, exposed, loss, correct as f64 / seen.max(1) as f64)
 }
 
 /// Sample → gather → train → AllReduce back-to-back per wave.
@@ -109,13 +119,15 @@ impl Executor for SerialExecutor {
             machine.run_all_gpus(Phase::Communication, true, t.comm);
         }
         let epoch_end = machine.now(gpu0);
-        let (totals, loss, train_accuracy) = aggregate(results, waves);
+        let (totals, exposed, loss, train_accuracy) = aggregate(results, waves);
         EpochReport {
             epoch_time: totals.total(),
             sample_time: totals.sample,
             gather_time: totals.gather,
             train_time: totals.train,
             comm_time: totals.comm,
+            storage_time: totals.storage,
+            storage_exposed_time: exposed,
             loss,
             train_accuracy,
             iterations: total_iters,
@@ -189,13 +201,15 @@ impl Executor for OverlappedExecutor {
             }
         }
 
-        let (totals, loss, train_accuracy) = aggregate(results, waves);
+        let (totals, exposed, loss, train_accuracy) = aggregate(results, waves);
         EpochReport {
             epoch_time: epoch_end - epoch_start,
             sample_time: totals.sample,
             gather_time: totals.gather,
             train_time: totals.train,
             comm_time: totals.comm,
+            storage_time: totals.storage,
+            storage_exposed_time: exposed,
             loss,
             train_accuracy,
             iterations: total_iters,
@@ -230,7 +244,32 @@ mod tests {
             gather: SimTime::from_secs(gather),
             train: SimTime::from_secs(train),
             comm: SimTime::from_secs(comm),
+            storage: SimTime::ZERO,
         }
+    }
+
+    #[test]
+    fn exposed_storage_is_the_over_compute_excess() {
+        use crate::pipeline::report::IterationResult;
+        use wg_sample::SampleStats;
+        // Wave A: storage 1s hides under 3.5s of compute; wave B: 5s of
+        // storage against 2s of compute leaves 3s exposed.
+        let mk = |storage: f64, train: f64| IterationResult {
+            times: IterTimes {
+                storage: SimTime::from_secs(storage),
+                ..times(0.5, storage + 0.5, train, 0.5)
+            },
+            loss: 1.0,
+            correct: 1,
+            batch: 2,
+            shapes: Vec::new(),
+            sample_stats: SampleStats::default(),
+        };
+        let results = [mk(1.0, 3.0), mk(5.0, 1.5)];
+        let (totals, exposed, _, _) = aggregate(&results, 2);
+        assert_eq!(totals.storage.as_secs(), 6.0);
+        assert_eq!(exposed.as_secs(), 3.0);
+        assert!(exposed < totals.storage);
     }
 
     #[test]

@@ -17,10 +17,15 @@ pub struct IterTimes {
     pub train: SimTime,
     /// Gradient AllReduce.
     pub comm: SimTime,
+    /// Out-of-core storage-tier prefetch time of this iteration's gather.
+    /// Informational sub-component: already included in `gather`, so
+    /// [`total`](Self::total) does not add it again. Zero whenever the
+    /// tier is off or every row was cache- or DSM-resident.
+    pub storage: SimTime,
 }
 
 impl IterTimes {
-    /// Sum of all phases.
+    /// Sum of all phases (`storage` is part of `gather`, not re-added).
     pub fn total(&self) -> SimTime {
         self.sample + self.gather + self.train + self.comm
     }
@@ -164,6 +169,15 @@ pub struct EpochReport {
     pub train_time: SimTime,
     /// Total AllReduce time.
     pub comm_time: SimTime,
+    /// Total out-of-core storage-tier time, summed as if every NVMe
+    /// prefetch blocked the gather (it is part of `gather_time`).
+    pub storage_time: SimTime,
+    /// Storage time left *exposed* when each wave's prefetch is
+    /// double-buffered against the previous wave's compute:
+    /// Σ max(0, storage_w − (train_w + comm_w)). Strictly below
+    /// `storage_time` whenever storage and compute are both nonzero —
+    /// the overlap win the `storage_sweep` bench gates on.
+    pub storage_exposed_time: SimTime,
     /// Mean training loss over executed iterations.
     pub loss: f32,
     /// Training accuracy over executed iterations.
@@ -262,6 +276,7 @@ mod tests {
             gather: SimTime::from_secs(2.0),
             train: SimTime::from_secs(3.0),
             comm: SimTime::from_secs(4.0),
+            storage: SimTime::from_secs(0.5),
         };
         assert_eq!(t.input().as_secs(), 3.0);
         assert_eq!(t.compute().as_secs(), 7.0);

@@ -214,6 +214,40 @@ impl SyntheticDataset {
         }
     }
 
+    /// Generate a stand-in configured for *out-of-core* runs: the graph
+    /// is built with a heavy-tailed degree profile (power-law SBM for
+    /// the learnable graphs; R-MAT is heavy-tailed already) so that a
+    /// hotness-ranked residency set covers most accesses, and the
+    /// returned budget holds only `resident_fraction` of the feature
+    /// rows in the DSM — the rest live in the spill file below it.
+    /// Feed the budget to `PipelineConfig::with_storage` or
+    /// `WG_STORAGE_BUDGET_ROWS` to exercise the disk tier.
+    pub fn generate_out_of_core(
+        kind: DatasetKind,
+        scale: u64,
+        seed: u64,
+        resident_fraction: f64,
+    ) -> (Self, usize) {
+        let d =
+            Self::generate_with_profile(kind, scale, seed, DegreeProfile::PowerLaw { alpha: 1.05 });
+        let budget = d.storage_budget_rows(resident_fraction);
+        (d, budget)
+    }
+
+    /// Feature-row budget that keeps `resident_fraction` of this
+    /// dataset's rows DSM-resident (clamped to `[0, 1]`; at least one
+    /// row whenever the fraction is nonzero, so "a sliver resident"
+    /// never degenerates to a fully-disk run by rounding).
+    pub fn storage_budget_rows(&self, resident_fraction: f64) -> usize {
+        let f = resident_fraction.clamp(0.0, 1.0);
+        let rows = (self.num_nodes() as f64 * f).round() as usize;
+        if f > 0.0 {
+            rows.max(1).min(self.num_nodes())
+        } else {
+            0
+        }
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.graph.num_nodes()
@@ -318,6 +352,24 @@ mod tests {
         );
         assert_eq!(skewed.graph, again.graph);
         assert_eq!(skewed.features, again.features);
+    }
+
+    #[test]
+    fn out_of_core_config_budgets_a_resident_fraction() {
+        let (d, budget) =
+            SyntheticDataset::generate_out_of_core(DatasetKind::OgbnProducts, 1500, 5, 0.25);
+        assert_eq!(budget, (d.num_nodes() as f64 * 0.25).round() as usize);
+        assert!(budget > 0 && budget < d.num_nodes());
+        // The profile is the heavy-tailed one, so a hotness-ranked
+        // residency set is meaningful (the uniform profile's flat
+        // degrees would make residency choice arbitrary).
+        let uniform = SyntheticDataset::generate(DatasetKind::OgbnProducts, 1500, 5);
+        assert!(d.graph.max_degree() > 2 * uniform.graph.max_degree());
+        // Edge cases: zero fraction disables the residency set entirely;
+        // a sliver never rounds down to fully-disk; ≥ 1.0 is everything.
+        assert_eq!(d.storage_budget_rows(0.0), 0);
+        assert_eq!(d.storage_budget_rows(1e-9), 1);
+        assert_eq!(d.storage_budget_rows(1.5), d.num_nodes());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use wg_sim::{CostModel, SimTime};
 use crate::access::{ChunkLocator, Element};
 use crate::cache::{CacheMode, FeatureCache};
 use crate::handle::WholeMemory;
+use crate::ooc::{OocTier, Persist};
 
 /// Statistics of one global gather.
 #[derive(Clone, Copy, Debug)]
@@ -43,7 +44,18 @@ pub struct GatherStats {
     /// cached: cache hits whose owning rank is not the executing device,
     /// times the row size.
     pub saved_bus_bytes: u64,
-    /// Simulated duration of the gather kernel.
+    /// Rows staged from the out-of-core storage tier (zero on untiered
+    /// paths and at full residency).
+    pub disk_rows: usize,
+    /// Bytes read from the storage tier (`disk_rows × row bytes`). The
+    /// conservation invariant of the tier: DSM-served bytes plus
+    /// `disk_bytes` (plus cache-served bytes) always equal `algo_bytes`.
+    pub disk_bytes: u64,
+    /// Priced time of the storage fetch — a sub-component of
+    /// [`sim_time`](Self::sim_time), split out so the executor can
+    /// overlap it against compute (the prefetch model).
+    pub storage_time: SimTime,
+    /// Simulated duration of the gather kernel (storage fetch included).
     pub sim_time: SimTime,
 }
 
@@ -72,6 +84,12 @@ impl GatherStats {
 /// executing device's feature cache; `start` is then an offset into the
 /// cache store rather than a region.
 const CACHE_RANK: u32 = u32::MAX;
+
+/// Sentinel "owning rank" marking a planned row staged from the
+/// out-of-core storage tier; `start` is then an offset into the tier's
+/// staging buffer (filled by the batched prefetch fetch that runs
+/// before the copy kernel).
+const DISK_RANK: u32 = u32::MAX - 1;
 
 /// One gather row resolved to its owning region and element offset.
 #[derive(Clone, Copy, Debug)]
@@ -116,6 +134,14 @@ pub struct RowPlan {
     /// Whether this plan was built by [`plan_gather_cached`] — routes the
     /// per-call stats into the `mem.cache.*` metrics.
     cached: bool,
+    /// Whether this plan resolved rows against an [`OocTier`]: it must
+    /// be executed by [`global_gather_planned_tiered`] with the same
+    /// tier, which stages `disk_slots` before the copy kernel runs.
+    tiered: bool,
+    /// Global row ids of disk-served rows, in staging-slot order: slot
+    /// `i` of the tier's staging buffer receives row `disk_slots[i]`.
+    /// This list *is* the prefetch queue's request batch.
+    disk_slots: Vec<u32>,
 }
 
 impl RowPlan {
@@ -127,6 +153,11 @@ impl RowPlan {
     /// Rows this plan serves from the feature cache.
     pub fn cache_hits(&self) -> usize {
         self.cache_hits
+    }
+
+    /// Rows this plan serves from the out-of-core storage tier.
+    pub fn disk_rows(&self) -> usize {
+        self.disk_slots.len()
     }
 }
 
@@ -151,6 +182,8 @@ pub fn plan_gather<T: Element>(wm: &WholeMemory<T>, indices: &[usize], plan: &mu
     plan.cache_hits = 0;
     plan.cache_remote_hits = 0;
     plan.cached = false;
+    plan.tiered = false;
+    plan.disk_slots.clear();
     for &row in indices {
         let loc = locator.locate(row);
         plan.rank_counts[loc.device_rank as usize] += 1;
@@ -199,6 +232,8 @@ pub fn plan_gather_cached<T: Element>(
     plan.cache_hits = 0;
     plan.cache_remote_hits = 0;
     plan.cached = true;
+    plan.tiered = false;
+    plan.disk_slots.clear();
     let fill_on_miss = cache.mode() == CacheMode::Clock;
     let dc = cache.device_mut(executing_rank);
     dc.begin_batch();
@@ -229,6 +264,95 @@ pub fn plan_gather_cached<T: Element>(
                         src_start: start,
                     });
                 }
+            }
+        }
+    }
+}
+
+/// Resolve `indices` into a [`RowPlan`] through the full tier stack:
+/// **cache → DSM → disk**. Rows found in `executing_rank`'s cache (when
+/// one is passed) are planned against the cache store; cache misses that
+/// are DSM-**resident** under `tier`'s budget are planned against their
+/// owning region exactly as in [`plan_gather`]; everything else falls to
+/// the storage tier and joins the plan's prefetch batch. In CLOCK mode,
+/// misses claim cache slots here regardless of which lower tier serves
+/// them — a hot disk row graduates straight into the top tier.
+///
+/// Planning is sequential (one pass, deterministic at any worker
+/// count), and with a warm plan allocation-free. Execute the plan with
+/// [`global_gather_planned_tiered`], passing the same tier (and cache).
+pub fn plan_gather_tiered<T: Element + Persist>(
+    wm: &WholeMemory<T>,
+    indices: &[usize],
+    plan: &mut RowPlan,
+    tier: &OocTier<T>,
+    cache: Option<&mut FeatureCache<T>>,
+    executing_rank: u32,
+) {
+    let partition = wm.partition();
+    if plan
+        .locator
+        .as_ref()
+        .is_none_or(|l| l.partition() != partition)
+    {
+        plan.locator = Some(ChunkLocator::new(partition));
+    }
+    let locator = plan.locator.as_ref().unwrap();
+    let width = wm.width();
+    assert_eq!(tier.rows(), wm.rows(), "tier built for a different store");
+    assert_eq!(tier.width(), width, "tier built for a different width");
+    plan.width = width;
+    plan.rank_counts.clear();
+    plan.rank_counts.resize(partition.ranks as usize, 0);
+    plan.slots.clear();
+    plan.slots.reserve(indices.len());
+    plan.inserts.clear();
+    plan.cache_hits = 0;
+    plan.cache_remote_hits = 0;
+    plan.cached = cache.is_some();
+    plan.tiered = true;
+    plan.disk_slots.clear();
+    let fill_on_miss = cache
+        .as_deref()
+        .is_some_and(|c| c.mode() == CacheMode::Clock);
+    let mut dc = cache.map(|c| {
+        assert_eq!(c.width(), width, "cache built for a different width");
+        let dc = c.device_mut(executing_rank);
+        dc.begin_batch();
+        dc
+    });
+    for &row in indices {
+        let loc = locator.locate(row);
+        if let Some(slot) = dc.as_deref_mut().and_then(|dc| dc.lookup(row)) {
+            let dc = dc.as_deref_mut().unwrap();
+            dc.touch(slot);
+            plan.cache_hits += 1;
+            if loc.device_rank != executing_rank {
+                plan.cache_remote_hits += 1;
+            }
+            plan.slots.push(PlannedRow {
+                rank: CACHE_RANK,
+                start: slot as usize * width,
+            });
+            continue;
+        }
+        // Miss in the top tier: resolve DSM residency, then disk.
+        let (rank, start) = if tier.is_resident(row) {
+            plan.rank_counts[loc.device_rank as usize] += 1;
+            (loc.device_rank, loc.local_row * width)
+        } else {
+            let disk_slot = plan.disk_slots.len();
+            plan.disk_slots.push(row as u32);
+            (DISK_RANK, disk_slot * width)
+        };
+        plan.slots.push(PlannedRow { rank, start });
+        if fill_on_miss {
+            if let Some(slot) = dc.as_deref_mut().unwrap().insert(row) {
+                plan.inserts.push(PlannedInsert {
+                    slot,
+                    src_rank: rank,
+                    src_start: start,
+                });
             }
         }
     }
@@ -268,7 +392,11 @@ pub fn global_gather_planned<T: Element>(
         !plan.cached,
         "plan consulted a cache; execute it with global_gather_planned_cached"
     );
-    execute_planned(wm, plan, out, executing_rank, model, spec, None)
+    assert!(
+        !plan.tiered,
+        "plan resolved a storage tier; execute it with global_gather_planned_tiered"
+    );
+    execute_planned(wm, plan, out, executing_rank, model, spec, None, &[])
 }
 
 /// Execute a plan built by [`plan_gather_cached`]: cache hits copy out
@@ -285,9 +413,55 @@ pub fn global_gather_planned_cached<T: Element>(
     spec: &DeviceSpec,
     cache: &mut FeatureCache<T>,
 ) -> GatherStats {
-    execute_planned(wm, plan, out, executing_rank, model, spec, Some(cache))
+    assert!(
+        !plan.tiered,
+        "plan resolved a storage tier; execute it with global_gather_planned_tiered"
+    );
+    execute_planned(wm, plan, out, executing_rank, model, spec, Some(cache), &[])
 }
 
+/// Execute a plan built by [`plan_gather_tiered`]: the tier's batched
+/// prefetch stages every disk-planned row first (real file I/O, priced
+/// by the storage cost model), this batch's CLOCK fills land in the
+/// cache — from DSM regions or the staging buffer, whichever tier
+/// served the miss — and the copy kernel then reads cache hits from the
+/// cache store, resident rows from their owning regions, and spilled
+/// rows from staging. `tier` (and `cache`, when the plan consulted one)
+/// must be the ones the plan was built with.
+#[allow(clippy::too_many_arguments)] // mirrors the cached execute + tier
+pub fn global_gather_planned_tiered<T: Element + Persist>(
+    wm: &WholeMemory<T>,
+    plan: &RowPlan,
+    out: &mut [T],
+    executing_rank: u32,
+    model: &CostModel,
+    spec: &DeviceSpec,
+    cache: Option<&mut FeatureCache<T>>,
+    tier: &mut OocTier<T>,
+) -> GatherStats {
+    assert!(
+        plan.tiered,
+        "plan did not resolve a storage tier; use global_gather_planned[_cached]"
+    );
+    assert_eq!(
+        plan.cached,
+        cache.is_some(),
+        "plan and execute disagree about the cache tier"
+    );
+    tier.fetch(&plan.disk_slots);
+    execute_planned(
+        wm,
+        plan,
+        out,
+        executing_rank,
+        model,
+        spec,
+        cache,
+        tier.staging(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)] // shared body behind the cached + tiered entry points
 fn execute_planned<T: Element>(
     wm: &WholeMemory<T>,
     plan: &RowPlan,
@@ -296,6 +470,7 @@ fn execute_planned<T: Element>(
     model: &CostModel,
     spec: &DeviceSpec,
     mut cache: Option<&mut FeatureCache<T>>,
+    staging: &[T],
 ) -> GatherStats {
     let _span = wg_trace::span!("mem.gather");
     let width = wm.width();
@@ -317,7 +492,11 @@ fn execute_planned<T: Element>(
         if !plan.inserts.is_empty() {
             let dc = cache.device_mut(executing_rank);
             for ins in &plan.inserts {
-                let src = regions.region(ins.src_rank as usize);
+                let src = if ins.src_rank == DISK_RANK {
+                    staging
+                } else {
+                    regions.region(ins.src_rank as usize)
+                };
                 let slot = ins.slot as usize;
                 wg_tensor::simd::copy_slice(
                     level,
@@ -342,6 +521,8 @@ fn execute_planned<T: Element>(
         .for_each(|(dst, slot)| {
             let src = if slot.rank == CACHE_RANK {
                 cache_store
+            } else if slot.rank == DISK_RANK {
+                staging
             } else {
                 regions.region(slot.rank as usize)
             };
@@ -350,7 +531,10 @@ fn execute_planned<T: Element>(
 
     let rows = plan.rows();
     let hit_rows = plan.cache_hits;
-    let miss_rows = rows - hit_rows;
+    let disk_rows = plan.disk_slots.len();
+    // DSM-served misses: everything the cache and the storage tier did
+    // not absorb. With no tiers both terms are zero and this is `rows`.
+    let miss_rows = rows - hit_rows - disk_rows;
     let miss_local = plan
         .rank_counts
         .get(executing_rank as usize)
@@ -359,11 +543,16 @@ fn execute_planned<T: Element>(
     // Cache hits are served from the executing device's HBM: local by
     // construction, whoever owns the row's home region.
     let local_rows = miss_local + hit_rows;
-    let remote_rows = rows - local_rows;
+    let remote_rows = rows - local_rows - disk_rows;
     let row_bytes = width * std::mem::size_of::<T>();
     let algo_bytes = (rows * row_bytes) as u64;
     let bus_bytes = (remote_rows * row_bytes) as u64;
     let saved_bus_bytes = (plan.cache_remote_hits * row_bytes) as u64;
+    let disk_bytes = (disk_rows * row_bytes) as u64;
+    // The storage tier's batched prefetch: `disk_rows` queued reads,
+    // priced by the NVMe seek + bandwidth-knee model. Zero when every
+    // planned row was cache- or DSM-resident.
+    let storage_time = model.storage.read_time(disk_rows as u64, row_bytes);
 
     // Hits ride the same kernel but stream out of local HBM; only the
     // misses pay the DSM price. With no cache (hit_rows == 0) both terms
@@ -371,7 +560,7 @@ fn execute_planned<T: Element>(
     let hit_time = model.hbm_gather_time(hit_rows as u64, row_bytes, spec);
     let sim_time = match wm.mode() {
         AccessMode::PeerAccess => {
-            model.dsm_gather_time(miss_rows as u64, row_bytes, spec) + hit_time
+            model.dsm_gather_time(miss_rows as u64, row_bytes, spec) + hit_time + storage_time
         }
         AccessMode::UnifiedMemory => {
             // Every remote row triggers a page fault serviced by the host;
@@ -386,7 +575,11 @@ fn execute_planned<T: Element>(
             let pages = remote_rows as u64 * row_bytes.div_ceil(page) as u64;
             let migrate =
                 SimTime::from_secs((pages * page as u64) as f64 / model.topology.nvlink_bandwidth);
-            SimTime::from_secs(spec.kernel_launch_overhead_s) + fault_time + migrate + hit_time
+            SimTime::from_secs(spec.kernel_launch_overhead_s)
+                + fault_time
+                + migrate
+                + hit_time
+                + storage_time
         }
     };
 
@@ -398,11 +591,17 @@ fn execute_planned<T: Element>(
         bus_bytes,
         cache_hits: hit_rows,
         saved_bus_bytes,
+        disk_rows,
+        disk_bytes,
+        storage_time,
         sim_time,
     };
     record_gather_metrics(&stats, model);
     if plan.cached {
         record_cache_metrics(&stats);
+    }
+    if plan.tiered {
+        record_storage_metrics(&stats);
     }
     stats
 }
@@ -461,6 +660,20 @@ fn record_cache_metrics(stats: &GatherStats) {
     if stats.rows > 0 {
         wg_trace::histogram!("mem.cache.hit_rate", &HIT_RATE_BUCKETS, stats.hit_rate());
     }
+}
+
+/// Accrue one tiered gather's storage-side statistics into the
+/// `mem.storage.*` metrics. Summed over a run with the cache disabled,
+/// `mem.storage.bytes + mem.gather.bus_bytes + local DSM bytes ==
+/// mem.gather.algo_bytes` — the bytes-conservation invariant the
+/// `storage_sweep` bench asserts as `dsm + disk == uncached total`.
+fn record_storage_metrics(stats: &GatherStats) {
+    if !wg_trace::metrics_enabled() {
+        return;
+    }
+    wg_trace::counter!("mem.storage.rows", stats.disk_rows as f64);
+    wg_trace::counter!("mem.storage.bytes", stats.disk_bytes as f64);
+    wg_trace::counter!("mem.storage.time_s", stats.storage_time.as_secs());
 }
 
 /// Scatter rows back into the distributed allocation (the write-side
@@ -762,6 +975,140 @@ mod tests {
         let mut cache = FeatureCache::new_clock(&wm, 4, 8);
         let mut plan = RowPlan::default();
         plan_gather_cached(&wm, &[1, 2, 3], &mut plan, &mut cache, 0);
+        let mut out = vec![0.0f32; 12];
+        global_gather_planned(&wm, &plan, &mut out, 0, &model, &spec);
+    }
+
+    /// Gather `indices` through a storage tier (optionally with a cache
+    /// above it) and through the plain path; values must be bit-identical.
+    /// Returns (tiered stats, plain stats).
+    fn gather_tiered_vs_plain(
+        wm: &WholeMemory<f32>,
+        tier: &mut OocTier<f32>,
+        cache: Option<&mut FeatureCache<f32>>,
+        indices: &[usize],
+        rank: u32,
+        model: &CostModel,
+        spec: &DeviceSpec,
+    ) -> (GatherStats, GatherStats) {
+        let width = wm.width();
+        let mut plan = RowPlan::default();
+        let mut tiered = vec![0.0f32; indices.len() * width];
+        let mut plain = vec![0.0f32; indices.len() * width];
+        let mut cache = cache;
+        plan_gather_tiered(wm, indices, &mut plan, tier, cache.as_deref_mut(), rank);
+        let st = global_gather_planned_tiered(
+            wm,
+            &plan,
+            &mut tiered,
+            rank,
+            model,
+            spec,
+            cache.as_deref_mut(),
+            tier,
+        );
+        let sp = global_gather(wm, indices, &mut plain, rank, model, spec);
+        assert_eq!(tiered, plain, "storage tier changed gathered values");
+        (st, sp)
+    }
+
+    #[test]
+    fn tiered_gather_preserves_values_at_any_residency() {
+        let (wm, model, spec) = setup(600, 8, 4, AccessMode::PeerAccess);
+        let hotness: Vec<u64> = (0..600).map(|r| (600 - r) as u64).collect();
+        let indices: Vec<usize> = (0..400).map(|i| (i * 13) % 600).collect();
+        for budget in [0usize, 150, 300, 600] {
+            let mut tier = OocTier::build(&wm, &hotness, budget).unwrap();
+            let (st, sp) = gather_tiered_vs_plain(&wm, &mut tier, None, &indices, 1, &model, &spec);
+            // Hotness is highest for the lowest row ids, so residency is
+            // exactly the prefix 0..budget.
+            let expect_disk = indices.iter().filter(|&&r| r >= budget).count();
+            assert_eq!(st.disk_rows, expect_disk, "budget {budget}");
+            assert_eq!(st.rows, sp.rows);
+            assert_eq!(st.algo_bytes, sp.algo_bytes);
+        }
+    }
+
+    #[test]
+    fn full_residency_tier_is_cost_identical_to_uncached() {
+        let (wm, model, spec) = setup(500, 8, 4, AccessMode::PeerAccess);
+        let hotness = vec![1u64; 500];
+        let mut tier = OocTier::build(&wm, &hotness, 500).unwrap();
+        let indices: Vec<usize> = (0..300).map(|i| (i * 7) % 500).collect();
+        let (st, sp) = gather_tiered_vs_plain(&wm, &mut tier, None, &indices, 2, &model, &spec);
+        assert_eq!(st.disk_rows, 0);
+        assert_eq!(st.disk_bytes, 0);
+        assert_eq!(st.storage_time, SimTime::ZERO);
+        assert_eq!(st.remote_rows, sp.remote_rows);
+        assert_eq!(st.bus_bytes, sp.bus_bytes);
+        assert_eq!(st.sim_time, sp.sim_time);
+    }
+
+    #[test]
+    fn tiered_bytes_partition_and_storage_slows_the_gather() {
+        let (wm, model, spec) = setup(800, 16, 8, AccessMode::PeerAccess);
+        let hotness: Vec<u64> = (0..800).map(|r| (800 - r) as u64).collect();
+        // 25% residency: rows 0..200 stay in the DSM.
+        let mut tier = OocTier::build(&wm, &hotness, 200).unwrap();
+        let indices: Vec<usize> = (0..800).collect();
+        let (st, sp) = gather_tiered_vs_plain(&wm, &mut tier, None, &indices, 3, &model, &spec);
+        let row_bytes = 16 * 4;
+        // Conservation: disk + bus + local-HBM bytes == uncached algo bytes.
+        assert_eq!(
+            st.disk_bytes + st.bus_bytes + (st.local_rows * row_bytes) as u64,
+            sp.algo_bytes
+        );
+        assert_eq!(st.disk_rows, 600);
+        assert!(st.storage_time > SimTime::ZERO);
+        assert!(
+            st.sim_time > sp.sim_time,
+            "NVMe reads must cost more than DSM: {} vs {}",
+            st.sim_time,
+            sp.sim_time
+        );
+    }
+
+    #[test]
+    fn clock_cache_warms_from_disk_served_rows() {
+        let (wm, model, spec) = setup(300, 8, 4, AccessMode::PeerAccess);
+        let hotness = vec![1u64; 300];
+        // Nothing resident: every miss is disk-served, and the CLOCK
+        // inserts must copy from the staging buffer, not a DSM region.
+        let mut tier = OocTier::build(&wm, &hotness, 0).unwrap();
+        let mut cache = FeatureCache::new_clock(&wm, 4, 128);
+        let working_set: Vec<usize> = (0..90).map(|i| i * 3).collect();
+        let (first, _) = gather_tiered_vs_plain(
+            &wm,
+            &mut tier,
+            Some(&mut cache),
+            &working_set,
+            0,
+            &model,
+            &spec,
+        );
+        assert_eq!(first.cache_hits, 0);
+        assert_eq!(first.disk_rows, working_set.len());
+        let (second, _) = gather_tiered_vs_plain(
+            &wm,
+            &mut tier,
+            Some(&mut cache),
+            &working_set,
+            0,
+            &model,
+            &spec,
+        );
+        assert_eq!(second.cache_hits, working_set.len(), "warmed from disk");
+        assert_eq!(second.disk_rows, 0);
+        assert_eq!(second.storage_time, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "global_gather_planned_tiered")]
+    fn tiered_plan_rejected_by_plain_execute() {
+        let (wm, model, spec) = setup(100, 4, 4, AccessMode::PeerAccess);
+        let tier = OocTier::build(&wm, &[1; 100], 10).unwrap();
+        let mut plan = RowPlan::default();
+        plan_gather_tiered(&wm, &[1, 2, 3], &mut plan, &tier, None, 0);
         let mut out = vec![0.0f32; 12];
         global_gather_planned(&wm, &plan, &mut out, 0, &model, &spec);
     }

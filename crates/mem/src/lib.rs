@@ -22,6 +22,10 @@
 //!   replication of the top-K hot set, or dynamic CLOCK eviction) that
 //!   turns remote gathers into local-HBM hits — cost changes, values
 //!   never do;
+//! * [`ooc`] — the file-backed out-of-core tier *below* the DSM: feature
+//!   rows and CSR adjacency spilled to disk, a batched prefetch queue
+//!   staging each gather plan's non-resident rows, priced by the NVMe
+//!   storage cost model — again, cost changes, values never do;
 //! * [`nccl`] — the 5-step distributed-memory gather baseline of Figure 4
 //!   (bucket → exchange counts → alltoallv IDs → local gather → alltoallv
 //!   features → reorder), used by Figure 10;
@@ -41,16 +45,18 @@ pub mod halo;
 pub mod handle;
 pub mod ipc;
 pub mod nccl;
+pub mod ooc;
 pub mod probe;
 
 pub use access::{ChunkLocator, Element};
 pub use cache::{CacheMode, FeatureCache};
 pub use embedding::EmbeddingTable;
 pub use gather::{
-    global_gather_planned, global_gather_planned_cached, plan_gather, plan_gather_cached,
-    GatherStats, RowPlan,
+    global_gather_planned, global_gather_planned_cached, global_gather_planned_tiered, plan_gather,
+    plan_gather_cached, plan_gather_tiered, GatherStats, RowPlan,
 };
 pub use halo::{count_halo_rows, halo_exchange, HaloStats};
 pub use handle::{RegionView, WholeMemory};
 pub use ipc::{IpcHandle, MemoryPointerTable, SetupReport};
 pub use nccl::NcclGatherStats;
+pub use ooc::{OocTier, Persist};

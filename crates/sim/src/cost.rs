@@ -32,6 +32,78 @@ pub enum AccessMode {
     UnifiedMemory,
 }
 
+/// Cost model for the out-of-core NVMe storage tier below the DSM
+/// (`wg_mem::ooc`). The shape mirrors the NVLink gather curve — a
+/// per-request latency term plus a segment-size bandwidth knee — with
+/// constants of a GIDS-class PCIe-4.0 datacenter SSD (PAPERS.md: "GPU-
+/// initiated direct storage accesses"): reads below the 4 KiB native
+/// page pay for the whole page, and per-request submission latency
+/// amortizes over the device's queue depth, exactly as GIDS hides it
+/// behind thousands of in-flight requests.
+#[derive(Clone, Debug)]
+pub struct StorageCostModel {
+    /// Per-request submission + flash-access latency in seconds
+    /// (~80 µs for a read-optimized datacenter NVMe drive).
+    pub seek_latency_s: f64,
+    /// In-flight requests the submission queues sustain; seek latency
+    /// amortizes over this depth (GIDS keeps queues saturated, so the
+    /// effective per-request latency is `seek / depth`).
+    pub queue_depth: u32,
+    /// Native flash page size in bytes: reads of smaller segments
+    /// achieve bandwidth proportional to the segment size (the 4 KiB
+    /// analogue of Figure 8's 64 B NVLink knee).
+    pub knee_bytes: f64,
+    /// Bandwidth achieved at exactly one page per request, bytes/s.
+    pub knee_bandwidth: f64,
+    /// Saturated sequential-read bandwidth, bytes/s (~6.8 GB/s for a
+    /// PCIe-4.0 x4 drive).
+    pub saturated_bandwidth: f64,
+}
+
+impl StorageCostModel {
+    /// GIDS-class PCIe-4.0 NVMe constants.
+    pub fn nvme() -> Self {
+        StorageCostModel {
+            seek_latency_s: 80.0e-6,
+            queue_depth: 32,
+            knee_bytes: 4096.0,
+            knee_bandwidth: 6.0e9,
+            saturated_bandwidth: 6.8e9,
+        }
+    }
+
+    /// Achieved read bandwidth for random reads of `segment_bytes`-sized
+    /// pieces — the same three-regime knee shape as
+    /// [`CostModel::gather_busbw`], scaled to flash-page geometry.
+    pub fn read_bandwidth(&self, segment_bytes: usize) -> f64 {
+        let s = segment_bytes as f64;
+        if s <= 0.0 {
+            return 0.0;
+        }
+        if s < self.knee_bytes {
+            // Sub-page reads transfer the whole page: proportional regime.
+            self.knee_bandwidth * s / self.knee_bytes
+        } else if s < 2.0 * self.knee_bytes {
+            let t = (s - self.knee_bytes) / self.knee_bytes;
+            self.knee_bandwidth + t * (self.saturated_bandwidth - self.knee_bandwidth)
+        } else {
+            self.saturated_bandwidth
+        }
+    }
+
+    /// Time to serve `requests` random reads of `segment_bytes` each,
+    /// with submission latency amortized over the queue depth. Zero
+    /// requests cost zero: the tier prices nothing when nothing spills.
+    pub fn read_time(&self, requests: u64, segment_bytes: usize) -> SimTime {
+        if requests == 0 {
+            return SimTime::ZERO;
+        }
+        let bytes = requests as f64 * segment_bytes as f64;
+        let seeks = requests as f64 / self.queue_depth.max(1) as f64;
+        SimTime::from_secs(seeks * self.seek_latency_s + bytes / self.read_bandwidth(segment_bytes))
+    }
+}
+
 /// The assembled cost model for one machine node.
 #[derive(Clone, Debug)]
 pub struct CostModel {
@@ -98,6 +170,9 @@ pub struct CostModel {
     pub gpu_sample_edges_per_s: f64,
     /// Per-GPU rate of the AppendUnique hash-table op, in inserted keys/s.
     pub gpu_unique_keys_per_s: f64,
+    /// NVMe tier below the DSM: prices the out-of-core row fetches of
+    /// `wg_mem::ooc` (seek + per-byte bandwidth knee).
+    pub storage: StorageCostModel,
 }
 
 impl CostModel {
@@ -128,6 +203,7 @@ impl CostModel {
             pyg_sample_edges_per_s: 3.0e7,
             gpu_sample_edges_per_s: 3.0e9,
             gpu_unique_keys_per_s: 8.0e9,
+            storage: StorageCostModel::nvme(),
         }
     }
 
@@ -465,6 +541,57 @@ mod tests {
         let narrow = m.hbm_gather_time(8_000_000, 16, &spec);
         let wide = m.hbm_gather_time(1_000_000, 128, &spec);
         assert!(narrow > wide, "narrow {narrow} !> wide {wide}");
+    }
+
+    #[test]
+    fn storage_bandwidth_has_a_page_knee() {
+        let s = StorageCostModel::nvme();
+        // Proportional regime below one flash page: byte-equal volumes of
+        // sub-page reads transfer whole pages, so bandwidth scales with
+        // the segment size.
+        let b64 = s.read_bandwidth(64);
+        let b512 = s.read_bandwidth(512);
+        assert!(
+            (b512 / b64 - 8.0).abs() < 0.01,
+            "proportionality below knee"
+        );
+        // One page per request achieves the knee bandwidth.
+        assert!((s.read_bandwidth(4096) - 6.0e9).abs() < 1e6);
+        // Saturated from two pages on, and flat after.
+        assert_eq!(s.read_bandwidth(8192), s.read_bandwidth(1 << 20));
+        assert!((s.read_bandwidth(8192) - 6.8e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn storage_seeks_amortize_over_queue_depth() {
+        let s = StorageCostModel::nvme();
+        // 32 requests (one full queue) of 400 B pay one seek's worth of
+        // latency between them, not 32.
+        let t = s.read_time(32, 400);
+        let seek_share = s.seek_latency_s;
+        assert!(t.as_secs() > seek_share, "seek term missing: {t}");
+        assert!(
+            t.as_secs() < 2.0 * seek_share + 32.0 * 400.0 / s.read_bandwidth(400),
+            "seeks not amortized: {t}"
+        );
+        // Zero requests price zero — a fully-resident run must not pay
+        // any storage time.
+        assert_eq!(s.read_time(0, 400), SimTime::ZERO);
+    }
+
+    #[test]
+    fn storage_reads_are_much_slower_than_dsm_gathers() {
+        // The tier ordering the whole OOC design rests on: cache (HBM)
+        // < DSM (NVLink) << disk (NVMe), at feature-row granularity.
+        let m = CostModel::dgx_a100();
+        let spec = DeviceSpec::a100_40gb();
+        let rows = 100_000u64;
+        let row_bytes = 400usize; // 100 f32 features
+        let hbm = m.hbm_gather_time(rows, row_bytes, &spec);
+        let dsm = m.dsm_gather_time(rows, row_bytes, &spec);
+        let disk = m.storage.read_time(rows, row_bytes);
+        assert!(hbm < dsm, "hbm {hbm} !< dsm {dsm}");
+        assert!(disk / dsm > 10.0, "disk {disk} vs dsm {dsm}");
     }
 
     #[test]

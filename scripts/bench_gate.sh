@@ -27,6 +27,17 @@
 #     bytes conserved, monotone static hit rates, and a >=50% remote-row
 #     cut from a <=10% hot-set cache.
 #
+# The storage legs hold the out-of-core tier to its contract:
+#   * a wallclock run with the tier built at full residency
+#     (--storage-rows 999999) must reproduce all four pinned checksums
+#     and allocation budgets bit-for-bit — tiering changes cost, never
+#     values (`check_bench gate` on the tiered run);
+#   * the storage sweep regenerates BENCH_storage.json and `check_bench
+#     storage` gates it: numerics pinned to the tier-off baseline,
+#     dsm + disk bytes conserved exactly, zero disk traffic at full
+#     residency, and the prefetch-overlapped storage time strictly below
+#     the blocking sum at <=50% residency.
+#
 # The serving leg regenerates BENCH_serving.json and `check_bench
 # serving` gates it: coalesced micro-batching must answer every request
 # bit-identically to sequential serving, at >=2x the sustained QPS with
@@ -39,8 +50,9 @@
 # SIMD-vs-scalar criterion microbenchmarks — informational, never
 # gated), multinode.json and multinode_trace.json (executed sweep +
 # 4-node cluster trace, one Chrome process per node), serving.json and
-# serving_trace.json (serving sweep + traced coalesced replay). CI
-# uploads the directory.
+# serving_trace.json (serving sweep + traced coalesced replay),
+# current_storage.json (wallclock through the full-residency disk tier)
+# and storage.json (the residency sweep). CI uploads the directory.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -92,6 +104,21 @@ echo "bench_gate: feature-cache sweep gate"
 cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
     cache "$OUT_DIR/cache.json"
 
+echo "bench_gate: storage-tier wallclock leg (checksums must not move)"
+cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin wallclock -- \
+    --storage-rows 999999
+cp BENCH_wallclock.json "$OUT_DIR/current_storage.json"
+cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
+    gate "$OUT_DIR/current_storage.json"
+
+echo "bench_gate: storage sweep"
+cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin storage_sweep
+cp BENCH_storage.json "$OUT_DIR/storage.json"
+
+echo "bench_gate: storage sweep gate"
+cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
+    storage "$OUT_DIR/storage.json"
+
 # Criterion microbenchmarks for the kernels the wallclock stages are
 # built from: dispatched vs forced-scalar vs naive-reference matmul, and
 # the gather row-copy / checksum loops. The criterion shim prints
@@ -120,10 +147,10 @@ cargo run -q --release "${OFFLINE_FLAGS[@]}" -p wg-bench --bin check_bench -- \
     multinode "$OUT_DIR/multinode.json"
 
 # The benches rewrote BENCH_wallclock.json / BENCH_multinode.json /
-# BENCH_cache.json / BENCH_serving.json in place; restore the committed
-# copies so the gate leaves the tree clean (this run's copies live in
-# $OUT_DIR).
+# BENCH_cache.json / BENCH_storage.json / BENCH_serving.json in place;
+# restore the committed copies so the gate leaves the tree clean (this
+# run's copies live in $OUT_DIR).
 git checkout -- BENCH_wallclock.json BENCH_multinode.json BENCH_cache.json \
-    BENCH_serving.json 2>/dev/null || true
+    BENCH_storage.json BENCH_serving.json 2>/dev/null || true
 
 echo "bench_gate: OK (artifacts in $OUT_DIR/)"
